@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""E4: computed access (F*) vs B-tree chunk index (HDF5 model).
+
+"Instead of managing the chunks by an index scheme, the chunks can be
+addressed by a computed access function in a manner similar to
+hashing."  This bench compares per-chunk location cost:
+
+* DRX — O(k + log E) arithmetic on tiny replicated meta-data (measured
+  in wall clock; no I/O at all);
+* B-tree — a root-to-leaf descent whose nodes live on disk pages behind
+  a bounded cache (measured in wall clock *and* node reads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BTree
+from repro.bench import Table, wallclock
+from repro.core import f_star_many, replay_history
+from repro.workloads import round_robin_growth
+
+N_LOOKUPS = 2000
+
+
+def build_pair(grid: int, extensions: int):
+    """A DRX index and a B-tree over the same chunk population."""
+    eci = replay_history([grid, grid],
+                         round_robin_growth(2, extensions, by=2))
+    bt = BTree(order=16, cache_nodes=32)
+    for i in range(eci.bounds[0]):
+        for j in range(eci.bounds[1]):
+            bt.put((i, j), eci.address((i, j)))
+    return eci, bt
+
+
+def sample(eci, n):
+    rng = np.random.default_rng(13)
+    return np.stack([rng.integers(0, b, n) for b in eci.bounds], axis=1)
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E4: chunk-location throughput — computed F* vs B-tree descent",
+        ["chunk grid", "E (axial recs)", "btree height",
+         "F* lookups/s", "btree lookups/s", "btree node reads"],
+    )
+    for grid, ext in [(4, 8), (8, 16), (8, 48)]:
+        eci, bt = build_pair(grid, ext)
+        idx = sample(eci, N_LOOKUPS)
+        t_f, _ = wallclock(lambda: f_star_many(eci, idx), 3)
+        keys = [tuple(int(x) for x in row) for row in idx]
+        bt.stats.node_reads = 0
+        t_b, _ = wallclock(lambda: [bt.get(k) for k in keys], 3)
+        table.add(f"{eci.bounds[0]}x{eci.bounds[1]}", eci.num_records,
+                  bt.height,
+                  f"{N_LOOKUPS / t_f:,.0f}",
+                  f"{N_LOOKUPS / t_b:,.0f}",
+                  bt.stats.node_reads)
+    table.note("the computed path touches no storage; the index path "
+               "pays node reads whenever the tree outgrows its cache")
+    return table
+
+
+def test_shape_computed_access_faster():
+    eci, bt = build_pair(8, 48)
+    idx = sample(eci, N_LOOKUPS)
+    keys = [tuple(int(x) for x in row) for row in idx]
+    t_f, addrs = wallclock(lambda: f_star_many(eci, idx), 3)
+    t_b, _ = wallclock(lambda: [bt.get(k) for k in keys], 3)
+    assert t_f < t_b
+    # both agree on every address
+    assert all(bt.get(k) == int(a) for k, a in zip(keys, addrs))
+
+
+def test_f_star_batch(benchmark):
+    eci, _bt = build_pair(8, 48)
+    idx = sample(eci, N_LOOKUPS)
+    benchmark(f_star_many, eci, idx)
+
+
+def test_btree_batch(benchmark):
+    eci, bt = build_pair(8, 48)
+    keys = [tuple(int(x) for x in row) for row in sample(eci, N_LOOKUPS)]
+    benchmark(lambda: [bt.get(k) for k in keys])
+
+
+def test_btree_single(benchmark):
+    _eci, bt = build_pair(8, 16)
+    benchmark(bt.get, (3, 3))
+
+
+def test_f_star_single(benchmark):
+    eci, _bt = build_pair(8, 16)
+    benchmark(eci.address, (3, 3))
+
+
+if __name__ == "__main__":
+    run_experiment().show()

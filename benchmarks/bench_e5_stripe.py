@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""E5: reconciling chunk size with the PFS stripe size.
+
+The paper's closing line of future work: "Optimizing the access by
+reconciling the chunk size with the strip size of the parallel file
+system for optimal chunk accesses."  This bench fixes a 64 KiB stripe
+and sweeps the chunk size through, below and above it, reading the
+array chunk by chunk and reporting how many server requests each chunk
+access costs and how evenly the load spreads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core.metadata import DRXMeta
+from repro.drx import PFSByteStore
+from repro.drx.drxfile import DRXFile
+from repro.pfs import ParallelFileSystem
+
+STRIPE = 64 * 1024
+N_ELEMS = 512            # 512x512 doubles = 2 MiB
+
+
+def make(chunk_edge: int):
+    fs = ParallelFileSystem(nservers=4, stripe_size=STRIPE)
+    meta = DRXMeta.create((N_ELEMS, N_ELEMS), (chunk_edge, chunk_edge))
+    store = PFSByteStore(fs.create("e5.xta"))
+    a = DRXFile(meta, store, None, writable=True, cache_pages=4)
+    a.write((0, 0), np.zeros((N_ELEMS, N_ELEMS)))
+    a.flush()
+    return fs, a
+
+
+def chunk_scan(fs, a):
+    """Read every chunk once, bypassing the cache."""
+    fs.reset_stats()
+    ce = a.chunk_shape[0]
+    for i in range(0, N_ELEMS, ce):
+        a._pool.invalidate()
+        a.read((i, 0), (min(i + ce, N_ELEMS), ce))
+    return fs.total_stats()
+
+
+def run_experiment() -> Table:
+    table = Table(
+        f"E5: chunk size vs stripe size (stripe = {STRIPE // 1024} KiB, "
+        "4 servers)",
+        ["chunk", "chunk bytes", "chunk/stripe", "reqs per chunk",
+         "time per chunk"],
+    )
+    for edge in (32, 64, 90, 128, 181):
+        fs, a = make(edge)
+        st = chunk_scan(fs, a)
+        nchunks = -(-N_ELEMS // edge)
+        chunk_bytes = edge * edge * 8
+        table.add(f"{edge}x{edge}", chunk_bytes,
+                  f"{chunk_bytes / STRIPE:.2f}",
+                  f"{st.read_requests / nchunks:.1f}",
+                  f"{st.busy_time / nchunks * 1e3:.2f} ms")
+        a.close()
+    table.note("chunks no larger than a stripe land on one server in "
+               "one request; stripe-crossing chunks split across "
+               "servers (more requests, but parallel service)")
+    return table
+
+
+def test_shape_aligned_chunks_fewest_requests_each():
+    fs, a = make(64)                 # 64x64 doubles = 32 KiB < stripe
+    st_small = chunk_scan(fs, a)
+    n_small = -(-N_ELEMS // 64)
+    a.close()
+    fs, a = make(181)                # ~256 KiB > stripe: must split
+    st_big = chunk_scan(fs, a)
+    n_big = -(-N_ELEMS // 181)
+    a.close()
+    assert st_small.read_requests / n_small < \
+        st_big.read_requests / n_big
+
+
+def test_chunk_scan_small(benchmark):
+    fs, a = make(64)
+    benchmark(lambda: chunk_scan(fs, a))
+    a.close()
+
+
+def test_chunk_scan_large(benchmark):
+    fs, a = make(181)
+    benchmark(lambda: chunk_scan(fs, a))
+    a.close()
+
+
+if __name__ == "__main__":
+    run_experiment().show()

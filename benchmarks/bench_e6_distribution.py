@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""E6: BLOCK vs BLOCK_CYCLIC(k) distribution under growth.
+
+The paper's future work: "we intend to explore how the array
+distribution method can be generalized to ensure relative balanced data
+distribution and how to distribute the array by BLOCK Cyclic(K)
+methods."
+
+Two balance metrics matter for a *growing* array:
+
+* **steady-state imbalance** — max-min chunks per rank after the
+  partition is recomputed for the grown grid (both schemes do fine);
+* **new-segment concentration** — when a dimension is extended, which
+  ranks receive the freshly adjoined segment's chunks?  Under BLOCK the
+  whole segment lands on the trailing slab of the process grid (those
+  ranks absorb all new I/O and all re-shuffling); under BLOCK_CYCLIC
+  the segment deals out across every rank.  This bench measures the
+  fraction of each new segment owned by the most-loaded rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import ExtendibleChunkIndex, f_star_inv_many, replay_history
+from repro.drxmp.partition import BlockCyclicPartition, BlockPartition
+from repro.workloads import random_growth
+
+NPROC = 4
+
+
+def segment_concentration(eci: ExtendibleChunkIndex, partition) -> float:
+    """Fraction of the LAST adjoined segment owned by the busiest rank
+    (1/NPROC is perfect spreading, 1.0 is total concentration)."""
+    seg = eci.segments[-1]
+    addrs = np.arange(seg.start_address, seg.end_address)
+    indices = f_star_inv_many(eci, addrs)
+    owners = partition.owners_of(indices)
+    counts = np.bincount(owners, minlength=NPROC)
+    return counts.max() / len(addrs)
+
+
+def grow_and_measure(history) -> tuple[float, float, int, int]:
+    eci = replay_history([4, 4], history)
+    blk = BlockPartition(eci.bounds, NPROC)
+    cyc = BlockCyclicPartition(eci.bounds, NPROC, block=1)
+    conc_blk = segment_concentration(eci, blk)
+    conc_cyc = segment_concentration(eci, cyc)
+    imb_blk = max(blk.chunk_counts()) - min(blk.chunk_counts())
+    imb_cyc = max(cyc.chunk_counts()) - min(cyc.chunk_counts())
+    return conc_blk, conc_cyc, imb_blk, imb_cyc
+
+
+def histories():
+    yield "extend dim 0 by 8 (one segment)", [(0, 8)]
+    yield "extend dim 1 by 8 (one segment)", [(1, 8)]
+    yield "random growth then +dim0", random_growth(2, 10, seed=3) + [(0, 4)]
+    yield "random growth then +dim1", random_growth(2, 10, seed=9) + [(1, 4)]
+
+
+def run_experiment() -> Table:
+    table = Table(
+        f"E6: where do newly adjoined chunks land? ({NPROC} processes; "
+        f"perfect spread = {1 / NPROC:.2f})",
+        ["growth", "final grid", "BLOCK seg. share", "CYCLIC seg. share",
+         "BLOCK imb.", "CYCLIC imb."],
+    )
+    for name, hist in histories():
+        eci = replay_history([4, 4], hist)
+        conc_b, conc_c, imb_b, imb_c = grow_and_measure(hist)
+        table.add(name, f"{eci.bounds[0]}x{eci.bounds[1]}",
+                  f"{conc_b:.2f}", f"{conc_c:.2f}", imb_b, imb_c)
+    table.note("BLOCK hands each new segment to the trailing process "
+               "slab (share -> 0.5 on a 2x2 grid); CYCLIC deals it to "
+               "all ranks (share -> 0.25)")
+    return table
+
+
+def test_shape_cyclic_spreads_new_segments():
+    for _name, hist in histories():
+        conc_b, conc_c, _ib, _ic = grow_and_measure(hist)
+        assert conc_c <= conc_b + 1e-9
+    # the single-extension cases are strict
+    conc_b, conc_c, _i, _c = grow_and_measure([(0, 8)])
+    assert conc_b >= 0.35 and conc_c <= 0.26
+
+
+def test_block_partition_build(benchmark):
+    eci = replay_history([2, 2], random_growth(2, 20, seed=3))
+    benchmark(lambda: BlockPartition(eci.bounds, NPROC).chunk_counts())
+
+
+def test_cyclic_partition_build(benchmark):
+    eci = replay_history([2, 2], random_growth(2, 20, seed=3))
+    benchmark(lambda: BlockCyclicPartition(eci.bounds, NPROC,
+                                           block=1).chunk_counts())
+
+
+def test_segment_concentration_kernel(benchmark):
+    eci = replay_history([4, 4], [(0, 8)])
+    part = BlockCyclicPartition(eci.bounds, NPROC, block=1)
+    benchmark(segment_concentration, eci, part)
+
+
+if __name__ == "__main__":
+    run_experiment().show()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""E7: the Mpool buffer cache on serial DRX element access.
+
+DRX uses a BerkeleyDB-Mpool-style chunk cache for its serial element
+accesses.  This bench sweeps the pool size against two access
+localities — a chunk-coherent walk and a uniformly random scatter — and
+reports hit ratio plus the simulated disk time of the misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core.metadata import DRXMeta
+from repro.drx import PFSByteStore
+from repro.drx.drxfile import DRXFile
+from repro.pfs import ParallelFileSystem
+
+SHAPE = (128, 128)
+CHUNK = (16, 16)
+N_ACCESS = 3000
+
+
+def make(cache_pages: int):
+    fs = ParallelFileSystem(nservers=2, stripe_size=64 * 1024)
+    meta = DRXMeta.create(SHAPE, CHUNK)
+    a = DRXFile(meta, PFSByteStore(fs.create("e7.xta")), None,
+                writable=True, cache_pages=cache_pages)
+    a.write((0, 0), np.zeros(SHAPE))
+    a.flush()
+    a._pool.invalidate()
+    a.cache_stats.hits = a.cache_stats.misses = 0
+    fs.reset_stats()
+    return fs, a
+
+
+def local_walk():
+    """Chunk-coherent accesses: sweep each chunk's elements in turn."""
+    rng = np.random.default_rng(1)
+    out = []
+    for _ in range(N_ACCESS // 10):
+        ci = rng.integers(0, SHAPE[0] // CHUNK[0], 2)
+        base = (int(ci[0]) * CHUNK[0], int(ci[1]) * CHUNK[1])
+        for _ in range(10):
+            off = rng.integers(0, CHUNK[0], 2)
+            out.append((base[0] + int(off[0]), base[1] + int(off[1])))
+    return out
+
+
+def random_scatter():
+    rng = np.random.default_rng(2)
+    return [(int(i), int(j))
+            for i, j in zip(rng.integers(0, SHAPE[0], N_ACCESS),
+                            rng.integers(0, SHAPE[1], N_ACCESS))]
+
+
+def run_pattern(cache_pages: int, pattern) -> tuple[float, float]:
+    fs, a = make(cache_pages)
+    for idx in pattern:
+        a.get(idx)
+    ratio = a.cache_stats.hit_ratio
+    t = fs.total_stats().busy_time
+    a.close()
+    return ratio, t
+
+
+def run_experiment() -> Table:
+    table = Table(
+        f"E7: Mpool cache, {N_ACCESS} element gets on a 128x128 array "
+        "(64 chunks total)",
+        ["pool pages", "local walk hit%", "local time",
+         "random hit%", "random time"],
+    )
+    lw = local_walk()
+    rs = random_scatter()
+    for pages in (1, 4, 16, 64):
+        lh, lt = run_pattern(pages, lw)
+        rh, rt = run_pattern(pages, rs)
+        table.add(pages, f"{lh * 100:.1f}%", f"{lt * 1e3:.1f} ms",
+                  f"{rh * 100:.1f}%", f"{rt * 1e3:.1f} ms")
+    table.note("64 pages hold the whole array: every pattern converges "
+               "to one fault per chunk")
+    return table
+
+
+def test_shape_cache_monotonic():
+    rs = random_scatter()
+    ratios = [run_pattern(p, rs)[0] for p in (1, 4, 16, 64)]
+    assert ratios == sorted(ratios)
+    lw = local_walk()
+    # locality beats scatter at small pool sizes
+    assert run_pattern(2, lw)[0] > run_pattern(2, rs)[0]
+
+
+def test_local_walk_small_pool(benchmark):
+    lw = local_walk()
+    benchmark(lambda: run_pattern(4, lw))
+
+
+def test_random_scatter_small_pool(benchmark):
+    rs = random_scatter()
+    benchmark(lambda: run_pattern(4, rs))
+
+
+if __name__ == "__main__":
+    run_experiment().show()

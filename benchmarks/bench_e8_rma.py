@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""E8: remote element access through zone ownership (the GA model).
+
+"An element can be accessed either directly from the file or via a
+remote memory access of participating and cooperating processes."  This
+bench loads a principal array into a GlobalArray and measures get/put/
+accumulate on boxes that are local to the calling rank vs owned by
+another rank, plus the all-local vs all-remote extremes of a sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.bench import Table
+from repro.drxmp import DRXMPFile, GlobalArray
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array
+
+SHAPE = (64, 64)
+CHUNK = (8, 8)
+REPS = 100
+
+
+def timed_ops(comm, which: str):
+    fs = timed_ops.fs
+    a = DRXMPFile.open(comm, fs, "E8")
+    ga = GlobalArray.from_file(a)
+    # rank 0's zone starts at (0, 0); the last rank's zone is remote to 0
+    part = ga.partition
+    my = part.zone_of(comm.rank)
+    other = part.zone_of((comm.rank + comm.size // 2) % comm.size)
+    my_lo = my.element_box(CHUNK, SHAPE)[0]
+    other_lo = other.element_box(CHUNK, SHAPE)[0]
+    box = (CHUNK[0], CHUNK[1])
+    payload = np.ones(box)
+
+    t = {}
+    for name, lo in [("local", my_lo), ("remote", other_lo)]:
+        t0 = time.perf_counter()
+        for _ in range(REPS):
+            if which == "get":
+                ga.get(lo, (lo[0] + box[0], lo[1] + box[1]))
+            elif which == "put":
+                ga.put(lo, payload)
+            else:
+                ga.acc(lo, payload)
+        t[name] = (time.perf_counter() - t0) / REPS
+    ga.sync()
+    a.close()
+    return t
+
+
+def setup():
+    fs = ParallelFileSystem(nservers=4, stripe_size=16 * 1024)
+
+    def init(comm):
+        a = DRXMPFile.create(comm, fs, "E8", SHAPE, CHUNK)
+        a.write((0, 0), pattern_array(SHAPE))
+        a.close()
+        return True
+
+    mpi.mpiexec(1, init)
+    timed_ops.fs = fs
+    return fs
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E8: one-chunk GA operations, local vs remote owner "
+        "(4 procs, mean us/op)",
+        ["op", "local", "remote", "remote/local"],
+    )
+    setup()
+    for which in ("get", "put", "acc"):
+        per_rank = mpi.mpiexec(4, timed_ops, which, timeout=120)
+        local = float(np.mean([t["local"] for t in per_rank]))
+        remote = float(np.mean([t["remote"] for t in per_rank]))
+        table.add(which, f"{local * 1e6:.1f}", f"{remote * 1e6:.1f}",
+                  f"{remote / local:.2f}x")
+    table.note("remote ops add lock + window transfer over the local "
+               "slice copy; both stay micro-seconds because meta-data "
+               "is replicated (no owner round-trip to find the chunk)")
+    return table
+
+
+def test_shape_results_correct_and_remote_costlier():
+    setup()
+    per_rank = mpi.mpiexec(4, timed_ops, "get", timeout=120)
+    local = float(np.mean([t["local"] for t in per_rank]))
+    remote = float(np.mean([t["remote"] for t in per_rank]))
+    assert remote >= local * 0.5   # noisy, but remote is never dominant-free
+    # correctness: a remote get returns the true data
+    fs = timed_ops.fs
+
+    def check(comm):
+        a = DRXMPFile.open(comm, fs, "E8")
+        ga = GlobalArray.from_file(a)
+        got = ga.get((0, 0), SHAPE)
+        a.close()
+        return bool(np.array_equal(got, pattern_array(SHAPE)))
+    assert all(mpi.mpiexec(4, check, timeout=120))
+
+
+def test_ga_remote_get(benchmark):
+    setup()
+    fs = timed_ops.fs
+
+    def once():
+        def body(comm):
+            a = DRXMPFile.open(comm, fs, "E8")
+            ga = GlobalArray.from_file(a)
+            peer = (comm.rank + 1) % comm.size
+            lo = ga.partition.zone_of(peer).element_box(CHUNK, SHAPE)[0]
+            ga.get(lo, (lo[0] + 8, lo[1] + 8))
+            ga.sync()
+            a.close()
+            return True
+        return mpi.mpiexec(4, body, timeout=60)
+    benchmark(once)
+
+
+if __name__ == "__main__":
+    run_experiment().show()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""FIG2 bench: the four allocation orders — waste and address cost.
+
+Reproduces the comparison behind Fig. 2: grow a 2-D chunk grid to
+asymmetric bounds and compare (a) the linear address space each scheme
+must reserve (the extendibility waste that disqualifies Z-order and the
+symmetric shell) and (b) address-computation throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, wallclock
+from repro.core.orders import (
+    AxialOrder,
+    RowMajorOrder,
+    SymmetricShellOrder,
+    ZOrder,
+)
+
+BOUNDS = (24, 6)        # grown mostly along dimension 0
+N_ADDR = 2000
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "FIG2: allocation orders on a grid grown to 24x6 chunks",
+        ["order", "extendible dims", "allocated cells", "waste",
+         "addr/s"],
+    )
+    used = BOUNDS[0] * BOUNDS[1]
+    rng = np.random.default_rng(5)
+    sample = [(int(i), int(j))
+              for i, j in zip(rng.integers(0, BOUNDS[0], N_ADDR),
+                              rng.integers(0, BOUNDS[1], N_ADDR))]
+
+    axial = AxialOrder((1, 1))
+    # grow to BOUNDS with interleaved extensions (worst case for E)
+    while axial.bounds[0] < BOUNDS[0] or axial.bounds[1] < BOUNDS[1]:
+        if axial.bounds[0] < BOUNDS[0]:
+            axial.extend(0)
+        if axial.bounds[1] < BOUNDS[1]:
+            axial.extend(1)
+
+    schemes = [
+        ("row-major", RowMajorOrder(BOUNDS), RowMajorOrder.allocated_cells(BOUNDS)),
+        ("z-order", ZOrder(2), ZOrder(2).allocated_cells(BOUNDS)),
+        ("symmetric-shell", SymmetricShellOrder(2),
+         SymmetricShellOrder(2).allocated_cells(BOUNDS)),
+        ("axial (paper)", axial, AxialOrder.allocated_cells(BOUNDS)),
+    ]
+    for name, scheme, allocated in schemes:
+        t, _ = wallclock(lambda s=scheme: [s.address(x) for x in sample], 3)
+        table.add(name, scheme.extendible_dims, allocated,
+                  f"{allocated / used:.2f}x", f"{N_ADDR / t:,.0f}")
+    table.note("row-major has no waste but cannot extend dim 1 without "
+               "reorganization; only the axial scheme has both")
+    return table
+
+
+def test_shape_waste_ordering():
+    """axial == rowmajor < shell < z for asymmetric growth."""
+    used = BOUNDS[0] * BOUNDS[1]
+    assert AxialOrder.allocated_cells(BOUNDS) == used
+    assert RowMajorOrder.allocated_cells(BOUNDS) == used
+    assert SymmetricShellOrder(2).allocated_cells(BOUNDS) > used
+    assert ZOrder(2).allocated_cells(BOUNDS) > \
+        SymmetricShellOrder(2).allocated_cells(BOUNDS)
+
+
+def _mk_axial():
+    a = AxialOrder((1, 1))
+    for _ in range(23):
+        a.extend(0)
+    for _ in range(5):
+        a.extend(1)
+    return a
+
+
+def test_axial_address(benchmark):
+    a = _mk_axial()
+    benchmark(a.address, (23, 5))
+
+
+def test_rowmajor_address(benchmark):
+    o = RowMajorOrder(BOUNDS)
+    benchmark(o.address, (23, 5))
+
+
+def test_zorder_address(benchmark):
+    z = ZOrder(2)
+    benchmark(z.address, (23, 5))
+
+
+def test_shell_address(benchmark):
+    o = SymmetricShellOrder(2)
+    benchmark(o.address, (23, 5))
+
+
+if __name__ == "__main__":
+    run_experiment().show()

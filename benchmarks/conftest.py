@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*.py`` is both a pytest-benchmark module (run with
+``pytest benchmarks/ --benchmark-only``) and a standalone script that
+prints its experiment table (``python benchmarks/bench_e1_extension.py``)
+— the tables recorded in EXPERIMENTS.md come from the script runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2007)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Out-of-core matrix access orders: chunked DRX vs a flat row-major file.
+
+The paper's opening complaint: "an array file that is organized in say
+row-major order causes applications that subsequently access the data
+in column-major order, to have abysmal performance."
+
+This example stores the same matrix twice — flat row-major (the NetCDF
+model) and DRX-chunked — then scans it both by rows and by columns,
+counting the I/O requests each store issues.  The flat file collapses
+to one request per matrix row when scanned by columns; the chunked
+file's request count is nearly order-independent, and DRX additionally
+hands back the data already in Fortran order (on-the-fly transposition).
+
+Run:  python examples/ooc_matrix_orders.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ConventionalArrayFile
+from repro.bench import Table
+from repro.drx import DRXFile, MemoryByteStore
+from repro.workloads import column_scan_boxes, pattern_array, row_scan_boxes
+
+N0, N1 = 192, 256
+CHUNK = (32, 32)
+
+
+def scan(reader, boxes) -> int:
+    for lo, hi in boxes:
+        reader(lo, hi)
+    return 0
+
+
+def main() -> None:
+    ref = pattern_array((N0, N1))
+
+    flat = ConventionalArrayFile((N0, N1), store=MemoryByteStore())
+    flat.write((0, 0), ref)
+
+    drx = DRXFile.create(None, (N0, N1), CHUNK, cache_pages=8)
+    drx.write((0, 0), ref)
+
+    table = Table(
+        "matrix scans: I/O requests by access order",
+        ["store", "row-order scan", "column-order scan", "ratio"],
+    )
+
+    flat.io_requests = 0
+    scan(flat.read, row_scan_boxes((N0, N1), rows_per_read=8))
+    flat_rows = flat.io_requests
+    flat.io_requests = 0
+    scan(flat.read, column_scan_boxes((N0, N1), cols_per_read=8))
+    flat_cols = flat.io_requests
+
+    def drx_requests(boxes) -> int:
+        drx._pool.invalidate()
+        drx.cache_stats.misses = 0
+        scan(drx.read, boxes)
+        return drx.cache_stats.misses      # chunk fetches = I/O requests
+
+    drx_rows = drx_requests(row_scan_boxes((N0, N1), rows_per_read=8))
+    drx_cols = drx_requests(column_scan_boxes((N0, N1), cols_per_read=8))
+
+    table.add("flat row-major", flat_rows, flat_cols,
+              f"{flat_cols / flat_rows:.0f}x worse")
+    table.add("DRX chunked", drx_rows, drx_cols,
+              f"{drx_cols / drx_rows:.1f}x")
+    table.note("flat column scans issue one tiny request per matrix row; "
+               "chunked scans touch each chunk once either way")
+    table.show()
+
+    # and the chunked store returns F-order directly, verified correct
+    f = drx.read(order="F")
+    assert f.flags["F_CONTIGUOUS"] and np.array_equal(f, ref)
+    assert np.array_equal(flat.read_transposed_scan(), ref.T)
+    assert flat_cols / flat_rows > drx_cols / max(drx_rows, 1)
+    drx.close()
+    print("matrix-orders example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The paper's section IV-B code listing, end to end on Figure 1's array.
+
+Builds the Fig. 1 extendible array (A[10][12], 2x3 chunks, grown through
+the exact sequence the paper narrates), stores it on the simulated
+parallel file system, then runs the C listing's collective read: four
+processes, indexed filetypes over the globalMap chunk addresses, indexed
+memtypes over the inMemoryMap positions, one MPI_File_read_all.
+
+Unlike the listing — which hardcodes the maps "for this illustration"
+— every map here is *computed* from the replicated meta-data, and then
+asserted equal to the paper's constants.
+
+Run:  python examples/paper_listing_fig1.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.core import ExtendibleChunkIndex, f_star_inv_many, f_star_many
+from repro.drxmp.partition import BlockPartition
+from repro.pfs import ParallelFileSystem
+
+CHUNK_SIZE = 6          # doubles per 2x3 chunk
+PAPER_GLOBAL_MAP = {0: [0, 1, 2, 3, 4, 5], 1: [6, 7, 8, 12, 13, 14],
+                    2: [9, 10, 16, 17], 3: [11, 15, 18, 19]}
+PAPER_INMEM_MAP = {0: [0, 1, 2, 3, 4, 5], 1: [0, 2, 4, 1, 3, 5],
+                   2: [0, 1, 2, 3], 3: [0, 1, 2, 3]}
+
+
+def build_fig1_index() -> ExtendibleChunkIndex:
+    """Fig. 1's growth: chunk 0; +dim1 (chunk 1); +dim0 (2,3); +dim0
+    (4,5, merged); then +dim1, +dim0, +dim1, +dim0 to the 5x4 grid."""
+    eci = ExtendibleChunkIndex([1, 1])
+    for dim in (1, 0, 0, 1, 0, 1, 0):
+        eci.extend(dim)
+    return eci
+
+
+def worker(comm, fs, eci_doc):
+    my_rank = comm.Get_rank()
+    nprocs = comm.Get_size()
+    assert nprocs == 4, "Size must be 4"
+
+    # each process replicates the meta-data and derives its maps
+    eci = ExtendibleChunkIndex.from_dict(eci_doc)
+    part = BlockPartition(eci.bounds, nprocs, pgrid=(2, 2))
+    zone = part.zone_of(my_rank)
+    addrs = np.sort(f_star_many(eci, zone.chunk_indices()))
+    rel = f_star_inv_many(eci, addrs) - np.asarray(zone.lo)
+    inmemmap = (rel[:, 0] * zone.shape[1] + rel[:, 1]).tolist()
+    chunk_map = addrs.tolist()
+
+    assert chunk_map == PAPER_GLOBAL_MAP[my_rank], "globalMap mismatch!"
+    assert inmemmap == PAPER_INMEM_MAP[my_rank], "inMemoryMap mismatch!"
+
+    # the listing, almost verbatim
+    fh = mpi.File.Open(comm, "/mnt/pvfs2/chunkedArray4.dat",
+                       mpi.MODE_RDONLY, fs)
+    blocklens = [1] * len(chunk_map)
+    chunk = mpi.DOUBLE.Create_contiguous(CHUNK_SIZE)
+    chunk.Commit()
+    filetype = chunk.Create_indexed(blocklens, chunk_map)
+    filetype.Commit()
+    memtype = chunk.Create_indexed(blocklens, inmemmap)
+    memtype.Commit()
+    fh.Set_view(0, chunk, filetype, "native")
+
+    membuf = np.full(len(chunk_map) * CHUNK_SIZE, -1.0)
+    status = mpi.Status()
+    fh.Read_all((membuf, 1, memtype), status=status)
+    count = status.Get_count(chunk)
+    print(f"  Rank {my_rank}: map={chunk_map} inmem={inmemmap} "
+          f"number read = {count}")
+    comm.Barrier()
+    fh.Close()
+    return membuf
+
+
+def main() -> None:
+    fs = ParallelFileSystem(nservers=4, stripe_size=4096)
+    eci = build_fig1_index()
+    print(f"Fig. 1 chunk grid {eci.bounds}: F*(4,2) = "
+          f"{eci.address((4, 2))} (paper: 18)")
+
+    # chunk q holds the doubles q*6 .. q*6+5
+    data = fs.create("/mnt/pvfs2/chunkedArray4.dat")
+    data.write(0, np.arange(20 * CHUNK_SIZE, dtype=np.float64).tobytes())
+
+    results = mpi.mpiexec(4, worker, fs, eci.to_dict())
+
+    # rank 3's buffer, as the listing prints: chunks 11, 15, 18, 19
+    want = np.concatenate([np.arange(q * 6, q * 6 + 6)
+                           for q in (11, 15, 18, 19)]).astype(float)
+    assert np.array_equal(results[3], want)
+    print("listing example OK — all maps derived, all data in place")
+
+
+if __name__ == "__main__":
+    main()

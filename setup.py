@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This shim
+exists so that ``pip install -e . --no-use-pep517 --no-build-isolation``
+works on minimal offline environments that lack the ``wheel`` package
+(PEP 517 editable installs require ``bdist_wheel``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DRX / DRX-MP: parallel access of out-of-core dense extendible "
+        "arrays (reproduction of Otoo & Rotem, CLUSTER 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

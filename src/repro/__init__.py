@@ -1,0 +1,76 @@
+"""DRX / DRX-MP — parallel access of out-of-core dense extendible arrays.
+
+A full reproduction of Otoo & Rotem, *Parallel Access of Out-Of-Core
+Dense Extendible Arrays* (IEEE CLUSTER 2007):
+
+* :mod:`repro.core` — axial vectors, the mapping function ``F*`` and its
+  inverse, chunk arithmetic, the Fig.-2 allocation orders, meta-data;
+* :mod:`repro.drx` — the serial library (POSIX ``.xmd``/``.xta`` file
+  pairs, Mpool buffer cache, memory-resident extendible arrays);
+* :mod:`repro.drxmp` — the parallel library (zones, collective MPI-IO
+  sub-array access, the DRXMP_* API, a Global-Array-style RMA layer);
+* :mod:`repro.mpi` — an in-process MPI-2 substrate (threads as ranks);
+* :mod:`repro.pfs` — a simulated striped parallel file system with
+  deterministic I/O accounting;
+* :mod:`repro.baselines` — HDF5-like (B-tree chunked), NetCDF-like
+  (flat row-major) and DRA comparators;
+* :mod:`repro.workloads`, :mod:`repro.bench` — experiment support.
+
+Quick start (serial)::
+
+    import numpy as np
+    from repro.drx import DRXFile
+
+    with DRXFile.create("demo", bounds=(100, 100),
+                        chunk_shape=(16, 16)) as a:
+        a.write((0, 0), np.random.default_rng(0).random((100, 100)))
+        a.extend(dim=1, by=50)          # no reorganization
+        col_major = a.read(order="F")   # on-the-fly transposition
+
+Quick start (parallel)::
+
+    from repro.mpi import mpiexec
+    from repro.pfs import ParallelFileSystem
+    from repro.drxmp import DRXMPFile
+
+    fs = ParallelFileSystem(nservers=4)
+
+    def job(comm):
+        a = DRXMPFile.create(comm, fs, "demo", (1000, 1000), (64, 64))
+        mem = a.read_zone()             # collective, BLOCK zones
+        mem.array[...] = comm.rank
+        a.write_zone(mem)               # collective
+        a.extend(0, 500)                # grows without moving a byte
+        a.close()
+
+    mpiexec(4, job)
+"""
+
+from . import baselines, bench, core, drx, drxmp, mpi, pfs, workloads
+from .core import (
+    DRXError,
+    DRXMeta,
+    DRXType,
+    ExtendibleChunkIndex,
+    f_star,
+    f_star_inv,
+    f_star_inv_many,
+    f_star_many,
+)
+from .drx import DRXFile, MemExtendibleArray
+from .drxmp import DRXMPFile, GlobalArray
+from .mpi import mpiexec
+from .pfs import ParallelFileSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core", "drx", "drxmp", "mpi", "pfs", "baselines", "workloads", "bench",
+    "ExtendibleChunkIndex",
+    "f_star", "f_star_many", "f_star_inv", "f_star_inv_many",
+    "DRXMeta", "DRXType", "DRXError",
+    "DRXFile", "MemExtendibleArray",
+    "DRXMPFile", "GlobalArray",
+    "mpiexec", "ParallelFileSystem",
+]

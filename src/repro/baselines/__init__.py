@@ -1,0 +1,27 @@
+"""``repro.baselines`` — the comparator systems of the paper.
+
+* :class:`ChunkedBTreeFile` — HDF5 model: chunked, B-tree indexed,
+  lazily allocated in write order;
+* :class:`ConventionalArrayFile` — NetCDF model: flat row-major, one
+  record dimension, reorganization for anything else;
+* :class:`DRAFile` — Disk Resident Arrays: chunked + distributed but
+  fixed bounds (growth = create bigger + copy);
+* :class:`BTree` — the disk-page B-tree substrate itself, with counted
+  node I/O.
+"""
+
+from .btree import BTree, BTreeStats, NodeStore
+from .dra import DRAFile, grow_by_copy
+from .hdf5like import ChunkedBTreeFile
+from .rowmajor import ConventionalArrayFile, ReorgStats
+
+__all__ = [
+    "BTree",
+    "BTreeStats",
+    "NodeStore",
+    "ChunkedBTreeFile",
+    "ConventionalArrayFile",
+    "ReorgStats",
+    "DRAFile",
+    "grow_by_copy",
+]

@@ -1,0 +1,251 @@
+"""A disk-page B-tree: the chunk index of the HDF5-style baseline.
+
+The paper contrasts its computed-access mapping with HDF5, which
+"achieves extendibility through array chunking with the chunks indexed
+by a B-Tree indexing method" and argues the computed access "is
+equivalent to a hashing scheme" — i.e. O(k + log E) arithmetic on tiny
+replicated meta-data instead of a node-by-node descent through an index
+that lives on disk.
+
+To make that comparison measurable, this B-tree stores its nodes through
+a :class:`NodeStore` that counts node reads and writes and can bound the
+number of nodes cached in memory (evicting clean/dirty nodes LRU like
+HDF5's metadata cache).  Experiment E4 sweeps lookup cost against the
+mapping function.
+
+Keys are tuples of ints (chunk indices), ordered lexicographically —
+exactly HDF5 v1 B-trees keyed by chunk offsets.  Values are arbitrary
+(chunk file offsets here).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..core.errors import DRXError
+
+__all__ = ["BTree", "NodeStore", "BTreeStats"]
+
+
+@dataclass
+class BTreeStats:
+    """Node-level I/O counters of one B-tree."""
+
+    node_reads: int = 0
+    node_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    splits: int = 0
+
+    @property
+    def node_ios(self) -> int:
+        return self.node_reads + self.node_writes
+
+
+class _Node:
+    __slots__ = ("node_id", "leaf", "keys", "values", "children")
+
+    def __init__(self, node_id: int, leaf: bool) -> None:
+        self.node_id = node_id
+        self.leaf = leaf
+        self.keys: list[tuple] = []
+        self.values: list[Any] = []        # leaf payloads
+        self.children: list[int] = []      # internal child node ids
+
+
+class NodeStore:
+    """Backing store for B-tree nodes with an LRU cache of bounded size.
+
+    Every access of a node not currently cached counts as one node read
+    (a disk page fetch in HDF5 terms); every eviction of a dirty node
+    counts as a node write.
+    """
+
+    def __init__(self, cache_nodes: int = 64) -> None:
+        if cache_nodes < 4:
+            raise DRXError("node cache must hold at least 4 nodes")
+        self.cache_nodes = cache_nodes
+        self.stats = BTreeStats()
+        self._disk: dict[int, _Node] = {}
+        self._cache: "OrderedDict[int, _Node]" = OrderedDict()
+        self._next_id = 0
+
+    def allocate(self, leaf: bool) -> _Node:
+        node = _Node(self._next_id, leaf)
+        self._next_id += 1
+        self._disk[node.node_id] = node
+        self._touch(node.node_id, node)
+        return node
+
+    def load(self, node_id: int) -> _Node:
+        node = self._cache.get(node_id)
+        if node is not None:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(node_id)
+            return node
+        self.stats.cache_misses += 1
+        self.stats.node_reads += 1
+        node = self._disk[node_id]
+        self._touch(node_id, node)
+        return node
+
+    def mark_dirty(self, node: _Node) -> None:
+        # nodes are stored by reference; a write is charged at eviction
+        # time and at flush, mirroring a write-back metadata cache
+        self._touch(node.node_id, node)
+
+    def _touch(self, node_id: int, node: _Node) -> None:
+        self._cache[node_id] = node
+        self._cache.move_to_end(node_id)
+        while len(self._cache) > self.cache_nodes:
+            victim, _n = self._cache.popitem(last=False)
+            self.stats.node_writes += 1
+            del victim
+
+
+class BTree:
+    """An order-``m`` B-tree with counted node accesses."""
+
+    def __init__(self, order: int = 16, cache_nodes: int = 64) -> None:
+        if order < 4:
+            raise DRXError(f"B-tree order must be >= 4, got {order}")
+        self.order = order
+        self.store = NodeStore(cache_nodes)
+        self._root_id = self.store.allocate(leaf=True).node_id
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> BTreeStats:
+        return self.store.stats
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self.store.load(self._root_id)
+        while not node.leaf:
+            node = self.store.load(node.children[0])
+            h += 1
+        return h
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_slot(keys: list[tuple], key: tuple) -> int:
+        """Index of the first key >= ``key`` (binary search)."""
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def get(self, key: Sequence[int], default: Any = None) -> Any:
+        """Look up ``key``, descending from the root (counted node I/O)."""
+        key = tuple(key)
+        node = self.store.load(self._root_id)
+        while not node.leaf:
+            slot = self._find_slot(node.keys, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                slot += 1
+            node = self.store.load(node.children[slot])
+        slot = self._find_slot(node.keys, key)
+        if slot < len(node.keys) and node.keys[slot] == key:
+            return node.values[slot]
+        return default
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def put(self, key: Sequence[int], value: Any) -> None:
+        """Insert or update ``key``."""
+        key = tuple(key)
+        root = self.store.load(self._root_id)
+        if self._is_full(root):
+            new_root = self.store.allocate(leaf=False)
+            new_root.children.append(root.node_id)
+            self._split_child(new_root, 0)
+            self._root_id = new_root.node_id
+            root = new_root
+        inserted = self._insert_nonfull(root, key, value)
+        if inserted:
+            self._size += 1
+
+    def _is_full(self, node: _Node) -> bool:
+        return len(node.keys) >= self.order - 1
+
+    def _split_child(self, parent: _Node, slot: int) -> None:
+        self.stats.splits += 1
+        child = self.store.load(parent.children[slot])
+        mid = len(child.keys) // 2
+        sibling = self.store.allocate(leaf=child.leaf)
+        up_key = child.keys[mid]
+        if child.leaf:
+            # B+-tree style: the separator key stays in the right leaf
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+        else:
+            sibling.keys = child.keys[mid + 1:]
+            sibling.children = child.children[mid + 1:]
+            child.keys = child.keys[:mid]
+            child.children = child.children[:mid + 1]
+        parent.keys.insert(slot, up_key)
+        parent.children.insert(slot + 1, sibling.node_id)
+        self.store.mark_dirty(parent)
+        self.store.mark_dirty(child)
+        self.store.mark_dirty(sibling)
+
+    def _insert_nonfull(self, node: _Node, key: tuple, value: Any) -> bool:
+        while True:
+            slot = self._find_slot(node.keys, key)
+            if node.leaf:
+                if slot < len(node.keys) and node.keys[slot] == key:
+                    node.values[slot] = value
+                    self.store.mark_dirty(node)
+                    return False
+                node.keys.insert(slot, key)
+                node.values.insert(slot, value)
+                self.store.mark_dirty(node)
+                return True
+            if slot < len(node.keys) and node.keys[slot] == key:
+                slot += 1
+            child = self.store.load(node.children[slot])
+            if self._is_full(child):
+                self._split_child(node, slot)
+                if key >= node.keys[slot]:
+                    child = self.store.load(node.children[slot + 1])
+            node = child
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        """All (key, value) pairs in key order."""
+        yield from self._iter_node(self._root_id)
+
+    def _iter_node(self, node_id: int) -> Iterator[tuple[tuple, Any]]:
+        node = self.store.load(node_id)
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, child in enumerate(node.children):
+            yield from self._iter_node(child)
+            # internal keys are separators only (B+ leaves hold the data)
+
+    def keys(self) -> Iterator[tuple]:
+        for k, _v in self.items():
+            yield k

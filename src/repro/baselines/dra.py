@@ -1,0 +1,80 @@
+"""The DRA baseline: Disk Resident Arrays (fixed bounds, no growth).
+
+DRA [Nieplocha & Foster 1996] is "the persistent storage counterpart of
+the memory resident Global-Array"; the paper positions DRX-MP as "an
+alternative library to the disk resident array (DRA)" whose
+"functionalities ... subsumes those of" DRA, the difference being that
+the principal array of DRA cannot grow.
+
+That subsumption is literal in this reproduction: a never-extended
+axial-vector array has exactly one segment whose record holds the plain
+row-major coefficients, so DRA's chunk layout *is* DRX's initial layout.
+:class:`DRAFile` therefore wraps the DRX-MP machinery with extension
+disabled; growing a DRA requires :func:`grow_by_copy` — create a larger
+array and copy everything — whose cost is what experiment E1 charges
+this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import DRXExtendError
+from ..mpi.comm import Intracomm
+from ..pfs.filesystem import ParallelFileSystem
+from ..drxmp.api import DRXMPFile
+
+__all__ = ["DRAFile", "grow_by_copy"]
+
+
+class DRAFile(DRXMPFile):
+    """A fixed-bounds parallel chunked array file (DRA semantics)."""
+
+    @classmethod
+    def create(cls, comm: Intracomm, fs: ParallelFileSystem, name: str,
+               bounds: Sequence[int], chunk_shape: Sequence[int],
+               dtype="double") -> "DRAFile":
+        obj = super().create(comm, fs, name, bounds, chunk_shape, dtype)
+        assert isinstance(obj, DRAFile)
+        return obj
+
+    def extend(self, dim: int, by: int) -> None:
+        """DRA arrays have fixed bounds."""
+        raise DRXExtendError(
+            "DRA arrays are not extendible; create a larger array and "
+            "copy (see grow_by_copy) — this is precisely the cost DRX-MP "
+            "eliminates"
+        )
+
+
+def grow_by_copy(comm: Intracomm, fs: ParallelFileSystem, old: DRAFile,
+                 new_name: str, new_bounds: Sequence[int]) -> DRAFile:
+    """Grow a DRA the only way possible: create bigger, copy, (drop old).
+
+    Collective.  Returns the new array; the caller is responsible for
+    deleting the old one.  The copy moves every existing element through
+    zone-collective I/O — the full-data-rewrite cost that E1 measures
+    against DRX-MP's zero-copy ``extend``.
+    """
+    new_bounds = tuple(int(b) for b in new_bounds)
+    if len(new_bounds) != old.meta.rank:
+        raise DRXExtendError(
+            f"rank mismatch: {len(new_bounds)} vs {old.meta.rank}"
+        )
+    if any(n < o for n, o in zip(new_bounds, old.shape)):
+        raise DRXExtendError(
+            f"new bounds {new_bounds} shrink the array {old.shape}"
+        )
+    new = DRAFile.create(comm, fs, new_name, new_bounds, old.chunk_shape,
+                         old.meta.dtype_name)
+    # copy through the old array's BLOCK zones
+    part = old.partition()
+    mem = old.read_zone(part)
+    lo = mem.origin
+    if mem.array.size:
+        # independent writes of disjoint zones into the new array
+        new.write(lo, mem.array)
+    comm.barrier()
+    return new

@@ -1,0 +1,177 @@
+"""The HDF5-style baseline: chunked array file with a B-tree chunk index.
+
+Models the comparator format the paper discusses: "HDF5 ... stores
+multi-dimensional arrays by chunking and allows for array extendibility
+by managing the chunks with a B-tree index."
+
+Behavioural essence reproduced:
+
+* chunks are allocated **lazily on first write** and **appended** to the
+  data file in write order (not index order!), so the file order depends
+  on the application's touch order — a sub-array read generally hits
+  scattered offsets even when the chunk indices are consecutive;
+* every chunk access first walks the B-tree (counted node I/O through a
+  bounded metadata cache), whereas DRX computes the address;
+* extending a bound is a metadata-only change (HDF5 extension is cheap
+  too — the paper's advantage is *not* extension cost vs HDF5, it is
+  computed access and deterministic layout; E1/E4 measure both fairly).
+
+The element-facing interface mirrors :class:`~repro.drx.drxfile.DRXFile`
+(``read``/``write``/``extend``/``get``/``put``) so benchmarks can swap
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chunking import (
+    box_shape,
+    chunk_bounds_for,
+    chunk_of,
+    iter_box_intersections,
+    validate_box,
+)
+from ..core.errors import DRXExtendError, DRXIndexError
+from ..core.metadata import DRXType
+from ..drx.storage import ByteStore, MemoryByteStore
+from .btree import BTree
+
+__all__ = ["ChunkedBTreeFile"]
+
+
+class ChunkedBTreeFile:
+    """An extendible chunked array indexed by a B-tree (HDF5 model)."""
+
+    def __init__(self, bounds: Sequence[int], chunk_shape: Sequence[int],
+                 dtype: str | np.dtype | type = DRXType.DOUBLE,
+                 store: ByteStore | None = None,
+                 btree_order: int = 16, cache_nodes: int = 64) -> None:
+        self.element_bounds = tuple(int(b) for b in bounds)
+        self.chunk_shape = tuple(int(c) for c in chunk_shape)
+        # validates shapes the same way the DRX meta-data does
+        chunk_bounds_for(self.element_bounds, self.chunk_shape)
+        if isinstance(dtype, str):
+            self.dtype = DRXType.to_numpy(dtype)
+        else:
+            self.dtype = np.dtype(dtype)
+        self.store = store if store is not None else MemoryByteStore()
+        self.index = BTree(order=btree_order, cache_nodes=cache_nodes)
+        self._next_offset = 0
+        self.chunk_elems = int(np.prod(self.chunk_shape))
+        self.chunk_nbytes = self.chunk_elems * self.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.element_bounds
+
+    @property
+    def rank(self) -> int:
+        return len(self.element_bounds)
+
+    @property
+    def allocated_chunks(self) -> int:
+        return len(self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChunkedBTreeFile(shape={self.shape}, "
+                f"chunks={self.chunk_shape}, "
+                f"allocated={self.allocated_chunks})")
+
+    # ------------------------------------------------------------------
+    # growth: metadata only
+    # ------------------------------------------------------------------
+    def extend(self, dim: int, by: int) -> None:
+        """Extend a bound: pure metadata (chunks appear on first write)."""
+        if not 0 <= dim < self.rank:
+            raise DRXExtendError(f"dimension {dim} outside rank {self.rank}")
+        if by < 1:
+            raise DRXExtendError(f"extension must be >= 1, got {by}")
+        bounds = list(self.element_bounds)
+        bounds[dim] += by
+        self.element_bounds = tuple(bounds)
+
+    # ------------------------------------------------------------------
+    # chunk plumbing
+    # ------------------------------------------------------------------
+    def _chunk_offset(self, chunk_index: tuple[int, ...],
+                      create: bool) -> int | None:
+        """File offset of a chunk via the B-tree (counted lookups)."""
+        off = self.index.get(chunk_index)
+        if off is None and create:
+            off = self._next_offset
+            self._next_offset += self.chunk_nbytes
+            self.index.put(chunk_index, off)
+        return off
+
+    def _load_chunk(self, chunk_index: tuple[int, ...]) -> np.ndarray:
+        off = self._chunk_offset(chunk_index, create=False)
+        if off is None:
+            return np.zeros(self.chunk_shape, dtype=self.dtype)
+        raw = self.store.read(off, self.chunk_nbytes)
+        return np.frombuffer(bytearray(raw),
+                             dtype=self.dtype).reshape(self.chunk_shape)
+
+    def _store_chunk(self, chunk_index: tuple[int, ...],
+                     payload: np.ndarray) -> None:
+        off = self._chunk_offset(chunk_index, create=True)
+        self.store.write(off, payload.tobytes())
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def get(self, index: Sequence[int]):
+        self._check_element(index)
+        ci, local = chunk_of(index, self.chunk_shape)
+        return self._load_chunk(ci)[local].copy()
+
+    def put(self, index: Sequence[int], value) -> None:
+        self._check_element(index)
+        ci, local = chunk_of(index, self.chunk_shape)
+        payload = self._load_chunk(ci).copy()
+        payload[local] = value
+        self._store_chunk(ci, payload)
+
+    def _check_element(self, index: Sequence[int]) -> None:
+        if len(index) != self.rank:
+            raise DRXIndexError(f"index rank {len(index)} != {self.rank}")
+        for i, n in zip(index, self.shape):
+            if not 0 <= i < n:
+                raise DRXIndexError(
+                    f"element {tuple(index)} outside bounds {self.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # sub-array access
+    # ------------------------------------------------------------------
+    def read(self, lo: Sequence[int] | None = None,
+             hi: Sequence[int] | None = None,
+             order: str = "C") -> np.ndarray:
+        lo = tuple(lo) if lo is not None else (0,) * self.rank
+        hi = tuple(hi) if hi is not None else self.shape
+        validate_box(lo, hi, self.shape)
+        out = np.zeros(box_shape(lo, hi), dtype=self.dtype, order=order)
+        for inter in iter_box_intersections(lo, hi, self.chunk_shape):
+            payload = self._load_chunk(inter.chunk_index)
+            out[inter.box_slices] = payload[inter.chunk_slices]
+        return out
+
+    def write(self, lo: Sequence[int], values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self.dtype)
+        lo = tuple(lo)
+        hi = tuple(l + s for l, s in zip(lo, values.shape))
+        validate_box(lo, hi, self.shape)
+        for inter in iter_box_intersections(lo, hi, self.chunk_shape):
+            if inter.full:
+                payload = np.ascontiguousarray(values[inter.box_slices],
+                                               dtype=self.dtype)
+            else:
+                payload = self._load_chunk(inter.chunk_index).copy()
+                payload[inter.chunk_slices] = values[inter.box_slices]
+            self._store_chunk(inter.chunk_index, payload)
+
+    def read_all(self, order: str = "C") -> np.ndarray:
+        return self.read(None, None, order)

@@ -1,0 +1,219 @@
+"""The conventional-mapping baseline: a flat row-major array file.
+
+Models NetCDF-style storage, the format family the paper's introduction
+criticizes: elements mapped to "linear consecutive locations that
+correspond to the linear ordering of the multi-dimensional indices".
+Two limitations follow, and both are measurable here:
+
+1. **One extendible dimension.**  Appending along dimension 0 (the
+   record dimension) is a cheap file append; extending any *other*
+   dimension changes every row-major coefficient and therefore the
+   address of almost every element — :meth:`extend` then performs (and
+   counts) a full reorganization pass.  Experiment E1.
+
+2. **Order-dependent access cost.**  Reading a sub-array in the file's
+   own order produces few long contiguous runs; reading the transposed
+   order produces one tiny run per element row — the "abysmal
+   performance" of column-major access to a row-major file.  The
+   request/seek counters expose this.  Experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chunking import box_shape, validate_box
+from ..core.errors import DRXExtendError, DRXIndexError
+from ..core.metadata import DRXType
+from ..drx.storage import ByteStore, MemoryByteStore
+
+__all__ = ["ConventionalArrayFile", "ReorgStats"]
+
+
+@dataclass
+class ReorgStats:
+    """Cost of reorganizations performed by :meth:`extend`."""
+
+    reorganizations: int = 0
+    bytes_moved: int = 0
+    elements_moved: int = 0
+
+
+class ConventionalArrayFile:
+    """A dense array stored flat in row-major element order."""
+
+    def __init__(self, bounds: Sequence[int],
+                 dtype: str | np.dtype | type = DRXType.DOUBLE,
+                 store: ByteStore | None = None) -> None:
+        self.element_bounds = tuple(int(b) for b in bounds)
+        if any(b < 1 for b in self.element_bounds):
+            raise DRXExtendError(f"bounds must be >= 1: {self.element_bounds}")
+        if isinstance(dtype, str):
+            self.dtype = DRXType.to_numpy(dtype)
+        else:
+            self.dtype = np.dtype(dtype)
+        self.store = store if store is not None else MemoryByteStore()
+        self.reorg_stats = ReorgStats()
+        self.io_requests = 0
+        self.io_bytes = 0
+        self.store.truncate(self.nbytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.element_bounds
+
+    @property
+    def rank(self) -> int:
+        return len(self.element_bounds)
+
+    @property
+    def nelems(self) -> int:
+        return prod(self.element_bounds)
+
+    @property
+    def nbytes(self) -> int:
+        return self.nelems * self.dtype.itemsize
+
+    def _coeffs(self, bounds: Sequence[int] | None = None) -> list[int]:
+        bounds = bounds if bounds is not None else self.element_bounds
+        k = len(bounds)
+        c = [1] * k
+        for j in range(k - 2, -1, -1):
+            c[j] = c[j + 1] * bounds[j + 1]
+        return c
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConventionalArrayFile(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def extend(self, dim: int, by: int) -> None:
+        """Extend one dimension.
+
+        ``dim == 0``: append zero bytes — the record-dimension fast path.
+        ``dim != 0``: FULL REORGANIZATION — every element is re-addressed
+        under the new coefficients, so the whole file is read and
+        rewritten (counted in :attr:`reorg_stats`).
+        """
+        if not 0 <= dim < self.rank:
+            raise DRXExtendError(f"dimension {dim} outside rank {self.rank}")
+        if by < 1:
+            raise DRXExtendError(f"extension must be >= 1, got {by}")
+        if dim == 0:
+            bounds = list(self.element_bounds)
+            bounds[0] += by
+            self.element_bounds = tuple(bounds)
+            self.store.truncate(self.nbytes)
+            return
+        # reorganization: materialize, re-embed, rewrite
+        old = self.read(None, None)
+        bounds = list(self.element_bounds)
+        bounds[dim] += by
+        self.element_bounds = tuple(bounds)
+        fresh = np.zeros(self.element_bounds, dtype=self.dtype)
+        fresh[tuple(slice(0, s) for s in old.shape)] = old
+        self.store.truncate(0)
+        self.store.truncate(self.nbytes)
+        self.store.write(0, fresh.tobytes())
+        self.reorg_stats.reorganizations += 1
+        self.reorg_stats.bytes_moved += old.nbytes + fresh.nbytes
+        self.reorg_stats.elements_moved += old.size + fresh.size
+
+    # ------------------------------------------------------------------
+    # access runs
+    # ------------------------------------------------------------------
+    def _box_runs(self, lo: Sequence[int], hi: Sequence[int]
+                  ) -> tuple[np.ndarray, int]:
+        """Contiguous file runs covering the box, in row-major box order.
+
+        Returns ``(start element offsets, run length in elements)``.
+        Runs are rows along the last dimension — the fundamental
+        contiguity unit of a row-major file.
+        """
+        coeffs = np.asarray(self._coeffs(), dtype=np.int64)
+        shape = box_shape(lo, hi)
+        run_len = shape[-1]
+        outer = shape[:-1]
+        if not outer:
+            return (np.asarray([lo[0] if self.rank else 0],
+                               dtype=np.int64) * coeffs[-1], run_len)
+        grids = np.indices(outer, dtype=np.int64).reshape(len(outer), -1).T
+        grids = grids + np.asarray(lo[:-1], dtype=np.int64)
+        starts = grids @ coeffs[:-1] + lo[-1] * coeffs[-1]
+        return starts, run_len
+
+    def read(self, lo: Sequence[int] | None = None,
+             hi: Sequence[int] | None = None,
+             order: str = "C") -> np.ndarray:
+        """Read a box.  The I/O counters record one request per
+        contiguous run actually issued (adjacent runs merge)."""
+        lo = tuple(lo) if lo is not None else (0,) * self.rank
+        hi = tuple(hi) if hi is not None else self.shape
+        validate_box(lo, hi, self.shape)
+        starts, run_len = self._box_runs(lo, hi)
+        item = self.dtype.itemsize
+        tmp = np.empty(box_shape(lo, hi), dtype=self.dtype)  # C staging
+        flat = tmp.reshape(-1)
+        pos = 0
+        i = 0
+        n = len(starts)
+        while i < n:
+            # merge adjacent runs (a fully covered last-dim stretch)
+            j = i
+            while (j + 1 < n
+                   and starts[j + 1] == starts[j] + run_len):
+                j += 1
+            nelem = (j - i + 1) * run_len
+            raw = self.store.read(int(starts[i]) * item, nelem * item)
+            self.io_requests += 1
+            self.io_bytes += nelem * item
+            flat[pos:pos + nelem] = np.frombuffer(raw, dtype=self.dtype)
+            pos += nelem
+            i = j + 1
+        if order == "C":
+            return tmp
+        return np.asfortranarray(tmp)
+
+    def write(self, lo: Sequence[int], values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self.dtype)
+        lo = tuple(lo)
+        hi = tuple(l + s for l, s in zip(lo, values.shape))
+        validate_box(lo, hi, self.shape)
+        starts, run_len = self._box_runs(lo, hi)
+        item = self.dtype.itemsize
+        flat = np.ascontiguousarray(values).reshape(-1)
+        pos = 0
+        i = 0
+        n = len(starts)
+        while i < n:
+            j = i
+            while (j + 1 < n
+                   and starts[j + 1] == starts[j] + run_len):
+                j += 1
+            nelem = (j - i + 1) * run_len
+            self.store.write(int(starts[i]) * item,
+                             flat[pos:pos + nelem].tobytes())
+            self.io_requests += 1
+            self.io_bytes += nelem * item
+            pos += nelem
+            i = j + 1
+
+    def read_all(self, order: str = "C") -> np.ndarray:
+        return self.read(None, None, order)
+
+    def read_transposed_scan(self) -> np.ndarray:
+        """Read the whole 2-D array column by column (the pathological
+        access pattern of E2: each column is N tiny strided runs)."""
+        if self.rank != 2:
+            raise DRXIndexError("transposed scan demo is 2-D only")
+        n0, n1 = self.shape
+        out = np.empty((n1, n0), dtype=self.dtype)
+        for j in range(n1):
+            out[j, :] = self.read((0, j), (n0, j + 1))[:, 0]
+        return out

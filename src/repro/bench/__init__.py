@@ -1,0 +1,6 @@
+"""``repro.bench`` — benchmark harness utilities."""
+
+from . import experiments
+from .harness import Table, format_bytes, speedup, wallclock
+
+__all__ = ["Table", "wallclock", "format_bytes", "speedup", "experiments"]

@@ -1,0 +1,95 @@
+"""Run every experiment of DESIGN.md §4 and print its table.
+
+Usage::
+
+    python -m repro.bench.experiments             # all experiments
+    python -m repro.bench.experiments e1 a2 fig3  # a subset by id
+
+Each experiment is the ``run_experiment()`` function of one
+``benchmarks/bench_<id>_*.py`` module; this aggregator locates the
+benchmarks directory relative to the repository (or an explicit
+``REPRO_BENCH_DIR``) and executes them in DESIGN.md order, so one
+command regenerates everything EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import pathlib
+import sys
+
+__all__ = ["discover", "run", "main"]
+
+#: DESIGN.md §4 ordering
+ORDER = ["fig1", "fig2", "fig3", "e1", "e2", "e3", "e4", "e5", "e6",
+         "e7", "e8", "a1", "a2", "a3"]
+
+
+def _bench_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return pathlib.Path(env)
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "benchmarks"
+        if candidate.is_dir() and list(candidate.glob("bench_*.py")):
+            return candidate
+    raise FileNotFoundError(
+        "cannot locate the benchmarks/ directory; set REPRO_BENCH_DIR"
+    )
+
+
+def discover() -> dict[str, pathlib.Path]:
+    """Map experiment id (``fig1``, ``e4``, ``a2``, ...) -> module path."""
+    out: dict[str, pathlib.Path] = {}
+    for path in sorted(_bench_dir().glob("bench_*.py")):
+        ident = path.stem.split("_")[1]
+        out[ident] = path
+    return out
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    assert spec and spec.loader
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run(ids: list[str] | None = None) -> int:
+    """Run the selected (default: all) experiments; returns a count."""
+    available = discover()
+    if ids:
+        unknown = [i for i in ids if i not in available]
+        if unknown:
+            raise SystemExit(
+                f"unknown experiment id(s) {unknown}; "
+                f"available: {sorted(available)}"
+            )
+        selected = ids
+    else:
+        selected = [i for i in ORDER if i in available]
+        selected += sorted(set(available) - set(selected))
+    ran = 0
+    for ident in selected:
+        module = _load(available[ident])
+        fn = getattr(module, "run_experiment", None)
+        if fn is None:
+            print(f"[{ident}] (no run_experiment; skipped)")
+            continue
+        table = fn()
+        print()
+        print(table.render())
+        ran += 1
+    return ran
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    n = run([a.lower() for a in args] or None)
+    print(f"\n{n} experiment table(s) regenerated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Benchmark harness: tables, timers and experiment registration.
+
+Every experiment of DESIGN.md §4 renders its result as a plain-text
+table through :class:`Table`, so running ``pytest benchmarks/`` or any
+``benchmarks/bench_*.py`` as a script reproduces the rows recorded in
+EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["Table", "wallclock", "format_bytes", "speedup"]
+
+
+@dataclass
+class Table:
+    """A fixed-column text table with aligned rendering."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} "
+                f"columns"
+            )
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(h.ljust(w)
+                                for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for n in self.notes:
+            lines.append(f"   note: {n}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def wallclock(fn: Callable[[], Any], repeat: int = 1) -> tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock seconds of ``fn()`` plus its result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{n}B"
+        n /= 1024
+    return f"{n}B"  # pragma: no cover
+
+
+def speedup(baseline: float, ours: float) -> str:
+    """'-' when either side is ~0, else baseline/ours as 'N.NNx'."""
+    if ours <= 0 or baseline <= 0:
+        return "-"
+    return f"{baseline / ours:.2f}x"

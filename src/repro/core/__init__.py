@@ -1,0 +1,88 @@
+"""``repro.core`` — the paper's primary contribution.
+
+Axial vectors, the extendible chunk-index growth engine, the mapping
+function ``F*`` and its inverse ``F*^-1`` (scalar and vectorized),
+element/chunk arithmetic, the Fig.-2 allocation orders, and the ``.xmd``
+meta-data model.
+"""
+
+from .axial import SENTINEL_ADDRESS, AxialRecord, AxialVector
+from .chunking import (
+    ChunkIntersection,
+    box_shape,
+    ceil_div,
+    chunk_bounds_for,
+    chunk_element_box,
+    chunk_of,
+    chunks_covering_box,
+    iter_box_intersections,
+    validate_box,
+    within_chunk_offset,
+)
+from .errors import (
+    DRXClosedError,
+    DRXDistributionError,
+    DRXError,
+    DRXExtendError,
+    DRXFileError,
+    DRXFileExistsError,
+    DRXFileNotFoundError,
+    DRXFormatError,
+    DRXIndexError,
+    DRXTypeError,
+    MPIError,
+    PFSError,
+)
+from .extendible import ExtendibleChunkIndex, Segment, replay_history
+from .hyperslab import Hyperslab
+from .inverse import f_star_inv, f_star_inv_many
+from .mapping import all_addresses, f_star, f_star_many
+from .metadata import FORMAT_VERSION, MAGIC, Attributes, DRXMeta, DRXType
+from .orders import AxialOrder, RowMajorOrder, SymmetricShellOrder, ZOrder, next_pow2
+
+__all__ = [
+    "AxialRecord",
+    "AxialVector",
+    "SENTINEL_ADDRESS",
+    "ExtendibleChunkIndex",
+    "Segment",
+    "replay_history",
+    "Hyperslab",
+    "f_star",
+    "f_star_many",
+    "f_star_inv",
+    "f_star_inv_many",
+    "all_addresses",
+    "DRXMeta",
+    "DRXType",
+    "Attributes",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ChunkIntersection",
+    "box_shape",
+    "ceil_div",
+    "chunk_bounds_for",
+    "chunk_element_box",
+    "chunk_of",
+    "chunks_covering_box",
+    "iter_box_intersections",
+    "validate_box",
+    "within_chunk_offset",
+    "RowMajorOrder",
+    "ZOrder",
+    "SymmetricShellOrder",
+    "AxialOrder",
+    "next_pow2",
+    "DRXError",
+    "DRXIndexError",
+    "DRXExtendError",
+    "DRXFileError",
+    "DRXFileExistsError",
+    "DRXFileNotFoundError",
+    "DRXFormatError",
+    "DRXClosedError",
+    "DRXTypeError",
+    "DRXDistributionError",
+    "MPIError",
+    "PFSError",
+]

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the DRX / DRX-MP reproduction.
+
+All library-raised errors derive from :class:`DRXError` so applications can
+catch one base class.  The hierarchy mirrors the error codes the paper's C
+API returns ("Some functions may return error codes that are defined in the
+context of the extendible array file environment", section IV-C) but maps
+them onto idiomatic Python exceptions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DRXError",
+    "DRXIndexError",
+    "DRXExtendError",
+    "DRXFileError",
+    "DRXFileExistsError",
+    "DRXFileNotFoundError",
+    "DRXFormatError",
+    "DRXClosedError",
+    "DRXTypeError",
+    "DRXDistributionError",
+    "MPIError",
+    "MPIAbort",
+    "MPICommError",
+    "MPIDatatypeError",
+    "MPIFileError",
+    "MPIWinError",
+    "PFSError",
+]
+
+
+class DRXError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class DRXIndexError(DRXError, IndexError):
+    """A k-dimensional or linear index is outside the array's current bounds."""
+
+
+class DRXExtendError(DRXError, ValueError):
+    """An invalid extension request (non-positive growth, bad dimension, ...)."""
+
+
+class DRXFileError(DRXError, OSError):
+    """Base class for array-file level failures."""
+
+
+class DRXFileExistsError(DRXFileError):
+    """Creation requested for an array file that already exists."""
+
+
+class DRXFileNotFoundError(DRXFileError):
+    """Open requested for an array file that does not exist.
+
+    The paper: "This function opens an extendible array file.  The file
+    must exist otherwise it returns an error."
+    """
+
+
+class DRXFormatError(DRXFileError):
+    """The ``.xmd`` meta-data or ``.xta`` data file content is malformed."""
+
+
+class DRXClosedError(DRXError, ValueError):
+    """Operation attempted through a handle that has been closed."""
+
+
+class DRXTypeError(DRXError, TypeError):
+    """Unsupported element data type.
+
+    The paper restricts elements to the basic types accessible through
+    MPI-2 RMA: integer, double and complex.
+    """
+
+
+class DRXDistributionError(DRXError, ValueError):
+    """An invalid zone partitioning / data distribution request."""
+
+
+# ---------------------------------------------------------------------------
+# MPI substrate errors
+# ---------------------------------------------------------------------------
+
+
+class MPIError(DRXError, RuntimeError):
+    """Base class of errors raised by the in-process MPI-2 substrate."""
+
+
+class MPIAbort(MPIError):
+    """Raised in every rank when one rank calls ``comm.Abort()``."""
+
+
+class MPICommError(MPIError):
+    """Invalid communicator usage (bad rank, mismatched collective, ...)."""
+
+
+class MPIDatatypeError(MPIError):
+    """Invalid derived-datatype construction or use of an uncommitted type."""
+
+
+class MPIFileError(MPIError):
+    """MPI-IO failure (bad view, access past EOF in read-only mode, ...)."""
+
+
+class MPIWinError(MPIError):
+    """RMA failure (access outside an epoch, out-of-range target, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Parallel file system substrate errors
+# ---------------------------------------------------------------------------
+
+
+class PFSError(DRXError, OSError):
+    """Failure inside the simulated parallel file system."""

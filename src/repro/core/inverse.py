@@ -1,0 +1,83 @@
+"""The inverse mapping function ``F*^-1`` — scalar and vectorized forms.
+
+Given the linear address of a chunk in the array file, recover its
+k-dimensional chunk index.  The paper (section III-C) uses this when
+sequentially scanning a region of the file: chunks arrive in increasing
+linear-address order, and each one's k-dimensional index (hence its
+destination in the in-memory sub-array) is computed on the fly — this is
+what makes read-time transposition possible without out-of-core passes.
+
+Complexity O(k + log E): one binary search over segment start addresses
+(the segment list is the flattened, address-sorted view of all axial
+records), then mixed-radix decoding with the governing record's stored
+coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import DRXIndexError
+from .extendible import ExtendibleChunkIndex
+
+__all__ = ["f_star_inv", "f_star_inv_many"]
+
+
+def f_star_inv(eci: ExtendibleChunkIndex, address: int) -> tuple[int, ...]:
+    """Scalar ``F*^-1``: k-dimensional chunk index of one linear address.
+
+    Thin alias of :meth:`ExtendibleChunkIndex.index`, provided so the
+    paper's function name appears in the public API.
+    """
+    return eci.index(address)
+
+
+def f_star_inv_many(eci: ExtendibleChunkIndex,
+                    addresses: np.ndarray) -> np.ndarray:
+    """Vectorized ``F*^-1`` over a batch of linear chunk addresses.
+
+    Parameters
+    ----------
+    eci:
+        The extendible chunk index holding the segment table.
+    addresses:
+        ``(n,)`` integer array of linear chunk addresses.
+
+    Returns
+    -------
+    ``(n, k)`` int64 array; row ``i`` is the chunk index of
+    ``addresses[i]``.
+    """
+    q = np.ascontiguousarray(addresses, dtype=np.int64).reshape(-1)
+    n = q.shape[0]
+    k = eci.rank
+    if n == 0:
+        return np.empty((0, k), dtype=np.int64)
+    if np.any(q < 0) or np.any(q >= eci.num_chunks):
+        bad = int(q[(q < 0) | (q >= eci.num_chunks)][0])
+        raise DRXIndexError(
+            f"address {bad} outside [0, {eci.num_chunks})"
+        )
+
+    seg_starts = eci.np_segment_starts
+    pos = np.searchsorted(seg_starts, q, side="right") - 1
+    dims = eci.np_segment_dims[pos]                       # (n,)
+    first = eci.np_segment_first_indices[pos]             # (n,)
+    coeffs = eci.np_segment_coeffs[pos]                   # (n, k)
+    offset = q - seg_starts[pos]
+
+    out = np.empty((n, k), dtype=np.int64)
+    # Peel the extension dimension (least varying inside its segment).
+    c_l = np.take_along_axis(coeffs, dims[:, None], axis=1)[:, 0]
+    i_l = first + offset // c_l
+    rem = offset % c_l
+    # Remaining dimensions decode in increasing j (row-major) order.
+    for j in range(k):
+        is_l = dims == j
+        c_j = coeffs[:, j]
+        # Avoid dividing by the l-coefficient twice; where j is the
+        # extension dimension the value is already known.
+        safe = np.where(is_l, 1, c_j)
+        out[:, j] = np.where(is_l, i_l, rem // safe)
+        rem = np.where(is_l, rem, rem % safe)
+    return out

@@ -1,0 +1,288 @@
+"""The allocation orders of the paper's Fig. 2, as comparable objects.
+
+Fig. 2 contrasts four ways of assigning linear addresses to the cells
+(chunks) of a growing 2-D grid:
+
+(a) **row-major sequence order** — the conventional C-language mapping;
+    extendible in the first dimension only, anything else reorganizes.
+(b) **Z (Morton) sequence order** — a space-filling curve; extendible,
+    but growth happens by doubling in a cyclic order of the dimensions,
+    so the allocated address space is the bounding power-of-two box.
+(c) **symmetric linear shell sequence order** — linear growth, but
+    expansions must cycle through the dimensions; growing one dimension
+    ahead of the others leaves allocated-but-unused addresses (the
+    allocated space is the bounding *cube*).
+(d) **arbitrary linear shell sequence order** — the axial-vector scheme
+    of the paper: any dimension, any order, no waste, no reorganization.
+
+Each class implements the same tiny interface (``address``, ``index``,
+``allocated_cells``) so the FIG2 test/benchmark can sweep them uniformly.
+``allocated_cells(bounds)`` reports the size of the linear address space
+the scheme must reserve to hold a grid of the given bounds — the waste
+metric that motivates the paper's choice of (d).
+"""
+
+from __future__ import annotations
+
+from math import isqrt, prod
+from typing import Sequence
+
+from .errors import DRXIndexError
+from .extendible import ExtendibleChunkIndex
+
+__all__ = [
+    "RowMajorOrder",
+    "ZOrder",
+    "SymmetricShellOrder",
+    "AxialOrder",
+    "next_pow2",
+]
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (n >= 1)."""
+    return 1 << (n - 1).bit_length()
+
+
+class RowMajorOrder:
+    """Fig. 2a — conventional row-major (C order) addressing.
+
+    The bounds of the trailing ``k-1`` dimensions are baked into the
+    coefficients, so only dimension 0 can grow by appending; growing any
+    other dimension changes every coefficient and therefore every address
+    (a full-file reorganization, measured by experiment E1).
+    """
+
+    name = "row-major"
+    extendible_dims = "first dimension only"
+
+    def __init__(self, bounds: Sequence[int]) -> None:
+        self.bounds = tuple(int(b) for b in bounds)
+        if any(b < 1 for b in self.bounds):
+            raise DRXIndexError(f"bounds must be >= 1, got {self.bounds}")
+        k = len(self.bounds)
+        self._coeffs = [1] * k
+        for j in range(k - 2, -1, -1):
+            self._coeffs[j] = self._coeffs[j + 1] * self.bounds[j + 1]
+
+    def address(self, index: Sequence[int]) -> int:
+        self._check(index)
+        return sum(i * c for i, c in zip(index, self._coeffs))
+
+    def index(self, address: int) -> tuple[int, ...]:
+        if not 0 <= address < self.allocated_cells(self.bounds):
+            raise DRXIndexError(f"address {address} out of range")
+        out = []
+        for c in self._coeffs:
+            i, address = divmod(address, c)
+            out.append(i)
+        return tuple(out)
+
+    def extend(self, dim: int, by: int = 1) -> None:
+        """Grow dimension 0 in place; any other dimension re-coefficients
+        the whole mapping (the caller sees every address change)."""
+        bounds = list(self.bounds)
+        bounds[dim] += by
+        self.__init__(bounds)
+
+    @staticmethod
+    def allocated_cells(bounds: Sequence[int]) -> int:
+        return prod(bounds)
+
+    def _check(self, index: Sequence[int]) -> None:
+        if len(index) != len(self.bounds):
+            raise DRXIndexError("rank mismatch")
+        for i, b in zip(index, self.bounds):
+            if not 0 <= i < b:
+                raise DRXIndexError(
+                    f"index {tuple(index)} outside bounds {self.bounds}"
+                )
+
+
+class ZOrder:
+    """Fig. 2b — Z (Morton) sequence order by bit interleaving.
+
+    Addresses exist for the whole non-negative orthant, so the grid can
+    always grow; but the address space consumed by a ``bounds`` grid is
+    the bounding power-of-two box (growth "by doubling its size and only
+    in a cyclic order of its dimensions").
+    """
+
+    name = "z-order"
+    extendible_dims = "all (by doubling, cyclic)"
+
+    def __init__(self, rank: int) -> None:
+        if rank < 1:
+            raise DRXIndexError("rank must be >= 1")
+        self.rank = rank
+
+    def address(self, index: Sequence[int]) -> int:
+        if len(index) != self.rank:
+            raise DRXIndexError("rank mismatch")
+        if any(i < 0 for i in index):
+            raise DRXIndexError(f"negative index {tuple(index)}")
+        out = 0
+        nbits = max((int(i).bit_length() for i in index), default=1) or 1
+        for bit in range(nbits - 1, -1, -1):
+            for i in index:
+                out = (out << 1) | ((int(i) >> bit) & 1)
+        return out
+
+    def index(self, address: int) -> tuple[int, ...]:
+        if address < 0:
+            raise DRXIndexError(f"negative address {address}")
+        k = self.rank
+        coords = [0] * k
+        bit = 0
+        a = int(address)
+        # Deinterleave: bits of the address round-robin the dimensions,
+        # least significant bit belongs to the last dimension.
+        while a:
+            for j in range(k - 1, -1, -1):
+                coords[j] |= (a & 1) << bit
+                a >>= 1
+                if not a and j == 0:
+                    break
+            bit += 1
+        return tuple(coords)
+
+    def allocated_cells(self, bounds: Sequence[int]) -> int:
+        side = max(next_pow2(b) for b in bounds)
+        return side ** len(tuple(bounds))
+
+
+class SymmetricShellOrder:
+    """Fig. 2c — symmetric linear shell sequence order.
+
+    Cells are numbered shell by shell, shell ``s`` holding the cells with
+    ``max(index) == s``; shell ``s`` starts at address ``s**k``.  Growth
+    is linear but must cycle the dimensions symmetrically: holding bounds
+    ``(N_0, ..)``, the allocated address space is ``max(N_j)**k`` — the
+    bounding cube — so asymmetric growth assigns "chunk locations ...
+    but unused".
+
+    Within a shell, cells are ordered row-major over the enclosing box
+    (a deterministic convention; the paper's figure is equivalent up to
+    relabeling within shells, which affects no measured property).
+    """
+
+    name = "symmetric-shell"
+    extendible_dims = "all (cyclic/symmetric)"
+
+    def __init__(self, rank: int) -> None:
+        if rank < 1:
+            raise DRXIndexError("rank must be >= 1")
+        self.rank = rank
+
+    # -- helpers ------------------------------------------------------
+    @staticmethod
+    def _rm_rank_in_box(index: Sequence[int], side: int) -> int:
+        """Row-major linear position of ``index`` in the ``side**k`` box."""
+        out = 0
+        for i in index:
+            out = out * side + i
+        return out
+
+    @staticmethod
+    def _count_smaller_in_subbox(index: Sequence[int], side: int,
+                                 sub: int) -> int:
+        """Cells ``J`` with all ``J_j < sub`` preceding ``index`` in the
+        row-major order of the ``side**k`` box."""
+        k = len(index)
+        total = 0
+        prefix_ok = True
+        for j, i in enumerate(index):
+            if prefix_ok:
+                total += min(i, sub) * sub ** (k - 1 - j)
+            if i >= sub:
+                prefix_ok = False
+        return total
+
+    # -- interface ----------------------------------------------------
+    def address(self, index: Sequence[int]) -> int:
+        if len(index) != self.rank:
+            raise DRXIndexError("rank mismatch")
+        if any(i < 0 for i in index):
+            raise DRXIndexError(f"negative index {tuple(index)}")
+        s = max(index)
+        k = self.rank
+        if k == 2:
+            i, j = index
+            return s * s + (i if i < s else s + j)
+        before = self._rm_rank_in_box(index, s + 1)
+        inner = self._count_smaller_in_subbox(index, s + 1, s)
+        return s ** k + (before - inner)
+
+    def index(self, address: int) -> tuple[int, ...]:
+        if address < 0:
+            raise DRXIndexError(f"negative address {address}")
+        k = self.rank
+        if k == 2:
+            s = isqrt(address)
+            r = address - s * s
+            return (r, s) if r < s else (s, r - s)
+        # generic: find the shell, then scan it (shells are small compared
+        # with the box; this path is exercised by tests, not hot loops).
+        s = 0
+        while (s + 1) ** k <= address:
+            s += 1
+        target = address - s ** k
+        seen = 0
+        for cell in _iter_box_row_major(s + 1, k):
+            if max(cell) == s:
+                if seen == target:
+                    return cell
+                seen += 1
+        raise DRXIndexError(f"address {address} beyond shell {s}")
+
+    def allocated_cells(self, bounds: Sequence[int]) -> int:
+        return max(bounds) ** len(tuple(bounds))
+
+
+def _iter_box_row_major(side: int, k: int):
+    """Row-major iteration of the ``side**k`` box (generic-k shell scan)."""
+    idx = [0] * k
+    while True:
+        yield tuple(idx)
+        j = k - 1
+        while j >= 0:
+            idx[j] += 1
+            if idx[j] < side:
+                break
+            idx[j] = 0
+            j -= 1
+        if j < 0:
+            return
+
+
+class AxialOrder:
+    """Fig. 2d — the paper's arbitrary linear shell order (axial vectors).
+
+    A thin adapter giving :class:`ExtendibleChunkIndex` the same interface
+    as the other orders so the FIG2 comparison can treat all four
+    uniformly.  ``allocated_cells(bounds) == prod(bounds)`` — zero waste —
+    and any dimension extends in any sequence without reorganization.
+    """
+
+    name = "axial"
+    extendible_dims = "all (arbitrary order, no waste)"
+
+    def __init__(self, initial_bounds: Sequence[int]) -> None:
+        self.eci = ExtendibleChunkIndex(initial_bounds)
+
+    def address(self, index: Sequence[int]) -> int:
+        return self.eci.address(index)
+
+    def index(self, address: int) -> tuple[int, ...]:
+        return self.eci.index(address)
+
+    def extend(self, dim: int, by: int = 1) -> None:
+        self.eci.extend(dim, by)
+
+    @property
+    def bounds(self) -> tuple[int, ...]:
+        return self.eci.bounds
+
+    @staticmethod
+    def allocated_cells(bounds: Sequence[int]) -> int:
+        return prod(bounds)

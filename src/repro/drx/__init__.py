@@ -1,0 +1,28 @@
+"""``repro.drx`` — the serial Disk Resident eXtendible array library.
+
+DRX files live in any POSIX file system as an ``.xmd``/``.xta`` pair and
+are accessed through an Mpool buffer cache; the memory-resident variant
+keeps the same chunked axial-vector layout in core.
+"""
+
+from .drxfile import DRXFile
+from .inspect import describe, load_meta, verify
+from .memarray import MemExtendibleArray
+from .mpool import Mpool, MpoolStats
+from .singlefile import DRXSingleFile
+from .storage import ByteStore, MemoryByteStore, PFSByteStore, PosixByteStore
+
+__all__ = [
+    "DRXFile",
+    "describe",
+    "verify",
+    "load_meta",
+    "DRXSingleFile",
+    "MemExtendibleArray",
+    "Mpool",
+    "MpoolStats",
+    "ByteStore",
+    "MemoryByteStore",
+    "PosixByteStore",
+    "PFSByteStore",
+]

@@ -1,0 +1,387 @@
+"""DRX: the serial disk-resident extendible array file.
+
+A DRX array named ``xyz`` is a pair of files, exactly as in the paper's
+section IV: ``xyz.xmd`` (meta-data: rank, dtype, chunk shape,
+instantaneous bounds, the axial vectors) and ``xyz.xta`` (native binary
+chunk payloads, appended in allocation order).  The chunk at linear
+address ``q*`` occupies bytes ``[q* * chunk_nbytes, (q*+1) * chunk_nbytes)``
+of the ``.xta`` file; elements within a chunk are row-major.
+
+Reads and writes of arbitrary rectilinear sub-arrays go through an
+Mpool buffer cache.  Sub-array transfers visit chunks in increasing
+linear-address order — a sequential scan of the file, per the paper's
+observation that "independent I/O of sub-array regions are done as
+sequential scan of the chunks on disk" — and use the inverse mapping to
+scatter each chunk into its place in the requested in-memory order
+(``order="C"`` or ``"F"``), which is the paper's on-the-fly
+transposition.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chunking import (
+    box_shape,
+    chunk_of,
+    iter_box_intersections,
+    validate_box,
+)
+from ..core.errors import (
+    DRXClosedError,
+    DRXFileExistsError,
+    DRXFileError,
+    DRXFileNotFoundError,
+    DRXIndexError,
+)
+from ..core.hyperslab import Hyperslab
+from ..core.mapping import f_star_many
+from ..core.metadata import DRXMeta, DRXType
+from .mpool import Mpool
+from .storage import ByteStore, MemoryByteStore, PosixByteStore
+
+__all__ = ["DRXFile"]
+
+
+class DRXFile:
+    """A disk-resident extendible array (serial access).
+
+    Use the :meth:`create` / :meth:`open` class methods; instances are
+    context managers::
+
+        with DRXFile.create("climate", bounds=(360, 180), chunk_shape=(8, 8)) as a:
+            a.write((0, 0), np.ones((10, 10)))
+            a.extend(dim=1, by=20)
+    """
+
+    XMD_SUFFIX = ".xmd"
+    XTA_SUFFIX = ".xta"
+
+    def __init__(self, meta: DRXMeta, data_store: ByteStore,
+                 meta_store: ByteStore | None, writable: bool,
+                 cache_pages: int = 64) -> None:
+        self.meta = meta
+        self._data = data_store
+        self._meta_store = meta_store
+        self._writable = writable
+        self._pool = Mpool(data_store, meta.chunk_nbytes,
+                           max_pages=max(1, cache_pages))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | pathlib.Path | None,
+               bounds: Sequence[int], chunk_shape: Sequence[int],
+               dtype: str | np.dtype | type = DRXType.DOUBLE,
+               overwrite: bool = False, cache_pages: int = 64,
+               fill: float | int | complex = 0) -> "DRXFile":
+        """Create a new extendible array file.
+
+        ``path`` is the array name without suffix (``None`` creates a
+        purely in-memory array for scratch use).  ``bounds`` are the
+        initial element bounds, ``chunk_shape`` the chunk shape.
+        """
+        meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        if path is None:
+            data: ByteStore = MemoryByteStore()
+            meta_store: ByteStore | None = None
+        else:
+            path = pathlib.Path(path)
+            xmd = path.with_name(path.name + cls.XMD_SUFFIX)
+            xta = path.with_name(path.name + cls.XTA_SUFFIX)
+            if not overwrite and (xmd.exists() or xta.exists()):
+                raise DRXFileExistsError(f"array {path} already exists")
+            meta_store = PosixByteStore(xmd, "w+")
+            data = PosixByteStore(xta, "w+")
+        obj = cls(meta, data, meta_store, writable=True,
+                  cache_pages=cache_pages)
+        if fill != 0:
+            obj._fill_chunks(range(meta.num_chunks), fill)
+        obj._persist_meta()
+        return obj
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, mode: str = "r",
+             cache_pages: int = 64) -> "DRXFile":
+        """Open an existing array file (``mode`` is ``"r"`` or ``"r+"``).
+
+        The paper: "The file must exist otherwise it returns an error."
+        """
+        if mode not in ("r", "r+"):
+            raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
+        path = pathlib.Path(path)
+        xmd = path.with_name(path.name + cls.XMD_SUFFIX)
+        xta = path.with_name(path.name + cls.XTA_SUFFIX)
+        if not xmd.exists() or not xta.exists():
+            raise DRXFileNotFoundError(f"no array named {path}")
+        meta = DRXMeta.from_bytes(xmd.read_bytes())
+        meta_store = PosixByteStore(xmd, mode if mode == "r" else "r+")
+        data = PosixByteStore(xta, mode)
+        return cls(meta, data, meta_store, writable=(mode == "r+"),
+                   cache_pages=cache_pages)
+
+    def close(self) -> None:
+        """Flush and close both files (idempotent)."""
+        if self._closed:
+            return
+        if self._writable:
+            self.flush()
+        self._data.close()
+        if self._meta_store is not None:
+            self._meta_store.close()
+        self._closed = True
+
+    def flush(self) -> None:
+        """Write back dirty chunks and persist the meta-data."""
+        self._require_open()
+        self._pool.flush()
+        if self._writable:
+            self._persist_meta()
+
+    def _persist_meta(self) -> None:
+        if self._meta_store is None:
+            return
+        blob = self.meta.to_bytes()
+        self._meta_store.truncate(0)
+        self._meta_store.write(0, blob)
+        self._meta_store.flush()
+
+    def __enter__(self) -> "DRXFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DRXClosedError("operation on closed DRX file")
+
+    def _require_writable(self) -> None:
+        if not self._writable:
+            raise DRXFileError("array opened read-only")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Current element bounds."""
+        return self.meta.element_bounds
+
+    @property
+    def chunk_shape(self) -> tuple[int, ...]:
+        return self.meta.chunk_shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.meta.dtype
+
+    @property
+    def rank(self) -> int:
+        return self.meta.rank
+
+    @property
+    def num_chunks(self) -> int:
+        return self.meta.num_chunks
+
+    @property
+    def cache_stats(self):
+        return self._pool.stats
+
+    @property
+    def attrs(self):
+        """User attributes (persisted to the .xmd on flush/close)."""
+        return self.meta.attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DRXFile(shape={self.shape}, chunks={self.chunk_shape}, "
+                f"dtype={self.meta.dtype_name})")
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def extend(self, dim: int, by: int) -> None:
+        """Extend dimension ``dim`` by ``by`` elements.
+
+        Appends any newly required chunk segment to the ``.xta`` file;
+        no existing byte moves (the paper's central property).  New
+        elements read as zero until written.
+        """
+        self._require_open()
+        self._require_writable()
+        self.meta.extend_elements(dim, by)
+        # Nothing to write eagerly: reads of unwritten chunks see zeros
+        # (sparse semantics); the logical size still grows so that a
+        # whole-file scan covers the new segment.
+        needed = self.meta.data_nbytes
+        if self._data.size < needed:
+            self._data.truncate(needed)
+        self._persist_meta()
+
+    def _fill_chunks(self, addresses, value) -> None:
+        payload = np.full(self.meta.chunk_elems, value,
+                          dtype=self.dtype).tobytes()
+        for q in addresses:
+            self._data.write(q * self.meta.chunk_nbytes, payload)
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def get(self, index: Sequence[int]) -> np.generic:
+        """Read one element (computed access: F* then in-chunk offset)."""
+        self._require_open()
+        self._check_element(index)
+        ci, local = chunk_of(index, self.chunk_shape)
+        q = self.meta.eci.address(ci)
+        buf = self._pool.get(q)
+        try:
+            arr = buf.view(self.dtype).reshape(self.chunk_shape)
+            return arr[local].copy()
+        finally:
+            self._pool.put(q)
+
+    def put(self, index: Sequence[int], value) -> None:
+        """Write one element."""
+        self._require_open()
+        self._require_writable()
+        self._check_element(index)
+        ci, local = chunk_of(index, self.chunk_shape)
+        q = self.meta.eci.address(ci)
+        buf = self._pool.get(q)
+        try:
+            arr = buf.view(self.dtype).reshape(self.chunk_shape)
+            arr[local] = value
+        finally:
+            self._pool.put(q, dirty=True)
+
+    def _check_element(self, index: Sequence[int]) -> None:
+        if len(index) != self.rank:
+            raise DRXIndexError(f"index rank {len(index)} != {self.rank}")
+        for i, n in zip(index, self.shape):
+            if not 0 <= i < n:
+                raise DRXIndexError(
+                    f"element {tuple(index)} outside bounds {self.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # sub-array access
+    # ------------------------------------------------------------------
+    def read(self, lo: Sequence[int] | None = None,
+             hi: Sequence[int] | None = None,
+             order: str = "C") -> np.ndarray:
+        """Read the sub-array ``[lo, hi)`` in the requested memory order.
+
+        Chunks are visited in increasing linear address (a sequential
+        file scan); each is scattered into the output box, so asking for
+        ``order="F"`` costs no extra I/O pass (on-the-fly transposition).
+        """
+        self._require_open()
+        lo = tuple(lo) if lo is not None else (0,) * self.rank
+        hi = tuple(hi) if hi is not None else self.shape
+        validate_box(lo, hi, self.shape)
+        if order not in ("C", "F"):
+            raise DRXIndexError(f"order must be 'C' or 'F', got {order!r}")
+        out = np.zeros(box_shape(lo, hi), dtype=self.dtype, order=order)
+        for q, inter in self._plan(lo, hi):
+            buf = self._pool.get(q)
+            try:
+                arr = buf.view(self.dtype).reshape(self.chunk_shape)
+                out[inter.box_slices] = arr[inter.chunk_slices]
+            finally:
+                self._pool.put(q)
+        return out
+
+    def write(self, lo: Sequence[int], values: np.ndarray) -> None:
+        """Write ``values`` into the box starting at ``lo``."""
+        self._require_open()
+        self._require_writable()
+        values = np.asarray(values, dtype=self.dtype)
+        lo = tuple(lo)
+        hi = tuple(l + s for l, s in zip(lo, values.shape))
+        validate_box(lo, hi, self.shape)
+        for q, inter in self._plan(lo, hi):
+            buf = self._pool.get(q)
+            try:
+                arr = buf.view(self.dtype).reshape(self.chunk_shape)
+                arr[inter.chunk_slices] = values[inter.box_slices]
+            finally:
+                self._pool.put(q, dirty=True)
+
+    def _plan(self, lo, hi):
+        """Chunk visit plan for a box: (address, intersection) pairs in
+        increasing linear-address order."""
+        inters = list(iter_box_intersections(lo, hi, self.chunk_shape))
+        idx = np.asarray([it.chunk_index for it in inters], dtype=np.int64)
+        addrs = f_star_many(self.meta.eci, idx)
+        order = np.argsort(addrs, kind="stable")
+        return [(int(addrs[i]), inters[i]) for i in order]
+
+    def read_all(self, order: str = "C") -> np.ndarray:
+        """The whole principal array as one in-memory array."""
+        return self.read(None, None, order)
+
+    # ------------------------------------------------------------------
+    # strided hyperslab access (HDF5-style selections)
+    # ------------------------------------------------------------------
+    def read_slab(self, start, stride, count,
+                  order: str = "C") -> np.ndarray:
+        """Read a strided hyperslab ``(start, stride, count)``.
+
+        Returns a dense array of shape ``count`` holding the selected
+        lattice ``A[start + i*stride]``.  Only the chunks intersecting
+        the slab's bounding box are touched, and the lattice is picked
+        with strided NumPy slicing (no per-element loop).
+        """
+        self._require_open()
+        slab = Hyperslab.build(start, stride, count)
+        slab.validate(self.shape)
+        lo, hi = slab.bounding_box()
+        out = np.zeros(slab.shape, dtype=self.dtype, order=order)
+        for q, inter, chunk_sl, out_sl in self._slab_plan(slab, lo, hi):
+            buf = self._pool.get(q)
+            try:
+                arr = buf.view(self.dtype).reshape(self.chunk_shape)
+                out[out_sl] = arr[chunk_sl]
+            finally:
+                self._pool.put(q)
+        return out
+
+    def write_slab(self, start, stride, values: np.ndarray) -> None:
+        """Write a dense array onto the strided lattice ``(start,
+        stride, values.shape)``."""
+        self._require_open()
+        self._require_writable()
+        values = np.asarray(values, dtype=self.dtype)
+        slab = Hyperslab.build(start, stride, values.shape)
+        slab.validate(self.shape)
+        lo, hi = slab.bounding_box()
+        for q, inter, chunk_sl, out_sl in self._slab_plan(slab, lo, hi):
+            buf = self._pool.get(q)
+            try:
+                arr = buf.view(self.dtype).reshape(self.chunk_shape)
+                arr[chunk_sl] = values[out_sl]
+            finally:
+                self._pool.put(q, dirty=True)
+
+    def _slab_plan(self, slab: Hyperslab, lo, hi):
+        """Chunk visits for a slab: (address, intersection, strided
+        chunk-local slices, output slices), file order."""
+        for q, inter in self._plan(lo, hi):
+            abs_lo = tuple(l + bs.start
+                           for l, bs in zip(lo, inter.box_slices))
+            abs_hi = tuple(l + bs.stop
+                           for l, bs in zip(lo, inter.box_slices))
+            sel = slab.box_selector(abs_lo, abs_hi)
+            if sel is None:
+                continue
+            rel_sl, out_sl = sel
+            chunk_sl = tuple(
+                slice(cs.start + rs.start, cs.start + rs.stop, rs.step)
+                for cs, rs in zip(inter.chunk_slices, rel_sl)
+            )
+            yield q, inter, chunk_sl, out_sl

@@ -1,0 +1,152 @@
+"""An Mpool-style buffer pool (the BerkeleyDB Mpool analog).
+
+The paper: "DRX has the added feature that the memory arrays can be
+maintained as either conventional arrays or memory resident extendible
+arrays with I/O caching using the BerkeleyDB Mpool sub-system."
+
+The pool caches fixed-size *pages* (one page = one chunk of the array
+file) with the classic Mpool discipline:
+
+* ``get(pageno)`` pins a page, faulting it in from the store on a miss;
+* ``put(pageno, dirty=...)`` unpins it, optionally marking it dirty;
+* clean/unpinned pages are evicted LRU; dirty pages are written back on
+  eviction and on ``flush``;
+* pinned pages are never evicted; exhausting the pool with pins raises.
+
+Hit/miss/eviction/write-back counters feed experiment E7 (cache size vs
+locality sweeps).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import DRXError
+from .storage import ByteStore
+
+__all__ = ["Mpool", "MpoolStats"]
+
+
+@dataclass
+class MpoolStats:
+    """Cumulative buffer-pool counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Page:
+    __slots__ = ("buf", "pins", "dirty")
+
+    def __init__(self, buf: np.ndarray) -> None:
+        self.buf = buf
+        self.pins = 0
+        self.dirty = False
+
+
+class Mpool:
+    """A pinned-page LRU buffer pool over a byte store."""
+
+    def __init__(self, store: ByteStore, page_size: int,
+                 max_pages: int = 64) -> None:
+        if page_size < 1:
+            raise DRXError(f"page size must be >= 1, got {page_size}")
+        if max_pages < 1:
+            raise DRXError(f"pool must hold >= 1 page, got {max_pages}")
+        self.store = store
+        self.page_size = page_size
+        self.max_pages = max_pages
+        self.stats = MpoolStats()
+        #: pageno -> page, in LRU order (oldest first)
+        self._pages: "OrderedDict[int, _Page]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, pageno: int) -> np.ndarray:
+        """Pin page ``pageno`` and return its byte buffer (uint8 view).
+
+        The caller mutates the buffer in place and must balance every
+        ``get`` with a ``put``.
+        """
+        if pageno < 0:
+            raise DRXError(f"negative page number {pageno}")
+        page = self._pages.get(pageno)
+        if page is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(pageno)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            raw = self.store.read(pageno * self.page_size, self.page_size)
+            page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
+            self._pages[pageno] = page
+        page.pins += 1
+        return page.buf
+
+    def put(self, pageno: int, dirty: bool = False) -> None:
+        """Unpin page ``pageno``, optionally marking it dirty."""
+        page = self._pages.get(pageno)
+        if page is None or page.pins == 0:
+            raise DRXError(f"put of page {pageno} that is not pinned")
+        page.dirty = page.dirty or dirty
+        page.pins -= 1
+
+    def _make_room(self) -> None:
+        while len(self._pages) >= self.max_pages:
+            victim = None
+            for pageno, page in self._pages.items():   # LRU order
+                if page.pins == 0:
+                    victim = pageno
+                    break
+            if victim is None:
+                raise DRXError(
+                    f"buffer pool exhausted: all {self.max_pages} pages "
+                    f"pinned"
+                )
+            page = self._pages.pop(victim)
+            self.stats.evictions += 1
+            if page.dirty:
+                self._writeback(victim, page)
+
+    def _writeback(self, pageno: int, page: _Page) -> None:
+        self.store.write(pageno * self.page_size, page.buf.tobytes())
+        self.stats.writebacks += 1
+        page.dirty = False
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back every dirty page (pages stay cached)."""
+        for pageno, page in self._pages.items():
+            if page.dirty:
+                self._writeback(pageno, page)
+        self.store.flush()
+
+    def invalidate(self) -> None:
+        """Drop every unpinned page (dirty ones are written back first)."""
+        keep: "OrderedDict[int, _Page]" = OrderedDict()
+        for pageno, page in self._pages.items():
+            if page.pins > 0:
+                keep[pageno] = page
+            elif page.dirty:
+                self._writeback(pageno, page)
+        self._pages = keep
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def pinned_pages(self) -> int:
+        return sum(1 for p in self._pages.values() if p.pins > 0)

@@ -1,0 +1,297 @@
+"""Single-file DRX format: meta-data embedded as the file header.
+
+The paper's §V: "It is possible to combine the meta-data file and the
+principal array file as a single file in which the meta-data information
+is kept as the header content of the DRXMP file but this is left for
+future work."  This module implements that future work.
+
+Layout of a ``.drx`` single file::
+
+    [ 0..8   )  magic  b"DRXSF\\x01\\x00\\x00"
+    [ 8..16  )  u64 LE: byte offset of the current meta-data blob
+    [16..24  )  u64 LE: byte length of the current meta-data blob
+    [24..R   )  header reserve (meta-data lives here while it fits)
+    [ R..    )  chunk payloads: chunk q at R + q * chunk_nbytes
+
+``R`` (``header_reserve``, default 64 KiB) fixes where chunks start, so
+the array stays append-only.  The meta-data grows with every extension
+(axial records accumulate); while it fits the reserve it is rewritten in
+place, and once it outgrows the reserve it *relocates to the tail* of the
+file — past the chunk region — with the header pointer updated (the
+HDF5-superblock trick).  Chunk appends then overwrite the stale tail
+copy, and the next flush writes a fresh tail; the header pointer is only
+advanced after the new copy is durable, so a reader always finds a valid
+blob.
+
+:class:`DRXSingleFile` wraps :class:`~repro.drx.drxfile.DRXFile` — same
+API, same chunk bytes, different container.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import (
+    DRXFileExistsError,
+    DRXFileError,
+    DRXFileNotFoundError,
+    DRXFormatError,
+)
+from ..core.metadata import DRXMeta, DRXType
+from .drxfile import DRXFile
+from .storage import ByteStore, MemoryByteStore, PosixByteStore
+
+__all__ = ["DRXSingleFile", "SINGLE_MAGIC", "DEFAULT_HEADER_RESERVE"]
+
+SINGLE_MAGIC = b"DRXSF\x01\x00\x00"
+_HEADER_FMT = "<QQ"          # meta offset, meta length
+_HEADER_END = len(SINGLE_MAGIC) + struct.calcsize(_HEADER_FMT)
+DEFAULT_HEADER_RESERVE = 64 * 1024
+
+
+class _OffsetByteStore(ByteStore):
+    """A byte store view shifted by a fixed base offset.
+
+    Presents the chunk region of the single file as a zero-based store so
+    the inner :class:`DRXFile` needs no changes.
+    """
+
+    def __init__(self, inner: ByteStore, base: int) -> None:
+        self._inner = inner
+        self._base = base
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self._inner.read(self._base + offset, length)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._inner.write(self._base + offset, data)
+
+    @property
+    def size(self) -> int:
+        return max(0, self._inner.size - self._base)
+
+    def truncate(self, size: int) -> None:
+        self._inner.truncate(self._base + size)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        # lifetime owned by the wrapping DRXSingleFile
+        pass
+
+
+class DRXSingleFile:
+    """A DRX array stored as one self-describing file."""
+
+    SUFFIX = ".drx"
+
+    def __init__(self, meta: DRXMeta, raw: ByteStore, writable: bool,
+                 header_reserve: int, cache_pages: int = 64) -> None:
+        if header_reserve < _HEADER_END + 64:
+            raise DRXFileError(
+                f"header reserve {header_reserve} too small "
+                f"(need >= {_HEADER_END + 64})"
+            )
+        self._raw = raw
+        self._reserve = header_reserve
+        self._writable = writable
+        chunk_region = _OffsetByteStore(raw, header_reserve)
+        # The inner DRXFile manages chunks + cache; meta persistence is
+        # overridden to land in this container's header/tail.
+        self._inner = DRXFile(meta, chunk_region, meta_store=None,
+                              writable=writable, cache_pages=cache_pages)
+        self._inner._persist_meta = self._persist_meta  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | pathlib.Path | None,
+               bounds: Sequence[int], chunk_shape: Sequence[int],
+               dtype: str | np.dtype | type = DRXType.DOUBLE,
+               overwrite: bool = False,
+               header_reserve: int = DEFAULT_HEADER_RESERVE,
+               cache_pages: int = 64) -> "DRXSingleFile":
+        meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        meta.extra["container"] = "single-file"
+        if path is None:
+            raw: ByteStore = MemoryByteStore()
+        else:
+            path = cls._with_suffix(path)
+            if path.exists() and not overwrite:
+                raise DRXFileExistsError(f"array {path} already exists")
+            raw = PosixByteStore(path, "w+")
+        obj = cls(meta, raw, writable=True, header_reserve=header_reserve,
+                  cache_pages=cache_pages)
+        obj._persist_meta()
+        return obj
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, mode: str = "r",
+             cache_pages: int = 64) -> "DRXSingleFile":
+        if mode not in ("r", "r+"):
+            raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
+        path = cls._with_suffix(path)
+        if not path.exists():
+            raise DRXFileNotFoundError(f"no array named {path}")
+        raw = PosixByteStore(path, mode)
+        meta, reserve = cls._read_header(raw)
+        return cls(meta, raw, writable=(mode == "r+"),
+                   header_reserve=reserve, cache_pages=cache_pages)
+
+    @classmethod
+    def _with_suffix(cls, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        if path.suffix != cls.SUFFIX:
+            path = path.with_name(path.name + cls.SUFFIX)
+        return path
+
+    @classmethod
+    def _read_header(cls, raw: ByteStore) -> tuple[DRXMeta, int]:
+        head = raw.read(0, _HEADER_END)
+        if head[:len(SINGLE_MAGIC)] != SINGLE_MAGIC:
+            raise DRXFormatError("not a single-file DRX array (bad magic)")
+        off, length = struct.unpack_from(_HEADER_FMT, head,
+                                         len(SINGLE_MAGIC))
+        if length == 0 or off < _HEADER_END:
+            raise DRXFormatError("corrupt single-file header")
+        meta = DRXMeta.from_bytes(raw.read(off, length))
+        reserve = int(meta.extra.get("header_reserve",
+                                     DEFAULT_HEADER_RESERVE))
+        return meta, reserve
+
+    def close(self) -> None:
+        if self._inner._closed:
+            return
+        self._inner.close()      # flushes chunks + persists meta
+        self._raw.close()
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def __enter__(self) -> "DRXSingleFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # meta persistence (header while it fits, tail once it doesn't)
+    # ------------------------------------------------------------------
+    def _persist_meta(self) -> None:
+        if not self._writable:
+            return
+        meta = self._inner.meta
+        meta.extra["container"] = "single-file"
+        meta.extra["header_reserve"] = self._reserve
+        blob = meta.to_bytes()
+        if _HEADER_END + len(blob) <= self._reserve:
+            offset = _HEADER_END
+        else:
+            # relocate past the chunk region (append-only tail copy)
+            offset = self._reserve + meta.data_nbytes
+        self._raw.write(offset, blob)
+        header = SINGLE_MAGIC + struct.pack(_HEADER_FMT, offset, len(blob))
+        self._raw.write(0, header)
+        self._raw.flush()
+
+    # ------------------------------------------------------------------
+    # delegation: same API as DRXFile
+    # ------------------------------------------------------------------
+    @property
+    def meta(self) -> DRXMeta:
+        return self._inner.meta
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._inner.shape
+
+    @property
+    def chunk_shape(self) -> tuple[int, ...]:
+        return self._inner.chunk_shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._inner.dtype
+
+    @property
+    def rank(self) -> int:
+        return self._inner.rank
+
+    @property
+    def num_chunks(self) -> int:
+        return self._inner.num_chunks
+
+    @property
+    def cache_stats(self):
+        return self._inner.cache_stats
+
+    @property
+    def attrs(self):
+        """User attributes (persisted in the header on flush/close)."""
+        return self._inner.meta.attrs
+
+    def get(self, index):
+        return self._inner.get(index)
+
+    def put(self, index, value) -> None:
+        self._inner.put(index, value)
+
+    def read(self, lo=None, hi=None, order: str = "C") -> np.ndarray:
+        return self._inner.read(lo, hi, order)
+
+    def write(self, lo, values) -> None:
+        self._inner.write(lo, values)
+
+    def read_all(self, order: str = "C") -> np.ndarray:
+        return self._inner.read_all(order)
+
+    def extend(self, dim: int, by: int) -> None:
+        self._inner.extend(dim, by)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DRXSingleFile(shape={self.shape}, "
+                f"chunks={self.chunk_shape}, reserve={self._reserve})")
+
+    # ------------------------------------------------------------------
+    # conversion to/from the two-file format
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pair(cls, pair: DRXFile, path: str | pathlib.Path | None,
+                  header_reserve: int = DEFAULT_HEADER_RESERVE
+                  ) -> "DRXSingleFile":
+        """Repackage a two-file array into a single file (chunk bytes and
+        axial vectors are carried verbatim)."""
+        pair.flush()
+        out = cls.create(path, pair.shape, pair.chunk_shape,
+                         pair.meta.dtype_name, overwrite=True,
+                         header_reserve=header_reserve)
+        out._inner.meta.eci = pair.meta.eci.copy()
+        out._inner.meta.element_bounds = pair.meta.element_bounds
+        nbytes = pair.meta.chunk_nbytes
+        for q in range(pair.meta.num_chunks):
+            out._inner._data.write(q * nbytes, pair._data.read(q * nbytes,
+                                                               nbytes))
+        out._persist_meta()
+        return out
+
+    def to_pair(self, path: str | pathlib.Path,
+                overwrite: bool = False) -> DRXFile:
+        """Repackage into the classic ``.xmd``/``.xta`` pair."""
+        self.flush()
+        out = DRXFile.create(path, self.shape, self.chunk_shape,
+                             self.meta.dtype_name, overwrite=overwrite)
+        out.meta.eci = self.meta.eci.copy()
+        out.meta.element_bounds = self.meta.element_bounds
+        out.meta.extra.pop("container", None)
+        nbytes = self.meta.chunk_nbytes
+        for q in range(self.meta.num_chunks):
+            out._data.write(q * nbytes,
+                            self._inner._data.read(q * nbytes, nbytes))
+        out._persist_meta()
+        return out

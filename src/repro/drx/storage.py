@@ -1,0 +1,146 @@
+"""Byte-store backends for DRX array files.
+
+DRX (the serial library) stores its pair of files "in any POSIX-compliant
+Unix file system" — :class:`PosixByteStore` does exactly that with real
+files.  :class:`MemoryByteStore` backs unit tests, and
+:class:`PFSByteStore` adapts a simulated-PFS file so a serial DRX file
+and a parallel DRX-MP file are byte-compatible (the same ``.xta`` layout
+read through either library — tested in the integration suite).
+
+All stores expose the same tiny interface: ``read``, ``write``, ``size``,
+``truncate``, ``flush``, ``close``; reads past the end return zeros
+(sparse semantics, which lazy segment materialization relies on).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from ..core.errors import DRXFileError
+from ..pfs.pfile import PFSFile
+
+__all__ = ["ByteStore", "PosixByteStore", "MemoryByteStore", "PFSByteStore"]
+
+
+class ByteStore:
+    """Abstract byte store interface (see module docstring)."""
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def truncate(self, size: int) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class PosixByteStore(ByteStore):
+    """A real file accessed with ``os.pread``/``os.pwrite``."""
+
+    def __init__(self, path: str | pathlib.Path, mode: str = "r+") -> None:
+        self.path = pathlib.Path(path)
+        if mode == "r":
+            flags = os.O_RDONLY
+        elif mode == "r+":
+            flags = os.O_RDWR
+        elif mode == "x+":
+            flags = os.O_RDWR | os.O_CREAT | os.O_EXCL
+        elif mode == "w+":
+            flags = os.O_RDWR | os.O_CREAT | os.O_TRUNC
+        else:
+            raise DRXFileError(f"unsupported mode {mode!r}")
+        self._writable = mode != "r"
+        try:
+            self._fd = os.open(self.path, flags, 0o644)
+        except OSError as exc:
+            raise DRXFileError(f"cannot open {self.path}: {exc}") from exc
+        self._closed = False
+
+    def read(self, offset: int, length: int) -> bytes:
+        data = os.pread(self._fd, length, offset)
+        if len(data) < length:
+            data += b"\x00" * (length - len(data))
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not self._writable:
+            raise DRXFileError(f"{self.path} opened read-only")
+        os.pwrite(self._fd, data, offset)
+
+    @property
+    def size(self) -> int:
+        return os.fstat(self._fd).st_size
+
+    def truncate(self, size: int) -> None:
+        if not self._writable:
+            raise DRXFileError(f"{self.path} opened read-only")
+        os.ftruncate(self._fd, size)
+
+    def flush(self) -> None:
+        if not self._closed:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+
+class MemoryByteStore(ByteStore):
+    """An in-memory byte store (unit tests, scratch arrays)."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def read(self, offset: int, length: int) -> bytes:
+        end = offset + length
+        chunk = bytes(self._data[offset:min(end, len(self._data))])
+        return chunk + b"\x00" * (length - len(chunk))
+
+    def write(self, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if end > len(self._data):
+            self._data.extend(b"\x00" * (end - len(self._data)))
+        self._data[offset:end] = data
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def truncate(self, size: int) -> None:
+        if size < len(self._data):
+            del self._data[size:]
+        else:
+            self._data.extend(b"\x00" * (size - len(self._data)))
+
+
+class PFSByteStore(ByteStore):
+    """Adapter exposing a simulated-PFS file as a byte store."""
+
+    def __init__(self, pfile: PFSFile) -> None:
+        self._pfile = pfile
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self._pfile.read(offset, length)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._pfile.write(offset, data)
+
+    @property
+    def size(self) -> int:
+        return self._pfile.size
+
+    def truncate(self, size: int) -> None:
+        self._pfile.set_size(size)

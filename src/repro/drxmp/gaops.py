@@ -1,0 +1,217 @@
+"""Collective mathematical operations on GlobalArrays.
+
+The paper's stated integration goal: "Future work intends to develop the
+interface functions to work with Global-Array library" so DRX-MP arrays
+can "leverage all the array manipulation and scientific computing
+capabilities of the GA-toolkit."  This module provides the core GA-style
+operation set over :class:`~repro.drxmp.ga.GlobalArray`:
+
+======================  ==============================================
+``ga_fill``             GA_Fill — set every element
+``ga_scale``            GA_Scale — multiply every element by a scalar
+``ga_copy``             GA_Copy — duplicate one array into another
+``ga_add``              GA_Add — ``c = alpha*a + beta*b`` element-wise
+``ga_elem_multiply``    GA_Elem_multiply — Hadamard product
+``ga_dot``              GA_Ddot — global inner product
+``ga_norm2``            derived: sqrt(ga_dot(a, a))
+``ga_reduce_max/min``   global element-wise extrema
+``ga_matmul``           GA_Dgemm (2-D) — owner-computes blocked matmul
+======================  ==============================================
+
+All operations are **collective** over the array's communicator and
+follow GA's owner-computes model: each rank transforms only the chunks
+it owns (zero communication for the element-wise ops), with reductions
+combining per-rank partials.  Edge chunks are padded in storage; the
+helpers here mask the padding so reductions never see it.
+
+Arrays combined element-wise must be *aligned*: same bounds, same chunk
+shape, same growth history (hence identical chunk addresses) and the
+same partition — checked, not assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chunking import chunk_element_box
+from ..core.errors import DRXDistributionError, DRXIndexError
+from ..core.inverse import f_star_inv_many
+from .ga import GlobalArray
+
+__all__ = [
+    "ga_fill", "ga_scale", "ga_copy", "ga_add", "ga_elem_multiply",
+    "ga_dot", "ga_norm2", "ga_reduce_max", "ga_reduce_min", "ga_matmul",
+]
+
+
+def _check_aligned(*arrays: GlobalArray) -> None:
+    a = arrays[0]
+    for b in arrays[1:]:
+        if b.comm is not a.comm and b.comm.size != a.comm.size:
+            raise DRXDistributionError("arrays live on different "
+                                       "communicators")
+        if b.shape != a.shape or b.chunk_shape != a.chunk_shape:
+            raise DRXDistributionError(
+                f"arrays not aligned: {b.shape}/{b.chunk_shape} vs "
+                f"{a.shape}/{a.chunk_shape}"
+            )
+        if not np.array_equal(b.local_addresses, a.local_addresses):
+            raise DRXDistributionError(
+                "arrays not aligned: different chunk ownership (growth "
+                "history or partition differs)"
+            )
+
+
+def _valid_masks(ga: GlobalArray) -> list[tuple[int, tuple[slice, ...]]]:
+    """(slot, valid-region slices) for each locally owned chunk."""
+    if not len(ga.local_addresses):
+        return []
+    indices = f_star_inv_many(ga.meta.eci, ga.local_addresses)
+    out = []
+    for slot, ci in enumerate(indices):
+        lo, hi = chunk_element_box(ci, ga.chunk_shape, ga.shape)
+        out.append((slot, tuple(slice(0, h - l) for l, h in zip(lo, hi))))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# element-wise (zero communication)
+# ---------------------------------------------------------------------------
+
+def ga_fill(ga: GlobalArray, value) -> None:
+    """Set every element of ``ga`` to ``value`` (GA_Fill)."""
+    for slot, valid in _valid_masks(ga):
+        ga.local[slot][valid] = value
+    ga.sync()
+
+
+def ga_scale(ga: GlobalArray, alpha) -> None:
+    """``ga *= alpha`` element-wise (GA_Scale)."""
+    ga.local *= ga.meta.dtype.type(alpha)
+    ga.sync()
+
+
+def ga_copy(src: GlobalArray, dst: GlobalArray) -> None:
+    """``dst[...] = src`` (GA_Copy); arrays must be aligned."""
+    _check_aligned(src, dst)
+    dst.local[...] = src.local
+    dst.sync()
+
+
+def ga_add(alpha, a: GlobalArray, beta, b: GlobalArray,
+           c: GlobalArray) -> None:
+    """``c = alpha*a + beta*b`` element-wise (GA_Add)."""
+    _check_aligned(a, b, c)
+    t = a.meta.dtype.type
+    np.multiply(a.local, t(alpha), out=c.local)
+    c.local += t(beta) * b.local
+    c.sync()
+
+
+def ga_elem_multiply(a: GlobalArray, b: GlobalArray,
+                     c: GlobalArray) -> None:
+    """``c = a * b`` element-wise (GA_Elem_multiply)."""
+    _check_aligned(a, b, c)
+    np.multiply(a.local, b.local, out=c.local)
+    c.sync()
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def ga_dot(a: GlobalArray, b: GlobalArray):
+    """Global inner product ``sum(a * b)`` (GA_Ddot).
+
+    Chunk padding is zero on both sides, so the local partial is a plain
+    flat dot; partials combine with an allreduce.
+    """
+    _check_aligned(a, b)
+    local = np.vdot(a.local.reshape(-1), b.local.reshape(-1))
+    return a.comm.allreduce(complex(local) if np.iscomplexobj(a.local)
+                            else float(local))
+
+
+def ga_norm2(a: GlobalArray) -> float:
+    """Euclidean norm of the whole array."""
+    val = ga_dot(a, a)
+    return float(np.sqrt(abs(val)))
+
+
+def _masked_reduce(ga: GlobalArray, np_op, mpi_op_neutral):
+    best = mpi_op_neutral
+    for slot, valid in _valid_masks(ga):
+        region = ga.local[slot][valid]
+        if region.size:
+            best = np_op(best, np_op.reduce(region, axis=None))
+    return best
+
+
+def ga_reduce_max(ga: GlobalArray) -> float:
+    """Global maximum over the *valid* elements (padding masked out)."""
+    local = _masked_reduce(ga, np.maximum, -np.inf)
+    from ..mpi.comm import MAX
+    return float(ga.comm.allreduce(float(local), op=MAX))
+
+
+def ga_reduce_min(ga: GlobalArray) -> float:
+    """Global minimum over the valid elements."""
+    local = _masked_reduce(ga, np.minimum, np.inf)
+    from ..mpi.comm import MIN
+    return float(ga.comm.allreduce(float(local), op=MIN))
+
+
+# ---------------------------------------------------------------------------
+# matrix multiplication (GA_Dgemm, 2-D, owner computes)
+# ---------------------------------------------------------------------------
+
+def ga_matmul(a: GlobalArray, b: GlobalArray, c: GlobalArray) -> None:
+    """``c = a @ b`` for 2-D arrays (GA_Dgemm with alpha=1, beta=0).
+
+    Owner-computes over output chunks: for each chunk ``(I, J)`` of
+    ``c`` owned by this rank, accumulate ``A[I, K] @ B[K, J]`` over the
+    inner chunk index ``K``, fetching remote operand chunks through the
+    one-sided layer.  Works for any chunk-aligned shapes: inner
+    dimensions must agree and all three arrays must share the chunk
+    blocking of their shared dimensions.
+    """
+    if a.meta.rank != 2 or b.meta.rank != 2 or c.meta.rank != 2:
+        raise DRXIndexError("ga_matmul is defined for 2-D arrays")
+    m, ka = a.shape
+    kb, n = b.shape
+    if ka != kb or c.shape != (m, n):
+        raise DRXIndexError(
+            f"shape mismatch: ({m}x{ka}) @ ({kb}x{n}) -> {c.shape}"
+        )
+    if a.chunk_shape[1] != b.chunk_shape[0] or \
+            c.chunk_shape != (a.chunk_shape[0], b.chunk_shape[1]):
+        raise DRXIndexError(
+            "chunk blockings must agree: a's columns with b's rows, "
+            "c with (a rows, b cols)"
+        )
+    cs_m, cs_k = a.chunk_shape
+    cs_n = b.chunk_shape[1]
+    k_chunks = a.meta.chunk_bounds[1]
+
+    my_chunks = (f_star_inv_many(c.meta.eci, c.local_addresses)
+                 if len(c.local_addresses) else [])
+    for slot, cij in enumerate(my_chunks):
+        ci, cj = int(cij[0]), int(cij[1])
+        out_lo, out_hi = chunk_element_box(cij, c.chunk_shape, c.shape)
+        acc = np.zeros(c.chunk_shape, dtype=c.meta.dtype)
+        for ck in range(k_chunks):
+            a_lo = (ci * cs_m, ck * cs_k)
+            a_hi = (min(a_lo[0] + cs_m, m), min(a_lo[1] + cs_k, ka))
+            b_lo = (ck * cs_k, cj * cs_n)
+            b_hi = (min(b_lo[0] + cs_k, kb), min(b_lo[1] + cs_n, n))
+            if a_lo[0] >= a_hi[0] or a_lo[1] >= a_hi[1]:
+                continue
+            ablk = a.get(a_lo, a_hi)
+            bblk = b.get(b_lo, b_hi)
+            prod = ablk @ bblk
+            acc[:prod.shape[0], :prod.shape[1]] += prod
+        # store only the valid region of the output chunk
+        valid = tuple(slice(0, h - l) for l, h in zip(out_lo, out_hi))
+        c.local[slot][...] = 0
+        c.local[slot][valid] = acc[valid]
+    c.sync()

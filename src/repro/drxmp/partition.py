@@ -1,0 +1,324 @@
+"""Zone partitioning: distributing the principal array over processes.
+
+The paper (section II-A): "the entire array file is partitioned into
+disjoint rectilinear regions where each region is composed of a set of
+adjacent connected chunks referred to as a zone.  Each process is then
+assigned a zone of the array where it becomes the primary owner. ...
+Partitioning and distributing the array chunks onto processes is always
+along chunk boundaries."
+
+Two distributions are provided, mirroring the HPF-style distributions
+the paper discusses (section V plans BLOCK_CYCLIC as the generalization;
+Panda's distributions are the model):
+
+* :class:`BlockPartition` — the default: a process grid, each process
+  owning one contiguous rectilinear box of chunks (the Fig. 1 zones);
+* :class:`BlockCyclicPartition` — BLOCK_CYCLIC(k): blocks of ``k`` chunk
+  indices per dimension dealt round-robin to the process grid, giving
+  each process a union of small boxes (better balance under skewed
+  growth — experiment E6).
+
+Every process holds the full replicated meta-data, so ``owner_of`` is a
+pure local computation on any rank — this is how remote element access
+finds the owning process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chunking import ceil_div
+from ..core.errors import DRXDistributionError
+
+__all__ = ["Zone", "BlockPartition", "BlockCyclicPartition", "dims_create"]
+
+
+def dims_create(nprocs: int, ndims: int) -> tuple[int, ...]:
+    """A balanced process grid (MPI_Dims_create analogue).
+
+    Factorizes ``nprocs`` into ``ndims`` factors as close to each other
+    as possible, larger factors first.
+    """
+    if nprocs < 1 or ndims < 1:
+        raise DRXDistributionError(
+            f"need nprocs >= 1 and ndims >= 1, got {nprocs}, {ndims}"
+        )
+    dims = [1] * ndims
+    remaining = nprocs
+    # repeatedly peel the largest prime factor onto the smallest dim
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A rectilinear box of chunks owned by one process.
+
+    ``lo``/``hi`` are half-open chunk-index bounds.
+    """
+
+    rank: int
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def num_chunks(self) -> int:
+        return prod(self.shape)
+
+    @property
+    def empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def contains(self, chunk_index: Sequence[int]) -> bool:
+        return all(l <= i < h
+                   for i, l, h in zip(chunk_index, self.lo, self.hi))
+
+    def chunk_indices(self) -> np.ndarray:
+        """All chunk indices of the zone, row-major, as ``(m, k)`` int64."""
+        if self.empty:
+            return np.empty((0, len(self.lo)), dtype=np.int64)
+        grids = np.indices(self.shape, dtype=np.int64)
+        flat = grids.reshape(len(self.lo), -1).T
+        return flat + np.asarray(self.lo, dtype=np.int64)
+
+    def element_box(self, chunk_shape: Sequence[int],
+                    element_bounds: Sequence[int]
+                    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The element-space box this zone covers, clipped to bounds.
+
+        An empty zone (more processes than chunks along a dimension)
+        yields a consistent empty box with ``lo == hi`` — never a
+        negative extent, even when the zone sits past the element
+        bounds entirely.
+        """
+        hi = tuple(min(h * c, n) for h, c, n
+                   in zip(self.hi, chunk_shape, element_bounds))
+        lo = tuple(min(l * c, h) for l, c, h
+                   in zip(self.lo, chunk_shape, hi))
+        return lo, hi
+
+
+class BlockPartition:
+    """BLOCK distribution: one contiguous chunk box per process."""
+
+    name = "BLOCK"
+
+    def __init__(self, chunk_bounds: Sequence[int], nprocs: int,
+                 pgrid: Sequence[int] | None = None) -> None:
+        self.chunk_bounds = tuple(int(b) for b in chunk_bounds)
+        k = len(self.chunk_bounds)
+        if pgrid is None:
+            pgrid = dims_create(nprocs, k)
+        self.pgrid = tuple(int(p) for p in pgrid)
+        if prod(self.pgrid) != nprocs:
+            raise DRXDistributionError(
+                f"process grid {self.pgrid} does not hold {nprocs} processes"
+            )
+        if len(self.pgrid) != k:
+            raise DRXDistributionError(
+                f"process grid rank {len(self.pgrid)} != array rank {k}"
+            )
+        self.nprocs = nprocs
+        # per-dimension split points: dimension d of extent N over P
+        # procs -> first (N % P) procs get ceil(N/P), the rest floor.
+        self._splits: list[np.ndarray] = []
+        for n, p in zip(self.chunk_bounds, self.pgrid):
+            base, extra = divmod(n, p)
+            sizes = np.full(p, base, dtype=np.int64)
+            sizes[:extra] += 1
+            cuts = np.zeros(p + 1, dtype=np.int64)
+            np.cumsum(sizes, out=cuts[1:])
+            self._splits.append(cuts)
+
+    # ------------------------------------------------------------------
+    def coords_of_rank(self, rank: int) -> tuple[int, ...]:
+        """Row-major process-grid coordinates of ``rank``."""
+        if not 0 <= rank < self.nprocs:
+            raise DRXDistributionError(f"rank {rank} outside {self.nprocs}")
+        out = []
+        for p in reversed(self.pgrid):
+            rank, c = divmod(rank, p)
+            out.append(c)
+        return tuple(reversed(out))
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        r = 0
+        for c, p in zip(coords, self.pgrid):
+            r = r * p + c
+        return r
+
+    def zone_of(self, rank: int) -> Zone:
+        coords = self.coords_of_rank(rank)
+        lo = tuple(int(self._splits[d][c]) for d, c in enumerate(coords))
+        hi = tuple(int(self._splits[d][c + 1]) for d, c in enumerate(coords))
+        return Zone(rank, lo, hi)
+
+    def zones(self) -> list[Zone]:
+        return [self.zone_of(r) for r in range(self.nprocs)]
+
+    def chunks_of(self, rank: int) -> np.ndarray:
+        return self.zone_of(rank).chunk_indices()
+
+    def owner_of(self, chunk_index: Sequence[int]) -> int:
+        """Rank owning one chunk (pure local computation)."""
+        coords = []
+        for d, i in enumerate(chunk_index):
+            if not 0 <= i < self.chunk_bounds[d]:
+                raise DRXDistributionError(
+                    f"chunk {tuple(chunk_index)} outside bounds "
+                    f"{self.chunk_bounds}"
+                )
+            c = int(np.searchsorted(self._splits[d], i, side="right")) - 1
+            coords.append(min(c, self.pgrid[d] - 1))
+        return self.rank_of_coords(coords)
+
+    def owners_of(self, chunk_indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of` over ``(m, k)`` chunk indices."""
+        idx = np.asarray(chunk_indices, dtype=np.int64)
+        ranks = np.zeros(idx.shape[0], dtype=np.int64)
+        for d, p in enumerate(self.pgrid):
+            c = np.searchsorted(self._splits[d], idx[:, d],
+                                side="right") - 1
+            c = np.minimum(c, p - 1)
+            ranks = ranks * p + c
+        return ranks
+
+    def chunk_counts(self) -> list[int]:
+        """Chunks per rank — the balance metric of experiment E6."""
+        return [self.zone_of(r).num_chunks for r in range(self.nprocs)]
+
+
+class BlockCyclicPartition:
+    """BLOCK_CYCLIC(k) distribution over a process grid.
+
+    Dimension ``d`` is cut into blocks of ``block[d]`` chunk indices;
+    block ``b`` of dimension ``d`` belongs to process-grid coordinate
+    ``b % pgrid[d]``.  A process's holding is the cartesian product of
+    its per-dimension block unions.
+    """
+
+    name = "BLOCK_CYCLIC"
+
+    def __init__(self, chunk_bounds: Sequence[int], nprocs: int,
+                 block: Sequence[int] | int = 1,
+                 pgrid: Sequence[int] | None = None) -> None:
+        self.chunk_bounds = tuple(int(b) for b in chunk_bounds)
+        k = len(self.chunk_bounds)
+        if pgrid is None:
+            pgrid = dims_create(nprocs, k)
+        self.pgrid = tuple(int(p) for p in pgrid)
+        if prod(self.pgrid) != nprocs or len(self.pgrid) != k:
+            raise DRXDistributionError(
+                f"bad process grid {self.pgrid} for {nprocs} procs rank {k}"
+            )
+        self.nprocs = nprocs
+        if isinstance(block, int):
+            block = [block] * k
+        self.block = tuple(int(b) for b in block)
+        if any(b < 1 for b in self.block):
+            raise DRXDistributionError(f"block sizes must be >= 1: {self.block}")
+
+    # ------------------------------------------------------------------
+    def coords_of_rank(self, rank: int) -> tuple[int, ...]:
+        out = []
+        for p in reversed(self.pgrid):
+            rank, c = divmod(rank, p)
+            out.append(c)
+        return tuple(reversed(out))
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        r = 0
+        for c, p in zip(coords, self.pgrid):
+            r = r * p + c
+        return r
+
+    def zone_of(self, rank: int) -> "Zone":
+        """Not available: a BLOCK_CYCLIC holding is a union of boxes.
+
+        Use :meth:`boxes_of` / :meth:`chunks_of`, or access the array
+        through :class:`~repro.drxmp.ga.GlobalArray` (which works with
+        any partition exposing ``chunks_of``/``owner_of``).
+        """
+        raise DRXDistributionError(
+            "BLOCK_CYCLIC holdings are not a single rectilinear zone; "
+            "use boxes_of()/chunks_of() or a GlobalArray"
+        )
+
+    def _dim_indices(self, d: int, coord: int) -> np.ndarray:
+        """Chunk indices along dimension ``d`` owned by grid coord."""
+        n, p, b = self.chunk_bounds[d], self.pgrid[d], self.block[d]
+        blocks = np.arange(coord, ceil_div(n, b), p, dtype=np.int64)
+        idx = (blocks[:, None] * b + np.arange(b, dtype=np.int64)).ravel()
+        return idx[idx < n]
+
+    def chunks_of(self, rank: int) -> np.ndarray:
+        """All chunk indices owned by ``rank``, row-major, ``(m, k)``."""
+        coords = self.coords_of_rank(rank)
+        per_dim = [self._dim_indices(d, c) for d, c in enumerate(coords)]
+        if any(ix.size == 0 for ix in per_dim):
+            return np.empty((0, len(per_dim)), dtype=np.int64)
+        mesh = np.meshgrid(*per_dim, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+    def boxes_of(self, rank: int) -> list[Zone]:
+        """The holding of ``rank`` as a union of rectilinear boxes."""
+        coords = self.coords_of_rank(rank)
+        per_dim_blocks: list[list[tuple[int, int]]] = []
+        for d, c in enumerate(coords):
+            n, p, b = self.chunk_bounds[d], self.pgrid[d], self.block[d]
+            spans = []
+            for blk in range(c, ceil_div(n, b), p):
+                lo = blk * b
+                hi = min(lo + b, n)
+                spans.append((lo, hi))
+            per_dim_blocks.append(spans)
+        boxes: list[Zone] = []
+        def rec(d: int, lo: list[int], hi: list[int]) -> None:
+            if d == len(per_dim_blocks):
+                boxes.append(Zone(rank, tuple(lo), tuple(hi)))
+                return
+            for l, h in per_dim_blocks[d]:
+                rec(d + 1, lo + [l], hi + [h])
+        rec(0, [], [])
+        return boxes
+
+    def owner_of(self, chunk_index: Sequence[int]) -> int:
+        coords = []
+        for d, i in enumerate(chunk_index):
+            if not 0 <= i < self.chunk_bounds[d]:
+                raise DRXDistributionError(
+                    f"chunk {tuple(chunk_index)} outside bounds "
+                    f"{self.chunk_bounds}"
+                )
+            coords.append((i // self.block[d]) % self.pgrid[d])
+        return self.rank_of_coords(coords)
+
+    def owners_of(self, chunk_indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(chunk_indices, dtype=np.int64)
+        ranks = np.zeros(idx.shape[0], dtype=np.int64)
+        for d, p in enumerate(self.pgrid):
+            c = (idx[:, d] // self.block[d]) % p
+            ranks = ranks * p + c
+        return ranks
+
+    def chunk_counts(self) -> list[int]:
+        return [self.chunks_of(r).shape[0] for r in range(self.nprocs)]

@@ -1,0 +1,251 @@
+"""Collective and independent sub-array I/O between zones and the file.
+
+This module implements the paper's central I/O method (sections II-A and
+IV-B):
+
+1. Each process computes the linear addresses of its zone's chunks with
+   the vectorized mapping function ``F*`` and sorts them increasing —
+   the *filetype* is then an ``MPI_Type_indexed`` over whole chunks, so
+   the file is scanned sequentially ("the chunk layout on disk are
+   sequential and ... in increasing order of the linear addresses").
+2. A collective ``Read_all`` (or an independent ``Read_at``) moves the
+   chunk payloads.
+3. The inverse mapping ``F*^-1`` recovers each arriving chunk's
+   k-dimensional index, and the chunk is assigned into the requested
+   position and *order* of the in-memory array ("Once the k-dimensional
+   index is known the element can be assigned to the desired location in
+   memory") — this is the on-the-fly transposition: asking for C order
+   or Fortran order costs the same I/O.
+
+Writes run the same pipeline backwards.  Partial edge chunks are padded
+to full chunk size in the file (standard chunked-format practice); the
+pad bytes are sliced away on read and zero-filled on write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chunking import box_shape, chunk_element_box, chunks_covering_box, validate_box
+from ..core.errors import DRXIndexError
+from ..core.inverse import f_star_inv_many
+from ..core.mapping import f_star_many
+from ..core.metadata import DRXMeta
+from ..mpi import datatypes
+from ..mpi.file import File
+from .partition import Zone
+
+__all__ = ["chunk_datatype", "indexed_filetype", "zone_read",
+           "zone_write", "box_read", "box_write"]
+
+
+def chunk_datatype(meta: DRXMeta) -> datatypes.Datatype:
+    """The committed MPI datatype of one whole chunk payload."""
+    base = datatypes.from_numpy_dtype(meta.dtype)
+    return base.Create_contiguous(meta.chunk_elems).Commit()
+
+
+def indexed_filetype(meta: DRXMeta,
+                     addresses: np.ndarray) -> datatypes.Datatype:
+    """An indexed filetype over whole chunks at the given (sorted) linear
+    chunk addresses — the listing's ``MPI_Type_indexed(..., map, chunk)``."""
+    chunk = chunk_datatype(meta)
+    ft = chunk.Create_indexed([1] * len(addresses),
+                              [int(a) for a in addresses])
+    return ft.Commit()
+
+
+def _sorted_chunk_plan(meta: DRXMeta, chunk_indices: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted addresses, chunk indices in that file order)``."""
+    if chunk_indices.shape[0] == 0:
+        return (np.empty(0, dtype=np.int64),
+                chunk_indices.reshape(0, meta.rank))
+    addrs = f_star_many(meta.eci, chunk_indices)
+    order = np.argsort(addrs, kind="stable")
+    return addrs[order], chunk_indices[order]
+
+
+def _scatter_chunks(meta: DRXMeta, staging: np.ndarray,
+                    addresses: np.ndarray, out: np.ndarray,
+                    origin: tuple[int, ...]) -> None:
+    """Scatter chunk payloads (file order) into an element-space array.
+
+    ``staging`` is ``(nchunks, *chunk_shape)``; ``out`` starts at element
+    ``origin`` of the principal array.  Uses ``F*^-1`` to recover each
+    chunk's index — the paper's read-side use of the inverse mapping.
+    """
+    if addresses.size == 0:
+        return
+    indices = f_star_inv_many(meta.eci, addresses)
+    cs = meta.chunk_shape
+    bounds = meta.element_bounds
+    for payload, ci in zip(staging, indices):
+        lo, hi = chunk_element_box(ci, cs, bounds)
+        src = tuple(slice(0, h - l) for l, h in zip(lo, hi))
+        dst = tuple(slice(l - o, h - o) for l, h, o in zip(lo, hi, origin))
+        out[dst] = payload[src]
+
+
+def _gather_chunks(meta: DRXMeta, values: np.ndarray,
+                   addresses: np.ndarray,
+                   origin: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :meth:`_scatter_chunks`: build padded chunk payloads
+    (file order) from an element-space array starting at ``origin``."""
+    indices = f_star_inv_many(meta.eci, addresses) if addresses.size else \
+        np.empty((0, meta.rank), dtype=np.int64)
+    cs = meta.chunk_shape
+    bounds = meta.element_bounds
+    staging = np.zeros((len(addresses), *cs), dtype=meta.dtype)
+    for payload, ci in zip(staging, indices):
+        lo, hi = chunk_element_box(ci, cs, bounds)
+        dst = tuple(slice(0, h - l) for l, h in zip(lo, hi))
+        src = tuple(slice(l - o, h - o) for l, h, o in zip(lo, hi, origin))
+        payload[dst] = values[src]
+    return staging
+
+
+# ---------------------------------------------------------------------------
+# zone-granularity transfers (the primary DRX-MP read/write path)
+# ---------------------------------------------------------------------------
+
+def zone_read(fh: File, meta: DRXMeta, zone: Zone, order: str = "C",
+              collective: bool = True) -> np.ndarray:
+    """Read one process's zone into a fresh array of the given order.
+
+    ``collective=True`` issues ``Read_all`` (all ranks of ``fh.comm``
+    must call together, zones may differ); ``False`` issues an
+    independent ``Read_at``.
+    """
+    if order not in ("C", "F"):
+        raise DRXIndexError(f"order must be 'C' or 'F', got {order!r}")
+    addrs, _idx = _sorted_chunk_plan(meta, zone.chunk_indices())
+    etype = datatypes.from_numpy_dtype(meta.dtype)
+    # zero-filled: unwritten chunks (sparse/short reads) must read as 0
+    staging = np.zeros((len(addrs), *meta.chunk_shape), dtype=meta.dtype)
+    if len(addrs):
+        ft = indexed_filetype(meta, addrs)
+        fh.Set_view(0, etype, ft)
+    else:
+        fh.Set_view(0, etype)
+    if collective:
+        fh.Read_at_all(0, staging if len(addrs) else staging[:0])
+    else:
+        fh.Read_at(0, staging if len(addrs) else staging[:0])
+    lo, hi = zone.element_box(meta.chunk_shape, meta.element_bounds)
+    out = np.zeros(box_shape(lo, hi), dtype=meta.dtype, order=order)
+    _scatter_chunks(meta, staging, addrs, out, lo)
+    return out
+
+
+def zone_write(fh: File, meta: DRXMeta, zone: Zone, values: np.ndarray,
+               collective: bool = True) -> None:
+    """Write one process's zone from ``values`` (shaped like the zone's
+    clipped element box)."""
+    lo, hi = zone.element_box(meta.chunk_shape, meta.element_bounds)
+    expect = box_shape(lo, hi)
+    if tuple(values.shape) != expect:
+        raise DRXIndexError(
+            f"zone buffer shape {tuple(values.shape)} != zone box {expect}"
+        )
+    values = np.asarray(values, dtype=meta.dtype)
+    addrs, _idx = _sorted_chunk_plan(meta, zone.chunk_indices())
+    staging = _gather_chunks(meta, values, addrs, lo)
+    etype = datatypes.from_numpy_dtype(meta.dtype)
+    if len(addrs):
+        ft = indexed_filetype(meta, addrs)
+        fh.Set_view(0, etype, ft)
+    else:
+        fh.Set_view(0, etype)
+    if collective:
+        fh.Write_at_all(0, staging if len(addrs) else staging[:0])
+    else:
+        fh.Write_at(0, staging if len(addrs) else staging[:0])
+
+
+# ---------------------------------------------------------------------------
+# arbitrary-box transfers (independent, any rank, any rectilinear region)
+# ---------------------------------------------------------------------------
+
+def box_read(fh: File, meta: DRXMeta, lo, hi, order: str = "C",
+             collective: bool = False) -> np.ndarray:
+    """Read an arbitrary element box ``[lo, hi)`` (chunk-covering I/O)."""
+    lo, hi = tuple(lo), tuple(hi)
+    validate_box(lo, hi, meta.element_bounds)
+    covering = chunks_covering_box(lo, hi, meta.chunk_shape)
+    addrs, _idx = _sorted_chunk_plan(meta, covering)
+    etype = datatypes.from_numpy_dtype(meta.dtype)
+    staging = np.zeros((len(addrs), *meta.chunk_shape), dtype=meta.dtype)
+    if len(addrs):
+        fh.Set_view(0, etype, indexed_filetype(meta, addrs))
+    else:
+        fh.Set_view(0, etype)
+    if collective:
+        fh.Read_at_all(0, staging)
+    else:
+        fh.Read_at(0, staging)
+    out = np.zeros(box_shape(lo, hi), dtype=meta.dtype, order=order)
+    # scatter only the intersection of each chunk with the box
+    indices = f_star_inv_many(meta.eci, addrs) if len(addrs) else []
+    cs = meta.chunk_shape
+    for payload, ci in zip(staging, indices):
+        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
+        o_lo = tuple(max(a, b) for a, b in zip(c_lo, lo))
+        o_hi = tuple(min(a, b) for a, b in zip(c_hi, hi))
+        src = tuple(slice(a - c, b - c) for a, b, c in zip(o_lo, o_hi, c_lo))
+        dst = tuple(slice(a - l, b - l) for a, b, l in zip(o_lo, o_hi, lo))
+        out[dst] = payload[src]
+    return out
+
+
+def box_write(fh: File, meta: DRXMeta, lo, values: np.ndarray,
+              collective: bool = False) -> None:
+    """Write an arbitrary element box (read-modify-write at the edges).
+
+    Chunks only partially covered by the box are read first so the
+    untouched elements survive — the chunk is the unit of file access.
+    """
+    values = np.asarray(values, dtype=meta.dtype)
+    lo = tuple(lo)
+    hi = tuple(l + s for l, s in zip(lo, values.shape))
+    validate_box(lo, hi, meta.element_bounds)
+    covering = chunks_covering_box(lo, hi, meta.chunk_shape)
+    addrs, _idx = _sorted_chunk_plan(meta, covering)
+    etype = datatypes.from_numpy_dtype(meta.dtype)
+    cs = meta.chunk_shape
+    indices = f_star_inv_many(meta.eci, addrs) if len(addrs) else []
+    # which covering chunks are only partially inside the box?
+    partial_slots = []
+    for slot, ci in enumerate(indices):
+        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
+        if any(a < l or b > h for a, b, l, h in zip(c_lo, c_hi, lo, hi)):
+            partial_slots.append(slot)
+    staging = np.zeros((len(addrs), *cs), dtype=meta.dtype)
+    if partial_slots:
+        part_addrs = addrs[partial_slots]
+        fh.Set_view(0, etype, indexed_filetype(meta, part_addrs))
+        part = np.zeros((len(part_addrs), *cs), dtype=meta.dtype)
+        if collective:
+            fh.Read_at_all(0, part)
+        else:
+            fh.Read_at(0, part)
+        staging[partial_slots] = part
+    elif collective:
+        # keep collective call counts matched across ranks
+        fh.Set_view(0, etype)
+        fh.Read_at_all(0, staging[:0])
+    for payload, ci in zip(staging, indices):
+        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
+        o_lo = tuple(max(a, b) for a, b in zip(c_lo, lo))
+        o_hi = tuple(min(a, b) for a, b in zip(c_hi, hi))
+        dst = tuple(slice(a - c, b - c) for a, b, c in zip(o_lo, o_hi, c_lo))
+        src = tuple(slice(a - l, b - l) for a, b, l in zip(o_lo, o_hi, lo))
+        payload[dst] = values[src]
+    if len(addrs):
+        fh.Set_view(0, etype, indexed_filetype(meta, addrs))
+    else:
+        fh.Set_view(0, etype)
+    if collective:
+        fh.Write_at_all(0, staging)
+    else:
+        fh.Write_at(0, staging)

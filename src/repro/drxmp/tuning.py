@@ -1,0 +1,118 @@
+"""Chunk-shape tuning: reconciling chunk size with the stripe size.
+
+The paper's final future-work item: "Optimizing the access by
+reconciling the chunk size with the strip size of the parallel file
+system for optimal chunk accesses."  Experiment E5 measures the effect;
+this module turns the measurement into advice a user can apply at
+creation time.
+
+Heuristics implemented (validated by E5's cost curve):
+
+* a chunk should not *cross* stripes it doesn't fill: chunks at most one
+  stripe large are serviced by a single server request;
+* larger chunks amortize per-request overhead, so aim just *below* the
+  stripe size rather than far below it;
+* dimensions expected to grow should get small chunk extents (growth
+  granularity = one chunk along that dimension), scan-heavy dimensions
+  large extents (fewer chunks per scan line).
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import DRXExtendError
+from ..core.metadata import DRXType
+
+__all__ = ["suggest_chunk_shape", "chunk_stripe_report"]
+
+
+def suggest_chunk_shape(element_shape: Sequence[int],
+                        stripe_size: int,
+                        dtype: str | np.dtype | type = DRXType.DOUBLE,
+                        growth_dims: Sequence[int] = (),
+                        fill: float = 0.9) -> tuple[int, ...]:
+    """A chunk shape whose payload is ~``fill`` of one stripe.
+
+    Parameters
+    ----------
+    element_shape:
+        Expected working bounds (used to cap chunk extents).
+    stripe_size:
+        The PFS stripe size in bytes.
+    dtype:
+        Element type (sets the item size).
+    growth_dims:
+        Dimensions expected to be extended repeatedly; their chunk
+        extent is kept small so each extension adjoins little padding.
+    fill:
+        Target fraction of a stripe one chunk should occupy (0 < fill
+        <= 1).  The default 0.9 leaves headroom so a chunk never
+        straddles two stripes.
+    """
+    if not 0 < fill <= 1:
+        raise DRXExtendError(f"fill must be in (0, 1], got {fill}")
+    if stripe_size < 1:
+        raise DRXExtendError(f"stripe size must be positive, got "
+                             f"{stripe_size}")
+    if isinstance(dtype, str):
+        itemsize = DRXType.to_numpy(dtype).itemsize
+    else:
+        itemsize = np.dtype(dtype).itemsize
+    k = len(element_shape)
+    if k == 0 or any(s < 1 for s in element_shape):
+        raise DRXExtendError(f"bad element shape {tuple(element_shape)}")
+    budget_elems = max(1, int(stripe_size * fill) // itemsize)
+
+    growth = set(growth_dims)
+    for d in growth:
+        if not 0 <= d < k:
+            raise DRXExtendError(f"growth dim {d} outside rank {k}")
+
+    chunk = [1] * k
+    # growth dims get a small fixed extent (a few indices per extension)
+    for d in growth:
+        chunk[d] = min(4, element_shape[d])
+    # distribute the remaining budget over the scan dims, last dim first
+    # (row-major: the last dimension is the contiguity direction)
+    scan_dims = [d for d in range(k - 1, -1, -1) if d not in growth]
+    for d in scan_dims:
+        have = prod(chunk)
+        if have >= budget_elems:
+            break
+        room = budget_elems // have
+        chunk[d] = min(element_shape[d], max(1, room))
+    # final safety: never exceed the stripe
+    while prod(chunk) * itemsize > stripe_size and max(chunk) > 1:
+        d = int(np.argmax(chunk))
+        chunk[d] = max(1, chunk[d] // 2)
+    return tuple(chunk)
+
+
+def chunk_stripe_report(chunk_shape: Sequence[int], stripe_size: int,
+                        dtype: str | np.dtype | type = DRXType.DOUBLE
+                        ) -> dict:
+    """Quantify how a chunk shape interacts with the stripe size.
+
+    Returns a dict with the chunk payload size, the chunk/stripe ratio,
+    and the worst-case number of server requests a single chunk access
+    costs (the E5 metric).
+    """
+    if isinstance(dtype, str):
+        itemsize = DRXType.to_numpy(dtype).itemsize
+    else:
+        itemsize = np.dtype(dtype).itemsize
+    nbytes = prod(chunk_shape) * itemsize
+    ratio = nbytes / stripe_size
+    # an unaligned chunk can touch ceil(ratio) + 1 stripes
+    worst_requests = int(np.ceil(ratio)) + (1 if nbytes % stripe_size else 0)
+    return {
+        "chunk_nbytes": nbytes,
+        "stripe_size": stripe_size,
+        "ratio": ratio,
+        "worst_case_requests": max(1, worst_requests),
+        "fits_one_stripe": nbytes <= stripe_size,
+    }

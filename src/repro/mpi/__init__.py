@@ -1,0 +1,77 @@
+"""``repro.mpi`` — an in-process MPI-2 substrate.
+
+One thread per rank, launched with :func:`mpiexec`.  Provides the MPI-2
+feature set the paper's library depends on: communicators with
+point-to-point and collective operations, derived datatypes, MPI-IO with
+file views and collective two-phase I/O over the simulated parallel file
+system, and one-sided RMA windows.
+
+The public names mirror mpi4py's ``MPI`` module where they overlap, so
+the paper's code listing translates line for line (see
+``tests/test_listing.py``).
+"""
+
+from .cart import PROC_NULL, Cartcomm
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    Intracomm,
+    Op,
+    World,
+)
+from .datatypes import (
+    BYTE,
+    COMPLEX,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT32,
+    INT64,
+    Datatype,
+    from_numpy_dtype,
+)
+from .file import (
+    MODE_APPEND,
+    MODE_CREATE,
+    MODE_DELETE_ON_CLOSE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+    File,
+    FileView,
+)
+from .runner import SPMDFailure, mpiexec
+from .status import Request, Status
+from .win import LOCK_EXCLUSIVE, LOCK_SHARED, Win
+
+__all__ = [
+    "mpiexec",
+    "SPMDFailure",
+    "Intracomm",
+    "Cartcomm",
+    "PROC_NULL",
+    "World",
+    "Status",
+    "Request",
+    "Datatype",
+    "from_numpy_dtype",
+    "BYTE", "INT", "INT32", "INT64", "FLOAT", "DOUBLE", "COMPLEX",
+    "File",
+    "FileView",
+    "Win",
+    "Op",
+    "SUM", "PROD", "MIN", "MAX", "LAND", "LOR", "BAND", "BOR",
+    "ANY_SOURCE", "ANY_TAG",
+    "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR", "MODE_CREATE",
+    "MODE_EXCL", "MODE_APPEND", "MODE_DELETE_ON_CLOSE",
+    "LOCK_EXCLUSIVE", "LOCK_SHARED",
+]

@@ -1,0 +1,129 @@
+"""Cartesian process topologies (MPI_Cart_create and friends).
+
+The paper's listing sketches ``/* Create cart topology of the processes */``
+for its 2x2 process decomposition; this module completes the substrate
+with :class:`Cartcomm`: grid creation (optionally with ``MPI_Dims_create``
+via :func:`repro.drxmp.partition.dims_create`), rank<->coordinate maps,
+neighbour shifts with or without periodic wraparound, and sub-grid
+communicators (``MPI_Cart_sub``).
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+from ..core.errors import MPICommError
+from .comm import Intracomm
+
+__all__ = ["Cartcomm", "PROC_NULL"]
+
+PROC_NULL = -2
+
+
+class Cartcomm(Intracomm):
+    """A communicator with an attached Cartesian grid."""
+
+    def __init__(self, base: Intracomm, dims: Sequence[int],
+                 periods: Sequence[bool]) -> None:
+        super().__init__(base.world, base._shared, base.rank)
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if prod(self.dims) != self.size:
+            raise MPICommError(
+                f"grid {self.dims} does not hold {self.size} processes"
+            )
+        if len(self.periods) != len(self.dims):
+            raise MPICommError("dims/periods rank mismatch")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def Create_cart(cls, comm: Intracomm, dims: Sequence[int],
+                    periods: Sequence[bool] | None = None,
+                    reorder: bool = False) -> "Cartcomm":
+        """MPI_Cart_create (rank order is kept; ``reorder`` is advisory)."""
+        del reorder
+        periods = periods if periods is not None else [False] * len(dims)
+        dup = comm.Dup()
+        return cls(dup, dims, periods)
+
+    # ------------------------------------------------------------------
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def Get_coords(self, rank: int) -> tuple[int, ...]:
+        """Row-major grid coordinates of ``rank`` (MPI_Cart_coords)."""
+        if not 0 <= rank < self.size:
+            raise MPICommError(f"rank {rank} outside size {self.size}")
+        out = []
+        for d in reversed(self.dims):
+            rank, c = divmod(rank, d)
+            out.append(c)
+        return tuple(reversed(out))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        """Rank of grid ``coords`` (MPI_Cart_rank); periodic dimensions
+        wrap, non-periodic out-of-range coordinates are an error."""
+        if len(coords) != self.ndims:
+            raise MPICommError("coordinate rank mismatch")
+        norm = []
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not 0 <= c < d:
+                raise MPICommError(
+                    f"coordinate {tuple(coords)} outside non-periodic grid "
+                    f"{self.dims}"
+                )
+            norm.append(c)
+        r = 0
+        for c, d in zip(norm, self.dims):
+            r = r * d + c
+        return r
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        return self.Get_coords(self.rank)
+
+    # ------------------------------------------------------------------
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """(source, destination) ranks for a shift (MPI_Cart_shift).
+
+        Non-periodic shifts off the edge return :data:`PROC_NULL`.
+        """
+        if not 0 <= direction < self.ndims:
+            raise MPICommError(f"direction {direction} outside "
+                               f"{self.ndims} dims")
+        me = list(self.coords)
+
+        def resolve(offset: int) -> int:
+            c = list(me)
+            c[direction] += offset
+            try:
+                return self.Get_cart_rank(c)
+            except MPICommError:
+                return PROC_NULL
+
+        return resolve(-disp), resolve(+disp)
+
+    def Sub(self, remain_dims: Sequence[bool]) -> "Cartcomm":
+        """Slice the grid (MPI_Cart_sub): keep the dimensions flagged in
+        ``remain_dims``, splitting off one sub-communicator per fixed
+        combination of the dropped dimensions."""
+        if len(remain_dims) != self.ndims:
+            raise MPICommError("remain_dims rank mismatch")
+        me = self.coords
+        color = 0
+        key = 0
+        for c, d, keep in zip(me, self.dims, remain_dims):
+            if keep:
+                key = key * d + c
+            else:
+                color = color * d + c
+        sub = self.Split(color, key)
+        assert sub is not None
+        kept_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        kept_periods = [p for p, keep in zip(self.periods, remain_dims)
+                        if keep]
+        return Cartcomm(sub, kept_dims or [1], kept_periods or [False])

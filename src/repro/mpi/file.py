@@ -1,0 +1,356 @@
+"""MPI-IO: file views and independent/collective reads and writes.
+
+This is the layer the paper's code listing exercises: open a file on the
+parallel file system, ``Set_view`` with an indexed *filetype* built from
+chunk addresses, then ``Read_all`` into a buffer through an indexed
+*memtype* — the "irregular distributed array access" collective-I/O
+method [Ching et al. 2003] cited by the paper.
+
+A view ``(disp, etype, filetype)`` exposes the file's bytes as the data
+bytes of ``filetype`` tiled from byte ``disp``; offsets and file pointers
+are in ``etype`` units of that data stream.  Independent operations
+(``Read_at``/``Write_at``/``Read``/``Write``) hit the PFS with one
+vectored request per call; collective operations (``*_all``) aggregate
+every rank's extents into coalesced server requests (two-phase I/O),
+which is what experiment E3 measures against the independent path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import MPIFileError
+from ..pfs.filesystem import ParallelFileSystem
+from ..pfs.pfile import PFSFile
+from ..pfs.striping import Extent
+from .comm import Intracomm, _pack_buf, _parse_bufspec, _unpack_buf
+from .datatypes import BYTE, Datatype
+from .status import Status
+
+__all__ = ["File", "FileView",
+           "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR", "MODE_CREATE",
+           "MODE_EXCL", "MODE_APPEND", "MODE_DELETE_ON_CLOSE"]
+
+MODE_RDONLY = 0x01
+MODE_WRONLY = 0x02
+MODE_RDWR = 0x04
+MODE_CREATE = 0x08
+MODE_EXCL = 0x10
+MODE_APPEND = 0x20
+MODE_DELETE_ON_CLOSE = 0x40
+
+
+class FileView:
+    """One rank's view of a file: ``(disp, etype, filetype)``."""
+
+    def __init__(self, disp: int = 0, etype: Datatype = BYTE,
+                 filetype: Datatype | None = None) -> None:
+        if disp < 0:
+            raise MPIFileError(f"negative view displacement {disp}")
+        filetype = filetype if filetype is not None else etype
+        if etype.size == 0:
+            raise MPIFileError("etype must have positive size")
+        if filetype.size % etype.size:
+            raise MPIFileError(
+                f"filetype size {filetype.size} is not a multiple of etype "
+                f"size {etype.size}"
+            )
+        if filetype.lb < 0:
+            raise MPIFileError("filetype displacements must be non-negative")
+        if filetype.num_runs > 1 and bool(
+                np.any(filetype.offsets[1:] < filetype.offsets[:-1])):
+            # MPI-2 requires a filetype's displacements to be monotonically
+            # nondecreasing — this is why the paper's listing sorts the
+            # chunk addresses into the filetype and permutes the *memory*
+            # type instead (the inMemoryMap).
+            raise MPIFileError(
+                "filetype typemap must have monotonically nondecreasing "
+                "offsets"
+            )
+        self.disp = disp
+        self.etype = etype
+        self.filetype = filetype
+
+    def extents(self, data_offset: int, nbytes: int) -> list[Extent]:
+        """Absolute file byte extents of ``nbytes`` of view data starting
+        at view-data byte ``data_offset``, in data order."""
+        if nbytes < 0 or data_offset < 0:
+            raise MPIFileError(
+                f"bad view range (offset {data_offset}, {nbytes} bytes)"
+            )
+        if nbytes == 0:
+            return []
+        ft = self.filetype
+        tile_data = ft.size
+        if tile_data == 0:
+            raise MPIFileError("filetype holds no data")
+        if ft.is_contiguous and ft.lb == 0:
+            return [(self.disp + data_offset, nbytes)]
+        out: list[Extent] = []
+        cum = ft.cumlen                 # (runs+1,) data offset of each run
+        offs = ft.offsets
+        lens = ft.lengths
+        pos = data_offset
+        end = data_offset + nbytes
+        while pos < end:
+            tile, local = divmod(pos, tile_data)
+            run = int(np.searchsorted(cum, local, side="right")) - 1
+            run_data_start = int(cum[run])
+            within = local - run_data_start
+            take = min(int(lens[run]) - within, end - pos)
+            phys = self.disp + tile * ft.extent + int(offs[run]) + within
+            if out and out[-1][0] + out[-1][1] == phys:
+                out[-1] = (out[-1][0], out[-1][1] + take)
+            else:
+                out.append((phys, take))
+            pos += take
+        return out
+
+
+class File:
+    """An open MPI file on the simulated parallel file system."""
+
+    def __init__(self, comm: Intracomm, pfile: PFSFile, amode: int,
+                 fs: ParallelFileSystem) -> None:
+        self.comm = comm
+        self._pfile = pfile
+        self.amode = amode
+        self._fs = fs
+        self._view = FileView()
+        self._fp = 0            # individual file pointer, in etype units
+        self._open = True
+
+    # ------------------------------------------------------------------
+    # lifecycle (collective)
+    # ------------------------------------------------------------------
+    @classmethod
+    def Open(cls, comm: Intracomm, filename: str, amode: int,
+             fs: ParallelFileSystem) -> "File":
+        """Collectively open ``filename`` on ``fs`` (MPI_File_open).
+
+        All ranks must pass the same name and mode; rank 0 touches the
+        namespace and the PFSFile object is shared by reference.
+        """
+        specs = comm.allgather((filename, amode))
+        if any(s != specs[0] for s in specs):
+            raise MPIFileError(f"File.Open arguments differ across ranks: {specs}")
+        pfile: PFSFile | None = None
+        error: str | None = None
+        if comm.rank == 0:
+            try:
+                exists = fs.exists(filename)
+                if amode & MODE_EXCL and exists:
+                    raise MPIFileError(f"file exists: {filename!r}")
+                if exists:
+                    pfile = fs.open(filename)
+                elif amode & MODE_CREATE:
+                    pfile = fs.create(filename)
+                else:
+                    raise MPIFileError(f"no such file: {filename!r}")
+            except MPIFileError as exc:
+                error = str(exc)
+        # allgather shares references (no pickling) — PFSFile holds locks
+        shared = comm.allgather((pfile, error) if comm.rank == 0 else None)
+        pfile, error = shared[0]
+        if error is not None:
+            raise MPIFileError(error)
+        assert pfile is not None
+        return cls(comm, pfile, amode, fs)
+
+    def Close(self) -> None:
+        """Collective close (MPI_File_close)."""
+        self._require_open()
+        self.comm.barrier()
+        if self.amode & MODE_DELETE_ON_CLOSE and self.comm.rank == 0:
+            self._fs.delete(self._pfile.name)
+        self.comm.barrier()
+        self._open = False
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise MPIFileError("operation on a closed file")
+
+    def _require_readable(self) -> None:
+        if not self.amode & (MODE_RDONLY | MODE_RDWR):
+            raise MPIFileError("file not opened for reading")
+
+    def _require_writable(self) -> None:
+        if not self.amode & (MODE_WRONLY | MODE_RDWR):
+            raise MPIFileError("file not opened for writing")
+
+    # ------------------------------------------------------------------
+    # views and pointers
+    # ------------------------------------------------------------------
+    def Set_view(self, disp: int = 0, etype: Datatype = BYTE,
+                 filetype: Datatype | None = None,
+                 datarep: str = "native", info=None) -> None:
+        """Set this rank's file view and reset its file pointer.
+
+        Each rank may pass a *different* filetype — that is the whole
+        point of the irregular-access method.  MPI makes this call
+        collective; the substrate relaxes it to a purely local operation
+        (views are per-rank state here), so a rank doing independent I/O
+        can retarget its view without synchronizing.  Collective
+        operations still match through the ``*_all`` exchanges.
+        """
+        self._require_open()
+        if datarep != "native":
+            raise MPIFileError(f"only 'native' data representation "
+                               f"supported, got {datarep!r}")
+        if filetype is not None:
+            filetype._check_usable()
+        self._view = FileView(disp, etype, filetype)
+        self._fp = 0
+
+    def Get_view(self) -> tuple[int, Datatype, Datatype]:
+        return self._view.disp, self._view.etype, self._view.filetype
+
+    def Seek(self, offset: int, whence: int = 0) -> None:
+        """Move the individual file pointer (offset in etype units)."""
+        if whence == 0:
+            self._fp = offset
+        elif whence == 1:
+            self._fp += offset
+        else:
+            raise MPIFileError(f"unsupported whence {whence}")
+        if self._fp < 0:
+            raise MPIFileError("file pointer moved before view start")
+
+    def Get_position(self) -> int:
+        return self._fp
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    def Get_size(self) -> int:
+        return self._pfile.size
+
+    def Set_size(self, size: int) -> None:
+        self._require_open()
+        self.comm.barrier()
+        self._pfile.set_size(size)
+        self.comm.barrier()
+
+    def Preallocate(self, size: int) -> None:
+        self.Set_size(max(size, self._pfile.size))
+
+    def Sync(self) -> None:
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # independent I/O
+    # ------------------------------------------------------------------
+    def Read_at(self, offset: int, buf, status: Status | None = None) -> int:
+        """Independent read at an explicit offset (etype units)."""
+        self._require_open()
+        self._require_readable()
+        nbytes, _arr = _buf_nbytes(buf)
+        extents = self._view.extents(offset * self._view.etype.size, nbytes)
+        extents = _clamp_extents(extents, self._pfile.size)
+        data, _t = self._pfile.readv(extents)
+        _unpack_buf(buf, data)
+        if status is not None:
+            status.count = len(data)
+        return len(data)
+
+    def Read(self, buf, status: Status | None = None) -> int:
+        n = self.Read_at(self._fp, buf, status)
+        self._fp += _buf_nbytes(buf)[0] // self._view.etype.size
+        return n
+
+    def Write_at(self, offset: int, buf, status: Status | None = None) -> int:
+        """Independent write at an explicit offset (etype units)."""
+        self._require_open()
+        self._require_writable()
+        data = _pack_buf(buf)
+        extents = self._view.extents(offset * self._view.etype.size, len(data))
+        self._pfile.writev(extents, data)
+        if status is not None:
+            status.count = len(data)
+        return len(data)
+
+    def Write(self, buf, status: Status | None = None) -> int:
+        n = self.Write_at(self._fp, buf, status)
+        self._fp += _buf_nbytes(buf)[0] // self._view.etype.size
+        return n
+
+    # ------------------------------------------------------------------
+    # collective I/O (two-phase)
+    # ------------------------------------------------------------------
+    def Read_at_all(self, offset: int, buf,
+                    status: Status | None = None) -> int:
+        """Collective read at explicit offsets (MPI_File_read_at_all)."""
+        self._require_open()
+        self._require_readable()
+        nbytes, _arr = _buf_nbytes(buf)
+        extents = _clamp_extents(
+            self._view.extents(offset * self._view.etype.size, nbytes),
+            self._pfile.size,
+        )
+        all_extents = self.comm.allgather(extents)
+        # Rank 0 performs the aggregated access; results are shared by
+        # reference through the board.
+        if self.comm.rank == 0:
+            per_rank, _t = self._pfile.collective_readv(all_extents)
+        else:
+            per_rank = None
+        shared = self.comm.allgather(per_rank)
+        data = shared[0][self.comm.rank]
+        _unpack_buf(buf, data)
+        if status is not None:
+            status.count = len(data)
+        return len(data)
+
+    def Read_all(self, buf, status: Status | None = None) -> int:
+        n = self.Read_at_all(self._fp, buf, status)
+        self._fp += _buf_nbytes(buf)[0] // self._view.etype.size
+        return n
+
+    def Write_at_all(self, offset: int, buf,
+                     status: Status | None = None) -> int:
+        """Collective write at explicit offsets (MPI_File_write_at_all)."""
+        self._require_open()
+        self._require_writable()
+        data = _pack_buf(buf)
+        extents = self._view.extents(offset * self._view.etype.size, len(data))
+        gathered = self.comm.allgather((extents, data))
+        if self.comm.rank == 0:
+            self._pfile.collective_writev(
+                [g[0] for g in gathered], [g[1] for g in gathered]
+            )
+        self.comm.barrier()
+        if status is not None:
+            status.count = len(data)
+        return len(data)
+
+    def Write_all(self, buf, status: Status | None = None) -> int:
+        n = self.Write_at_all(self._fp, buf, status)
+        self._fp += _buf_nbytes(buf)[0] // self._view.etype.size
+        return n
+
+
+# ---------------------------------------------------------------------------
+
+def _buf_nbytes(buf) -> tuple[int, object]:
+    """Total data bytes a buffer spec describes."""
+    arr, count, dtype = _parse_bufspec(buf)
+    if dtype is not None:
+        return dtype.size * (count if count is not None else 1), arr
+    a = np.asarray(arr)
+    return a.nbytes, arr
+
+
+def _clamp_extents(extents: Sequence[Extent], file_size: int
+                   ) -> list[Extent]:
+    """Truncate read extents at EOF (MPI short-read semantics)."""
+    out: list[Extent] = []
+    for off, length in extents:
+        if off >= file_size:
+            break
+        take = min(length, file_size - off)
+        out.append((off, take))
+        if take < length:
+            break
+    return out

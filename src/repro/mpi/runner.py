@@ -1,0 +1,104 @@
+"""The SPMD launcher: ``mpiexec`` for thread ranks.
+
+``mpiexec(nprocs, fn, *args)`` runs ``fn(comm, *args)`` once per rank,
+each in its own thread, and returns the per-rank results as a list —
+the in-process analogue of ``mpiexec -n 4 python script.py``.
+
+Failure semantics: the first exception in any rank aborts the world
+(waking every blocked rank), and is re-raised to the caller annotated
+with its rank.  A watchdog converts deadlocks (mismatched collectives,
+missing sends) into a diagnostic :class:`MPIError` after ``timeout``
+seconds instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable
+
+from ..core.errors import MPIAbort, MPIError
+from .comm import Intracomm, World
+
+__all__ = ["mpiexec", "SPMDFailure"]
+
+
+class SPMDFailure(MPIError):
+    """One or more ranks raised; carries every rank's traceback text."""
+
+    def __init__(self, failures: dict[int, BaseException],
+                 tracebacks: dict[int, str]) -> None:
+        self.failures = failures
+        self.tracebacks = tracebacks
+        first_rank = min(failures)
+        first = failures[first_rank]
+        detail = "\n".join(
+            f"--- rank {r} ---\n{tracebacks[r]}" for r in sorted(failures)
+        )
+        super().__init__(
+            f"{len(failures)} rank(s) failed; first: rank {first_rank}: "
+            f"{first!r}\n{detail}"
+        )
+
+
+def mpiexec(nprocs: int, fn: Callable[..., Any], *args: Any,
+            timeout: float = 120.0, **kwargs: Any) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` thread ranks.
+
+    Returns ``[result_of_rank_0, ..., result_of_rank_{n-1}]``.
+
+    Parameters
+    ----------
+    timeout:
+        Watchdog limit in seconds.  If any rank is still alive after
+        this long the world is aborted and :class:`MPIError` raised —
+        a deadlock diagnostic, not a performance knob.
+    """
+    world = World(nprocs)
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    tracebacks: dict[int, str] = {}
+    lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        comm = Intracomm(world, world.world_shared, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except MPIAbort as exc:
+            # Secondary casualty of another rank's failure: record only
+            # if nobody else failed (a genuine Abort call).
+            with lock:
+                failures.setdefault(rank, exc)
+                tracebacks.setdefault(rank, traceback.format_exc())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            with lock:
+                failures[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
+            world.abort(f"rank {rank} raised {exc!r}")
+
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"mpi-rank-{r}",
+                         daemon=True)
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    stuck = [t.name for t in threads if t.is_alive()]
+    if stuck:
+        world.abort("watchdog timeout")
+        for t in threads:
+            t.join(5.0)
+        raise MPIError(
+            f"deadlock suspected: ranks still blocked after {timeout}s: "
+            f"{', '.join(stuck)}"
+        )
+
+    real = {r: e for r, e in failures.items() if not isinstance(e, MPIAbort)}
+    if real:
+        raise SPMDFailure(real, {r: tracebacks[r] for r in real})
+    if failures:
+        # every failure was an MPIAbort: someone called Abort() directly
+        raise SPMDFailure(failures, tracebacks)
+    return results

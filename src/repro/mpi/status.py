@@ -1,0 +1,92 @@
+"""Status and Request objects of the MPI substrate."""
+
+from __future__ import annotations
+
+from ..core.errors import MPIError
+
+__all__ = ["Status", "Request", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Status:
+    """Receive status (MPI_Status): source, tag and byte count."""
+
+    __slots__ = ("source", "tag", "count")
+
+    def __init__(self) -> None:
+        self.source = ANY_SOURCE
+        self.tag = ANY_TAG
+        self.count = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self, datatype=None) -> int:
+        """Received element count (byte count when ``datatype`` is None)."""
+        if datatype is None:
+            return self.count
+        size = datatype.Get_size()
+        if size == 0:
+            return 0
+        if self.count % size:
+            raise MPIError(
+                f"received {self.count} bytes, not a multiple of "
+                f"datatype size {size}"
+            )
+        return self.count // size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Status(source={self.source}, tag={self.tag}, count={self.count})"
+
+
+class Request:
+    """Handle of a non-blocking operation.
+
+    The substrate's sends buffer eagerly, so send requests are born
+    complete; receive requests match lazily in :meth:`test`/:meth:`wait`.
+    """
+
+    __slots__ = ("_wait_fn", "_done", "_result")
+
+    def __init__(self, wait_fn=None, done: bool = False, result=None) -> None:
+        self._wait_fn = wait_fn
+        self._done = done
+        self._result = result
+
+    def Test(self, status: Status | None = None):
+        """Non-blocking completion check; returns (flag, result)."""
+        if self._done:
+            return True, self._result
+        assert self._wait_fn is not None
+        ok, result = self._wait_fn(block=False, status=status)
+        if ok:
+            self._done = True
+            self._result = result
+        return ok, self._result
+
+    def Wait(self, status: Status | None = None):
+        """Block until complete; returns the received object (or None)."""
+        if self._done:
+            return self._result
+        assert self._wait_fn is not None
+        ok, result = self._wait_fn(block=True, status=status)
+        assert ok
+        self._done = True
+        self._result = result
+        return result
+
+    # mpi4py-style lowercase aliases
+    def test(self, status: Status | None = None):
+        return self.Test(status)
+
+    def wait(self, status: Status | None = None):
+        return self.Wait(status)
+
+    @staticmethod
+    def Waitall(requests: list["Request"]) -> list:
+        return [r.Wait() for r in requests]

@@ -1,0 +1,222 @@
+"""One-sided communication (RMA): windows, epochs, Put/Get/Accumulate.
+
+The paper's remote-element path ("an element can be accessed either
+directly from the file or via a remote memory access of participating
+and cooperating processes") uses MPI-2 RMA: each process exposes its
+zone buffer in a window; any process computes the owner of an element
+from the replicated meta-data and issues ``Get``/``Put``/``Accumulate``
+against that rank.
+
+Thread ranks share an address space, so the substrate's windows hold
+direct references to each rank's NumPy buffer; what we faithfully keep
+is the *access discipline* — operations are only legal inside an epoch
+(``Fence``/``Fence`` or ``Lock``/``Unlock``), exclusive locks serialize
+conflicting accesses, and ``Accumulate`` is atomic per element — the
+semantics the Global-Array-style layer (:mod:`repro.drxmp.ga`) builds on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core.errors import MPIWinError
+from .comm import Intracomm
+from .datatypes import Datatype, from_numpy_dtype
+
+__all__ = ["Win", "LOCK_EXCLUSIVE", "LOCK_SHARED"]
+
+LOCK_EXCLUSIVE = 1
+LOCK_SHARED = 2
+
+
+class _WinShared:
+    """Window state shared by all ranks: buffers, locks, disp units."""
+
+    def __init__(self, size: int) -> None:
+        self.buffers: list[np.ndarray | None] = [None] * size
+        self.disp_units: list[int] = [1] * size
+        self.locks = [threading.RLock() for _ in range(size)]
+
+
+class Win:
+    """An RMA window (MPI_Win)."""
+
+    def __init__(self, comm: Intracomm, shared: _WinShared) -> None:
+        self.comm = comm
+        self._shared = shared
+        self._fence_open = False
+        self._held: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def Create(cls, local: np.ndarray | None, comm: Intracomm,
+               disp_unit: int | None = None) -> "Win":
+        """Collectively create a window exposing ``local`` on each rank.
+
+        ``local`` may be None (a zero-size window, as rank != 0 passes in
+        the mpi4py RMA tutorial).  ``disp_unit`` defaults to the array's
+        item size (1 for None).
+        """
+        if local is not None:
+            local = np.ascontiguousarray(local) if not local.flags["C_CONTIGUOUS"] else local
+            unit = disp_unit if disp_unit is not None else local.dtype.itemsize
+        else:
+            unit = disp_unit if disp_unit is not None else 1
+        entries = comm.allgather((comm.rank, local, unit))
+        shared = _WinShared(comm.size)
+        # all ranks build an identical shared view; buffers are references
+        for r, buf, u in entries:
+            shared.buffers[r] = buf
+            shared.disp_units[r] = u
+        # the *same* lock objects must be used by everyone: adopt rank 0's
+        locks = comm.allgather(shared.locks if comm.rank == 0 else None)
+        shared.locks = locks[0]
+        return cls(comm, shared)
+
+    def Free(self) -> None:
+        self.comm.barrier()
+        self._shared.buffers = [None] * self.comm.size
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+    def Fence(self, assertion: int = 0) -> None:
+        """Open/continue a fence epoch (collective)."""
+        self.comm.barrier()
+        self._fence_open = True
+
+    def Lock(self, rank: int, lock_type: int = LOCK_EXCLUSIVE,
+             assertion: int = 0) -> None:
+        """Open a passive-target epoch on ``rank``."""
+        self._check_target(rank)
+        if rank in self._held:
+            raise MPIWinError(f"window already locked on rank {rank}")
+        # Shared locks degrade to exclusive: correct (stricter) and
+        # sufficient for the library's access patterns.
+        self._shared.locks[rank].acquire()
+        self._held.add(rank)
+
+    def Unlock(self, rank: int) -> None:
+        if rank not in self._held:
+            raise MPIWinError(f"window not locked on rank {rank}")
+        self._held.discard(rank)
+        self._shared.locks[rank].release()
+
+    def Lock_all(self) -> None:
+        for r in range(self.comm.size):
+            self.Lock(r)
+
+    def Unlock_all(self) -> None:
+        for r in sorted(self._held):
+            self.Unlock(r)
+
+    def _check_epoch(self, rank: int) -> None:
+        if not self._fence_open and rank not in self._held:
+            raise MPIWinError(
+                f"RMA access to rank {rank} outside any epoch "
+                f"(call Fence() or Lock(rank) first)"
+            )
+
+    def _check_target(self, rank: int) -> None:
+        if not 0 <= rank < self.comm.size:
+            raise MPIWinError(f"target rank {rank} outside size "
+                              f"{self.comm.size}")
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def _target_view(self, target_rank: int, target,
+                     origin: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve the target region as flat (element-index array, buffer).
+
+        ``target`` is ``None`` (offset 0), an int displacement, or a
+        ``(disp, count, datatype)`` triple with the datatype's typemap
+        selecting target elements.
+        """
+        buf = self._shared.buffers[target_rank]
+        if buf is None:
+            raise MPIWinError(f"rank {target_rank} exposes no memory")
+        flat = buf.reshape(-1)
+        unit = self._shared.disp_units[target_rank]
+        itemsize = flat.dtype.itemsize
+        n = origin.size
+        if target is None:
+            target = 0
+        if isinstance(target, (int, np.integer)):
+            start = int(target) * unit // itemsize
+            idx = np.arange(start, start + n, dtype=np.int64)
+        else:
+            disp, count, dtype = target
+            if not isinstance(dtype, Datatype):
+                dtype = from_numpy_dtype(dtype)
+            offs, lens = dtype._tiled_runs(count)
+            byte_idx = np.concatenate([
+                np.arange(o, o + l, itemsize, dtype=np.int64)
+                for o, l in zip(offs.tolist(), lens.tolist())
+            ]) if offs.size else np.empty(0, np.int64)
+            idx = (int(disp) * unit + byte_idx) // itemsize
+            if idx.size != n:
+                raise MPIWinError(
+                    f"target selects {idx.size} elements, origin has {n}"
+                )
+        if idx.size and (idx[0] < 0 or idx[-1] >= flat.size):
+            raise MPIWinError(
+                f"target region [{int(idx[0])}, {int(idx[-1])}] outside "
+                f"window of {flat.size} elements on rank {target_rank}"
+            )
+        return idx, flat
+
+    def Put(self, origin: np.ndarray, target_rank: int,
+            target=None) -> None:
+        """Write ``origin`` into the target window region."""
+        self._check_target(target_rank)
+        self._check_epoch(target_rank)
+        src = np.ascontiguousarray(origin).reshape(-1)
+        idx, flat = self._target_view(target_rank, target, src)
+        with self._shared.locks[target_rank]:
+            flat[idx] = src
+
+    def Get(self, origin: np.ndarray, target_rank: int,
+            target=None) -> None:
+        """Read the target window region into ``origin``."""
+        self._check_target(target_rank)
+        self._check_epoch(target_rank)
+        dst = origin.reshape(-1)
+        if not dst.flags["C_CONTIGUOUS"]:
+            raise MPIWinError("origin buffer must be contiguous")
+        idx, flat = self._target_view(target_rank, target, dst)
+        with self._shared.locks[target_rank]:
+            dst[:] = flat[idx]
+
+    def Accumulate(self, origin: np.ndarray, target_rank: int,
+                   target=None, op=None) -> None:
+        """Element-wise atomic update of the target region (default SUM)."""
+        from .comm import SUM
+        op = op if op is not None else SUM
+        self._check_target(target_rank)
+        self._check_epoch(target_rank)
+        src = np.ascontiguousarray(origin).reshape(-1)
+        idx, flat = self._target_view(target_rank, target, src)
+        with self._shared.locks[target_rank]:
+            flat[idx] = op(flat[idx], src)
+
+    def Get_accumulate(self, origin: np.ndarray, result: np.ndarray,
+                       target_rank: int, target=None, op=None) -> None:
+        """Fetch-and-op: ``result`` gets the old value, target is updated."""
+        from .comm import SUM
+        op = op if op is not None else SUM
+        self._check_target(target_rank)
+        self._check_epoch(target_rank)
+        src = np.ascontiguousarray(origin).reshape(-1)
+        idx, flat = self._target_view(target_rank, target, src)
+        with self._shared.locks[target_rank]:
+            result.reshape(-1)[:] = flat[idx]
+            flat[idx] = op(flat[idx], src)
+
+    def Flush(self, rank: int) -> None:
+        """No-op: thread ranks see stores immediately."""
+
+    def Flush_all(self) -> None:
+        """No-op: thread ranks see stores immediately."""

@@ -1,0 +1,26 @@
+"""``repro.pfs`` — the simulated parallel file system (PVFS2 stand-in).
+
+Striped I/O servers with request/seek/byte counters and an analytic time
+model.  See DESIGN.md §2 for the substitution rationale: the paper's
+performance properties are properties of *access patterns*, which this
+simulator measures deterministically.
+"""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .filesystem import ParallelFileSystem
+from .pfile import PFSFile
+from .server import IOServer
+from .stats import IOStats
+from .striping import Extent, StripeLayout, coalesce_extents
+
+__all__ = [
+    "ParallelFileSystem",
+    "PFSFile",
+    "IOServer",
+    "IOStats",
+    "StripeLayout",
+    "Extent",
+    "coalesce_extents",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+]

@@ -1,0 +1,123 @@
+"""The parallel file system namespace.
+
+:class:`ParallelFileSystem` ties the pieces together: a set of
+:class:`~repro.pfs.server.IOServer` instances, a
+:class:`~repro.pfs.striping.StripeLayout`, and a name -> file mapping
+with create/open/delete semantics.  It is the stand-in for the paper's
+PVFS2 mount point (``/mnt/pvfs2/...``).
+
+The file system can optionally *persist* to a host directory: ``dump()``
+writes every logical file as one flat POSIX file plus nothing else, and
+``load()`` re-imports it.  That keeps the simulator's counters intact
+while letting examples round-trip data to disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+
+from ..core.errors import PFSError
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .pfile import PFSFile
+from .server import IOServer
+from .stats import IOStats
+from .striping import StripeLayout
+
+__all__ = ["ParallelFileSystem"]
+
+
+class ParallelFileSystem:
+    """A simulated PVFS2-like striped file system."""
+
+    def __init__(self, nservers: int = 4, stripe_size: int = 64 * 1024,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.layout = StripeLayout(nservers=nservers, stripe_size=stripe_size)
+        self.cost_model = cost_model
+        self.servers = [IOServer(i, cost_model) for i in range(nservers)]
+        self._files: dict[str, PFSFile] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, name: str) -> PFSFile:
+        with self._lock:
+            if name in self._files:
+                raise PFSError(f"file exists: {name!r}")
+            f = PFSFile(name, self.servers, self.layout)
+            self._files[name] = f
+            return f
+
+    def open(self, name: str) -> PFSFile:
+        with self._lock:
+            try:
+                return self._files[name]
+            except KeyError:
+                raise PFSError(f"no such file: {name!r}") from None
+
+    def open_or_create(self, name: str) -> PFSFile:
+        with self._lock:
+            return self._files.get(name) or self.create(name)
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            f = self._files.pop(name, None)
+            if f is None:
+                raise PFSError(f"no such file: {name!r}")
+            for s in self.servers:
+                s.delete_object(name)
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def nservers(self) -> int:
+        return self.layout.nservers
+
+    @property
+    def stripe_size(self) -> int:
+        return self.layout.stripe_size
+
+    def total_stats(self) -> IOStats:
+        """Aggregate counters over all servers."""
+        total = IOStats()
+        for s in self.servers:
+            total.add(s.stats)
+        return total
+
+    def per_server_stats(self) -> list[IOStats]:
+        return [s.stats.snapshot() for s in self.servers]
+
+    def reset_stats(self) -> None:
+        for s in self.servers:
+            s.stats.reset()
+        for f in self._files.values():
+            f.io_time = 0.0
+
+    # ------------------------------------------------------------------
+    # persistence (optional convenience)
+    # ------------------------------------------------------------------
+    def dump(self, directory: str | pathlib.Path) -> None:
+        """Write every logical file flat into ``directory``."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, f in self._files.items():
+            data = f.read(0, f.size)
+            (directory / name.replace("/", "__")).write_bytes(data)
+
+    def load(self, directory: str | pathlib.Path) -> None:
+        """Import every flat file of ``directory`` as a logical file."""
+        directory = pathlib.Path(directory)
+        for path in sorted(directory.iterdir()):
+            if not path.is_file():
+                continue
+            name = path.name.replace("__", "/")
+            f = self.open_or_create(name)
+            f.write(0, path.read_bytes())

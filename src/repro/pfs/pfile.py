@@ -1,0 +1,232 @@
+"""A logical file striped over the I/O servers.
+
+:class:`PFSFile` presents the byte-stream abstraction the MPI-IO layer
+needs — vectored reads and writes of byte extents — on top of the striped
+server objects.  It also implements the *collective* variants used by
+two-phase collective I/O: the extents of every process are aggregated
+(sorted + coalesced) before hitting the servers, then the data is
+redistributed to the requesting processes.  The difference between the
+independent and collective paths is precisely what experiment E3
+measures.
+
+All operations return the simulated elapsed time of the slowest server
+touched (servers work in parallel), and the file keeps a cumulative
+``io_time`` so callers can charge entire workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.errors import PFSError
+from .server import IOServer
+from .striping import Extent, StripeLayout, coalesce_extents
+
+__all__ = ["PFSFile"]
+
+
+class PFSFile:
+    """One striped logical file (see module docstring)."""
+
+    def __init__(self, name: str, servers: list[IOServer],
+                 layout: StripeLayout) -> None:
+        if layout.nservers != len(servers):
+            raise PFSError(
+                f"layout expects {layout.nservers} servers, got {len(servers)}"
+            )
+        self.name = name
+        self.servers = servers
+        self.layout = layout
+        self._size = 0
+        self._lock = threading.RLock()
+        self.io_time = 0.0
+        for s in servers:
+            if not s.has_object(name):
+                s.create_object(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Logical file size in bytes (highest byte written + 1)."""
+        return self._size
+
+    def set_size(self, size: int) -> None:
+        """Preallocate / declare the logical size (MPI_File_set_size)."""
+        if size < 0:
+            raise PFSError(f"negative size {size}")
+        with self._lock:
+            self._size = max(self._size, size) if size >= self._size else size
+
+    # ------------------------------------------------------------------
+    # vectored independent I/O
+    # ------------------------------------------------------------------
+    def readv(self, extents: list[Extent]) -> tuple[bytes, float]:
+        """Read the given byte extents, concatenated in request order.
+
+        Holes (extents past EOF) read as zeros.
+        """
+        with self._lock:
+            per_server = self.layout.split_extents(extents)
+            pieces: dict[int, bytes] = {}
+            elapsed = 0.0
+            for sid, reqs in enumerate(per_server):
+                if not reqs:
+                    continue
+                data, t = self.servers[sid].read_batch(
+                    self.name, [(srv_off, ln) for srv_off, _lo, ln in reqs]
+                )
+                elapsed = max(elapsed, t)
+                for (_srv_off, log_off, _ln), piece in zip(reqs, data):
+                    pieces[log_off] = piece
+            out = bytearray()
+            for off, length in extents:
+                pos = off
+                end = off + length
+                while pos < end:
+                    piece = pieces[pos]
+                    out += piece
+                    pos += len(piece)
+            self.io_time += elapsed
+            return bytes(out), elapsed
+
+    def writev(self, extents: list[Extent], data: bytes) -> float:
+        """Write ``data`` into the given byte extents, in order."""
+        total = sum(n for _o, n in extents)
+        if total != len(data):
+            raise PFSError(
+                f"writev: extents cover {total} bytes, data has {len(data)}"
+            )
+        with self._lock:
+            per_server = self.layout.split_extents(extents)
+            # Slice the flat data buffer according to logical offsets.
+            slices: dict[int, tuple[int, int]] = {}
+            pos = 0
+            for off, length in extents:
+                cursor = off
+                end = off + length
+                # record where each logical offset's bytes sit in `data`
+                slices[off] = (pos, length)
+                pos += length
+                del cursor, end
+            elapsed = 0.0
+            for sid, reqs in enumerate(per_server):
+                if not reqs:
+                    continue
+                batch: list[tuple[int, bytes]] = []
+                for srv_off, log_off, ln in reqs:
+                    src = self._locate(slices, log_off)
+                    start = src[0] + (log_off - src[2])
+                    batch.append((srv_off, bytes(data[start:start + ln])))
+                t = self.servers[sid].write_batch(self.name, batch)
+                elapsed = max(elapsed, t)
+            self._size = max(self._size,
+                             max((o + n for o, n in extents), default=0))
+            self.io_time += elapsed
+            return elapsed
+
+    @staticmethod
+    def _locate(slices: dict[int, tuple[int, int]], log_off: int
+                ) -> tuple[int, int, int]:
+        """Find the data-buffer slice containing logical offset ``log_off``.
+
+        Returns ``(buf_start, length, extent_offset)``.
+        """
+        # extents are few per call; a linear probe over the dict is fine
+        for ext_off, (buf_start, length) in slices.items():
+            if ext_off <= log_off < ext_off + length:
+                return buf_start, length, ext_off
+        raise PFSError(f"internal: no slice covers offset {log_off}")
+
+    # ------------------------------------------------------------------
+    # collective (two-phase) I/O
+    # ------------------------------------------------------------------
+    def collective_readv(self, extents_per_rank: list[list[Extent]]
+                         ) -> tuple[list[bytes], float]:
+        """Aggregated read on behalf of all ranks at once.
+
+        Phase 1: union all extents, coalesce into the fewest contiguous
+        runs, read them with one vectored request.  Phase 2: carve each
+        rank's bytes out of the aggregate.  Returns one concatenated
+        buffer per rank plus the simulated elapsed time.
+        """
+        with self._lock:
+            union = coalesce_extents(
+                [e for rank in extents_per_rank for e in rank]
+            )
+            blob, elapsed = self.readv(union)
+            # index into the aggregate
+            starts: list[tuple[int, int]] = []   # (offset, blob position)
+            pos = 0
+            for off, length in union:
+                starts.append((off, pos))
+                pos += length
+            out: list[bytes] = []
+            for rank_extents in extents_per_rank:
+                buf = bytearray()
+                for off, length in rank_extents:
+                    run_off, run_pos = _containing_run(starts, union, off)
+                    at = run_pos + (off - run_off)
+                    buf += blob[at:at + length]
+                out.append(bytes(buf))
+            return out, elapsed
+
+    def collective_writev(self, extents_per_rank: list[list[Extent]],
+                          data_per_rank: list[bytes]) -> float:
+        """Aggregated write on behalf of all ranks at once.
+
+        Ranks must not overlap (MPI leaves overlapping collective writes
+        undefined; we raise).  Adjacent extents across ranks merge into
+        single contiguous server writes.
+        """
+        with self._lock:
+            tagged: list[tuple[int, int, int, int]] = []  # off, len, rank, pos
+            for r, rank_extents in enumerate(extents_per_rank):
+                pos = 0
+                for off, length in rank_extents:
+                    tagged.append((off, length, r, pos))
+                    pos += length
+                if pos != len(data_per_rank[r]):
+                    raise PFSError(
+                        f"rank {r}: extents cover {pos} bytes, data has "
+                        f"{len(data_per_rank[r])}"
+                    )
+            # validate non-overlap, then merge adjacents
+            coalesce_extents([(o, n) for o, n, _r, _p in tagged],
+                             merge_overlaps=False)
+            tagged.sort()
+            merged_extents: list[Extent] = []
+            payload = bytearray()
+            for off, length, r, pos in tagged:
+                payload += data_per_rank[r][pos:pos + length]
+                if merged_extents and merged_extents[-1][0] + merged_extents[-1][1] == off:
+                    o0, n0 = merged_extents[-1]
+                    merged_extents[-1] = (o0, n0 + length)
+                else:
+                    merged_extents.append((off, length))
+            return self.writev(merged_extents, bytes(payload))
+
+    # ------------------------------------------------------------------
+    # convenience scalar forms
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        data, _t = self.readv([(offset, length)])
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.writev([(offset, len(data))], data)
+
+
+def _containing_run(starts: list[tuple[int, int]],
+                    union: list[Extent], off: int) -> tuple[int, int]:
+    """Binary search the coalesced run containing logical offset ``off``."""
+    lo, hi = 0, len(starts)
+    while lo < hi - 1:
+        mid = (lo + hi) // 2
+        if starts[mid][0] <= off:
+            lo = mid
+        else:
+            hi = mid
+    run_off, run_pos = starts[lo]
+    if not run_off <= off < run_off + union[lo][1]:
+        raise PFSError(f"internal: offset {off} outside aggregated runs")
+    return run_off, run_pos

@@ -1,0 +1,119 @@
+"""One simulated I/O server of the parallel file system.
+
+A server owns a set of *objects* (one per logical file — PVFS2 likewise
+stores one datafile per I/O server per file).  It services ordered
+batches of read/write requests against an object, counts requests,
+bytes and seeks, and accumulates simulated busy time from the cost
+model.  Storage is a plain ``bytearray`` per object; reads past the
+written end return zeros (sparse-file semantics, which the append-only
+DRX data file relies on when a segment is materialized lazily).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import PFSError
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .stats import IOStats
+
+__all__ = ["IOServer"]
+
+
+class IOServer:
+    """A single I/O server: object store + counters + time model."""
+
+    def __init__(self, server_id: int,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.server_id = server_id
+        self.cost_model = cost_model
+        self.stats = IOStats()
+        self._objects: dict[str, bytearray] = {}
+        #: last byte position + 1 touched per object, for seek accounting
+        self._head: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+    def create_object(self, name: str) -> None:
+        if name in self._objects:
+            raise PFSError(f"server {self.server_id}: object {name!r} exists")
+        self._objects[name] = bytearray()
+        self._head[name] = 0
+
+    def has_object(self, name: str) -> bool:
+        return name in self._objects
+
+    def delete_object(self, name: str) -> None:
+        self._objects.pop(name, None)
+        self._head.pop(name, None)
+
+    def object_size(self, name: str) -> int:
+        return len(self._objects.get(name, b""))
+
+    # ------------------------------------------------------------------
+    # request batches
+    # ------------------------------------------------------------------
+    def read_batch(self, name: str,
+                   requests: list[tuple[int, int]]) -> tuple[list[bytes], float]:
+        """Service an ordered batch of ``(offset, length)`` reads.
+
+        Returns the data pieces and the simulated service time of the
+        batch on this server.
+        """
+        store = self._require(name)
+        out: list[bytes] = []
+        elapsed = 0.0
+        head = self._head[name]
+        for off, length in requests:
+            seek = off != head
+            end = off + length
+            if end <= len(store):
+                piece = bytes(store[off:end])
+            else:
+                avail = store[off:len(store)] if off < len(store) else b""
+                piece = bytes(avail) + b"\x00" * (length - len(avail))
+            out.append(piece)
+            elapsed += self.cost_model.request_time(length, seek)
+            self.stats.read_requests += 1
+            self.stats.bytes_read += length
+            if seek:
+                self.stats.seeks += 1
+            head = end
+        self._head[name] = head
+        self.stats.busy_time += elapsed
+        return out, elapsed
+
+    def write_batch(self, name: str,
+                    requests: list[tuple[int, bytes]]) -> float:
+        """Service an ordered batch of ``(offset, data)`` writes."""
+        store = self._require(name)
+        elapsed = 0.0
+        head = self._head[name]
+        for off, data in requests:
+            length = len(data)
+            seek = off != head
+            end = off + length
+            if end > len(store):
+                store.extend(b"\x00" * (end - len(store)))
+            store[off:end] = data
+            elapsed += self.cost_model.request_time(length, seek)
+            self.stats.write_requests += 1
+            self.stats.bytes_written += length
+            if seek:
+                self.stats.seeks += 1
+            head = end
+        self._head[name] = head
+        self.stats.busy_time += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def _require(self, name: str) -> bytearray:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise PFSError(
+                f"server {self.server_id}: no object {name!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IOServer(id={self.server_id}, "
+                f"objects={len(self._objects)}, {self.stats})")

@@ -1,0 +1,81 @@
+"""I/O accounting for the simulated parallel file system.
+
+The paper's performance claims are claims about *access patterns*: how
+many I/O requests an operation issues, how contiguous they are, how many
+bytes move, and how well the load spreads over the I/O servers.  Wall
+clock on the original PVFS2 cluster is not reproducible here, so every
+benchmark reports these counters plus the analytic time of
+:mod:`repro.pfs.costmodel` — deterministic quantities whose *shape*
+(who wins, by what factor) carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Cumulative I/O counters for one server or one aggregated view."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    #: simulated busy time in seconds (filled by the cost model)
+    busy_time: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.read_requests + self.write_requests
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def add(self, other: "IOStats") -> "IOStats":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        self.read_requests += other.read_requests
+        self.write_requests += other.write_requests
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.seeks += other.seeks
+        self.busy_time += other.busy_time
+        return self
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            read_requests=self.read_requests,
+            write_requests=self.write_requests,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            seeks=self.seeks,
+            busy_time=self.busy_time,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return IOStats(
+            read_requests=self.read_requests - earlier.read_requests,
+            write_requests=self.write_requests - earlier.write_requests,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            seeks=self.seeks - earlier.seeks,
+            busy_time=self.busy_time - earlier.busy_time,
+        )
+
+    def reset(self) -> None:
+        self.read_requests = 0
+        self.write_requests = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.seeks = 0
+        self.busy_time = 0.0
+
+    def __str__(self) -> str:
+        return (f"reqs={self.requests} (r{self.read_requests}/"
+                f"w{self.write_requests}) bytes={self.bytes_moved} "
+                f"seeks={self.seeks} busy={self.busy_time * 1e3:.3f}ms")

@@ -1,0 +1,41 @@
+"""Shared fixtures for the DRX / DRX-MP test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.extendible import ExtendibleChunkIndex
+from repro.pfs import ParallelFileSystem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20070917)  # CLUSTER 2007 week
+
+
+@pytest.fixture
+def fig3_index() -> ExtendibleChunkIndex:
+    """The paper's Fig. 3 growth history: A[4][3][1], +D2 +D2 (merged),
+    +D1, +D0 x2 (one call of 2), +D2."""
+    eci = ExtendibleChunkIndex([4, 3, 1])
+    eci.extend(2)
+    eci.extend(2)
+    eci.extend(1)
+    eci.extend(0, 2)
+    eci.extend(2)
+    return eci
+
+
+@pytest.fixture
+def fig1_index() -> ExtendibleChunkIndex:
+    """The paper's Fig. 1 growth history to the 5x4 chunk grid."""
+    eci = ExtendibleChunkIndex([1, 1])
+    for dim in (1, 0, 0, 1, 0, 1, 0):
+        eci.extend(dim)
+    return eci
+
+
+@pytest.fixture
+def pfs() -> ParallelFileSystem:
+    return ParallelFileSystem(nservers=4, stripe_size=1024)

@@ -1,0 +1,121 @@
+"""Tests for user attributes and the inspection utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core import Attributes, DRXTypeError
+from repro.core.errors import DRXDistributionError, DRXFileNotFoundError
+from repro.drx import DRXFile, DRXSingleFile, describe, load_meta, verify
+from repro.drxmp import DRXMPFile
+from repro.drxmp.partition import BlockCyclicPartition
+from repro.pfs import ParallelFileSystem
+
+
+class TestAttributes:
+    def test_validation(self):
+        a = Attributes()
+        a["x"] = [1, 2, {"y": "z"}]
+        with pytest.raises(DRXTypeError):
+            a["bad"] = object()
+        with pytest.raises(DRXTypeError):
+            a[42] = "non-string key"
+        with pytest.raises(DRXTypeError):
+            a.update({"arr": np.zeros(3)})   # ndarray not JSON
+
+    def test_persist_pair(self, tmp_path):
+        f = DRXFile.create(tmp_path / "a", (4, 4), (2, 2))
+        f.attrs["units"] = "K"
+        f.attrs["levels"] = [1000, 850, 500]
+        f.close()
+        g = DRXFile.open(tmp_path / "a")
+        assert g.attrs == {"units": "K", "levels": [1000, 850, 500]}
+        g.close()
+
+    def test_persist_single(self, tmp_path):
+        f = DRXSingleFile.create(tmp_path / "a", (4, 4), (2, 2))
+        f.attrs["origin"] = "simulation-42"
+        f.close()
+        g = DRXSingleFile.open(tmp_path / "a")
+        assert g.attrs["origin"] == "simulation-42"
+        g.close()
+
+    def test_attrs_survive_extend(self, tmp_path):
+        f = DRXFile.create(tmp_path / "a", (4,), (2,))
+        f.attrs["note"] = "before growth"
+        f.extend(0, 10)
+        f.close()
+        g = DRXFile.open(tmp_path / "a")
+        assert g.attrs["note"] == "before growth"
+        assert g.shape == (14,)
+        g.close()
+
+    def test_parallel_attrs(self, pfs):
+        def body(comm):
+            a = DRXMPFile.create(comm, pfs, "at", (4, 4), (2, 2))
+            a.attrs["experiment"] = "E8"
+            a.flush_attrs()
+            a.close()
+            b = DRXMPFile.open(comm, pfs, "at")
+            val = b.attrs.get("experiment")
+            b.close()
+            return val
+        assert mpi.mpiexec(2, body, timeout=30) == ["E8", "E8"]
+
+    def test_parallel_attr_divergence_detected(self, pfs):
+        def body(comm):
+            a = DRXMPFile.create(comm, pfs, "dv", (4, 4), (2, 2))
+            a.attrs["who"] = comm.rank          # diverged!
+            a.flush_attrs()
+        with pytest.raises(mpi.SPMDFailure):
+            mpi.mpiexec(2, body, timeout=30)
+
+
+class TestInspect:
+    def test_describe_mentions_everything(self, tmp_path):
+        f = DRXFile.create(tmp_path / "a", (10, 12), (2, 3))
+        f.attrs["units"] = "m/s"
+        f.extend(1, 6)
+        f.close()
+        text = describe(tmp_path / "a")
+        assert "(10, 18)" in text
+        assert "(2, 3)" in text
+        assert "units" in text and "m/s" in text
+        assert "dim 1" in text           # the growth step
+        assert "file pair" in text
+
+    def test_describe_single_file(self, tmp_path):
+        DRXSingleFile.create(tmp_path / "s", (4,), (2,)).close()
+        assert "single-file" in describe(tmp_path / "s")
+
+    def test_load_meta_missing(self, tmp_path):
+        with pytest.raises(DRXFileNotFoundError):
+            load_meta(tmp_path / "nope")
+
+    def test_verify_clean(self, tmp_path):
+        f = DRXFile.create(tmp_path / "a", (6, 6), (2, 2))
+        f.extend(0, 2)
+        f.close()
+        assert verify(tmp_path / "a") == []
+
+    def test_verify_flags_corruption(self, tmp_path):
+        import json
+        from repro.core import MAGIC
+        f = DRXFile.create(tmp_path / "a", (6, 6), (2, 2))
+        f.close()
+        xmd = tmp_path / "a.xmd"
+        doc = json.loads(xmd.read_bytes()[len(MAGIC):])
+        doc["element_bounds"] = [600, 6]       # now inconsistent
+        # consistency is validated at load; verify reports it cleanly
+        xmd.write_bytes(MAGIC + json.dumps(doc).encode())
+        problems = verify(tmp_path / "a")
+        assert problems and "meta" in problems[0]
+
+
+class TestCyclicZoneGuard:
+    def test_zone_of_raises_helpfully(self):
+        part = BlockCyclicPartition((4, 4), 4, block=1)
+        with pytest.raises(DRXDistributionError, match="GlobalArray"):
+            part.zone_of(0)

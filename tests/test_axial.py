@@ -1,0 +1,132 @@
+"""Unit tests for axial records and axial vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.axial import SENTINEL_ADDRESS, AxialRecord, AxialVector
+from repro.core.errors import DRXFormatError, DRXIndexError
+
+
+def rec(dim=0, start_index=0, start_address=0, coeffs=(1,), offset=0):
+    return AxialRecord(dim=dim, start_index=start_index,
+                       start_address=start_address, coeffs=coeffs,
+                       file_offset=offset)
+
+
+class TestAxialRecord:
+    def test_basic_fields(self):
+        r = rec(dim=1, start_index=3, start_address=36, coeffs=(3, 12, 1))
+        assert r.rank == 3
+        assert not r.is_sentinel
+
+    def test_sentinel_flag(self):
+        r = rec(start_address=SENTINEL_ADDRESS, coeffs=(0, 0))
+        assert r.is_sentinel
+
+    def test_dim_outside_rank_rejected(self):
+        with pytest.raises(DRXFormatError):
+            rec(dim=3, coeffs=(1, 1))
+
+    def test_negative_start_index_rejected(self):
+        with pytest.raises(DRXFormatError):
+            rec(start_index=-2)
+
+    def test_address_of_matches_paper_formula(self):
+        # D1 record of Fig. 3b: N*=3, M*=36, C=(3, 12, 1)
+        r = rec(dim=1, start_index=3, start_address=36, coeffs=(3, 12, 1))
+        # q = 36 + (I1-3)*12 + I0*3 + I2*1
+        assert r.address_of((0, 3, 0)) == 36
+        assert r.address_of((2, 3, 1)) == 36 + 6 + 1
+        assert r.address_of((5, 3, 2)) == 36 + 15 + 2
+
+    def test_address_of_sentinel_raises(self):
+        r = rec(start_address=SENTINEL_ADDRESS, coeffs=(0, 0))
+        with pytest.raises(DRXIndexError):
+            r.address_of((0, 0))
+
+    def test_index_of_roundtrip(self):
+        # coeffs (3, 12, 1) encode other-bounds N0=4, N2=3: valid segment
+        # indices satisfy I0 < 4, I2 < 3 and I1 >= 3 (any extension run)
+        r = rec(dim=1, start_index=3, start_address=36, coeffs=(3, 12, 1))
+        for idx in [(0, 3, 0), (2, 3, 1), (3, 5, 2), (0, 4, 0)]:
+            assert r.index_of(r.address_of(idx), 3) == idx
+
+    def test_index_of_before_segment_raises(self):
+        r = rec(dim=0, start_index=4, start_address=48, coeffs=(12, 3, 1))
+        with pytest.raises(DRXIndexError):
+            r.index_of(47, 3)
+
+    def test_records_immutable(self):
+        r = rec()
+        with pytest.raises(AttributeError):
+            r.start_address = 5  # type: ignore[misc]
+
+    def test_dict_roundtrip(self):
+        r = rec(dim=2, start_index=1, start_address=12,
+                coeffs=(3, 1, 12), offset=96)
+        assert AxialRecord.from_dict(r.to_dict()) == r
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(DRXFormatError):
+            AxialRecord.from_dict({"dim": 0})
+        with pytest.raises(DRXFormatError):
+            AxialRecord.from_dict({"dim": "x", "start_index": 0,
+                                   "start_address": 0, "coeffs": [1]})
+
+
+class TestAxialVector:
+    def build(self):
+        v = AxialVector(0)
+        v.append(rec(start_index=0, start_address=0, coeffs=(3, 1)))
+        v.append(rec(start_index=4, start_address=48, coeffs=(12, 1)))
+        v.append(rec(start_index=9, start_address=100, coeffs=(20, 1)))
+        return v
+
+    def test_len_iter_getitem(self):
+        v = self.build()
+        assert len(v) == 3
+        assert [r.start_index for r in v] == [0, 4, 9]
+        assert v[1].start_address == 48
+
+    def test_search_rightmost_le(self):
+        v = self.build()
+        assert v.search(0).start_address == 0
+        assert v.search(3).start_address == 0
+        assert v.search(4).start_address == 48
+        assert v.search(8).start_address == 48
+        assert v.search(9).start_address == 100
+        assert v.search(1000).start_address == 100
+
+    def test_search_negative_raises(self):
+        with pytest.raises(DRXIndexError):
+            self.build().search(-1)
+
+    def test_append_wrong_dim_rejected(self):
+        v = AxialVector(0)
+        with pytest.raises(DRXFormatError):
+            v.append(rec(dim=1, coeffs=(1, 1)))
+
+    def test_append_out_of_order_rejected(self):
+        v = self.build()
+        with pytest.raises(DRXFormatError):
+            v.append(rec(start_index=4, start_address=999, coeffs=(1, 1)))
+
+    def test_numpy_mirrors_track_appends(self):
+        v = self.build()
+        assert np.array_equal(v.np_start_indices, [0, 4, 9])
+        assert np.array_equal(v.np_start_addresses, [0, 48, 100])
+        assert v.np_coeffs.shape == (3, 2)
+        v.append(rec(start_index=20, start_address=400, coeffs=(30, 1)))
+        assert np.array_equal(v.np_start_indices, [0, 4, 9, 20])
+
+    def test_dict_roundtrip(self):
+        v = self.build()
+        v2 = AxialVector.from_dict(v.to_dict())
+        assert v2 == v
+
+    def test_equality(self):
+        assert self.build() == self.build()
+        assert self.build() != AxialVector(0)
+        assert AxialVector(0).__eq__(42) is NotImplemented

@@ -1,0 +1,249 @@
+"""Unit tests for the comparator baselines (B-tree, HDF5-like, NetCDF-like, DRA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.baselines import (
+    BTree,
+    ChunkedBTreeFile,
+    ConventionalArrayFile,
+    DRAFile,
+    grow_by_copy,
+)
+from repro.core.errors import DRXError, DRXExtendError, DRXIndexError
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array
+
+
+class TestBTree:
+    def test_insert_lookup(self):
+        bt = BTree(order=4)
+        for i in range(100):
+            bt.put((i % 10, i // 10), i)
+        assert len(bt) == 100
+        assert bt.get((3, 7)) == 73
+        assert bt.get((99, 99)) is None
+        assert (5, 5) in bt and (50, 50) not in bt
+
+    def test_update_in_place(self):
+        bt = BTree()
+        bt.put((1,), "a")
+        bt.put((1,), "b")
+        assert len(bt) == 1
+        assert bt.get((1,)) == "b"
+
+    def test_sorted_iteration(self):
+        bt = BTree(order=5)
+        import random
+        random.seed(4)
+        keys = [(random.randrange(40), random.randrange(40))
+                for _ in range(300)]
+        for k in keys:
+            bt.put(k, k)
+        assert list(bt.keys()) == sorted(set(keys))
+        assert all(k == v for k, v in bt.items())
+
+    def test_height_grows_logarithmically(self):
+        bt = BTree(order=8)
+        for i in range(500):
+            bt.put((i,), i)
+        assert bt.height <= 5
+        assert bt.stats.splits > 0
+
+    def test_lookup_costs_node_reads(self):
+        bt = BTree(order=4, cache_nodes=4)
+        for i in range(200):
+            bt.put((i,), i)
+        r0 = bt.stats.node_reads
+        for i in range(0, 200, 7):
+            bt.get((i,))
+        assert bt.stats.node_reads > r0   # descents hit the store
+
+    def test_bad_order(self):
+        with pytest.raises(DRXError):
+            BTree(order=2)
+        with pytest.raises(DRXError):
+            BTree(cache_nodes=1)
+
+
+class TestChunkedBTreeFile:
+    def test_roundtrip(self, rng):
+        h = ChunkedBTreeFile((10, 12), (3, 4))
+        ref = rng.random((10, 12))
+        h.write((0, 0), ref)
+        assert np.allclose(h.read(), ref)
+        assert np.allclose(h.read((2, 3), (9, 11)), ref[2:9, 3:11])
+        assert h.get((5, 5)) == ref[5, 5]
+        h.put((5, 5), -1.0)
+        assert h.get((5, 5)) == -1.0
+
+    def test_lazy_allocation(self):
+        h = ChunkedBTreeFile((10, 10), (2, 2))
+        assert h.allocated_chunks == 0
+        h.put((0, 0), 1.0)
+        assert h.allocated_chunks == 1
+        assert h.get((9, 9)) == 0.0        # unallocated reads zero
+        assert h.allocated_chunks == 1
+
+    def test_extension_is_metadata_only(self):
+        h = ChunkedBTreeFile((4, 4), (2, 2))
+        h.write((0, 0), np.ones((4, 4)))
+        n = h.allocated_chunks
+        h.extend(0, 100)
+        assert h.shape == (104, 4)
+        assert h.allocated_chunks == n
+        with pytest.raises(DRXExtendError):
+            h.extend(2, 1)
+        with pytest.raises(DRXExtendError):
+            h.extend(0, 0)
+
+    def test_write_order_determines_file_order(self):
+        """HDF5 semantics: chunks live at their first-write position."""
+        h = ChunkedBTreeFile((4, 4), (2, 2))
+        h.put((2, 2), 1.0)     # chunk (1,1) allocated first
+        h.put((0, 0), 2.0)     # chunk (0,0) allocated second
+        assert h.index.get((1, 1)) == 0
+        assert h.index.get((0, 0)) == h.chunk_nbytes
+
+    def test_bounds_check(self):
+        h = ChunkedBTreeFile((4, 4), (2, 2))
+        with pytest.raises(DRXIndexError):
+            h.get((4, 0))
+
+    def test_matches_drx_results(self, tmp_path, rng):
+        """Equivalence: the two chunked stores agree element for element."""
+        from repro.drx import DRXFile
+        ref = pattern_array((9, 11))
+        h = ChunkedBTreeFile((9, 11), (2, 3))
+        d = DRXFile.create(tmp_path / "d", (9, 11), (2, 3))
+        h.write((0, 0), ref)
+        d.write((0, 0), ref)
+        h.extend(1, 4)
+        d.extend(1, 4)
+        h.write((0, 11), ref[:, :4])
+        d.write((0, 11), ref[:, :4])
+        assert np.array_equal(h.read(), d.read())
+        d.close()
+
+
+class TestConventionalArrayFile:
+    def test_roundtrip(self, rng):
+        c = ConventionalArrayFile((8, 9))
+        ref = rng.random((8, 9))
+        c.write((0, 0), ref)
+        assert np.allclose(c.read(), ref)
+        assert np.allclose(c.read((1, 2), (7, 8)), ref[1:7, 2:8])
+
+    def test_record_dim_append_is_cheap(self):
+        c = ConventionalArrayFile((4, 4))
+        c.write((0, 0), np.ones((4, 4)))
+        c.extend(0, 4)
+        assert c.reorg_stats.reorganizations == 0
+        assert c.shape == (8, 4)
+        assert np.all(c.read((0, 0), (4, 4)) == 1)
+
+    def test_other_dim_reorganizes(self):
+        c = ConventionalArrayFile((4, 4))
+        ref = pattern_array((4, 4))
+        c.write((0, 0), ref)
+        c.extend(1, 2)
+        assert c.reorg_stats.reorganizations == 1
+        assert c.reorg_stats.bytes_moved >= 2 * ref.nbytes
+        assert np.array_equal(c.read((0, 0), (4, 4)), ref)
+        assert np.all(c.read((0, 4), (4, 6)) == 0)
+
+    def test_3d(self, rng):
+        c = ConventionalArrayFile((3, 4, 5))
+        ref = rng.random((3, 4, 5))
+        c.write((0, 0, 0), ref)
+        assert np.allclose(c.read((1, 1, 1), (3, 3, 4)), ref[1:3, 1:3, 1:4])
+        c.extend(2, 2)
+        assert np.allclose(c.read((0, 0, 0), (3, 4, 5)), ref)
+
+    def test_request_asymmetry(self):
+        """Row reads: one request.  Column reads: one per row."""
+        c = ConventionalArrayFile((16, 16))
+        c.write((0, 0), np.zeros((16, 16)))
+        c.io_requests = 0
+        c.read((3, 0), (4, 16))
+        assert c.io_requests == 1
+        c.io_requests = 0
+        c.read((0, 3), (16, 4))
+        assert c.io_requests == 16
+
+    def test_transposed_scan(self):
+        ref = pattern_array((6, 4))
+        c = ConventionalArrayFile((6, 4))
+        c.write((0, 0), ref)
+        assert np.array_equal(c.read_transposed_scan(), ref.T)
+
+    def test_errors(self):
+        c = ConventionalArrayFile((4, 4))
+        with pytest.raises(DRXExtendError):
+            c.extend(2, 1)
+        with pytest.raises(DRXExtendError):
+            c.extend(0, 0)
+        with pytest.raises(DRXExtendError):
+            ConventionalArrayFile((0, 4))
+
+
+class TestDRA:
+    def test_fixed_bounds(self, pfs):
+        def body(comm):
+            a = DRAFile.create(comm, pfs, "dra", (8, 8), (2, 2))
+            try:
+                a.extend(0, 2)
+                return False
+            except DRXExtendError:
+                pass
+            a.close()
+            return True
+        assert all(mpi.mpiexec(2, body, timeout=30))
+
+    def test_grow_by_copy(self, pfs):
+        ref = pattern_array((8, 8))
+        def body(comm):
+            a = DRAFile.create(comm, pfs, "old", (8, 8), (2, 2))
+            if comm.rank == 0:
+                a.write((0, 0), ref)
+            comm.barrier()
+            b = grow_by_copy(comm, pfs, a, "new", (12, 8))
+            ok = b.shape == (12, 8)
+            ok = ok and np.array_equal(b.read((0, 0), (8, 8)), ref)
+            ok = ok and np.all(b.read((8, 0), (12, 8)) == 0)
+            a.close()
+            b.close()
+            return ok
+        assert all(mpi.mpiexec(4, body, timeout=60))
+
+    def test_grow_by_copy_validates(self, pfs):
+        def body(comm):
+            a = DRAFile.create(comm, pfs, "v", (8, 8), (2, 2))
+            try:
+                grow_by_copy(comm, pfs, a, "v2", (4, 8))
+                return False
+            except DRXExtendError:
+                a.close()
+                return True
+        assert all(mpi.mpiexec(2, body, timeout=30))
+
+    def test_layout_matches_unextended_drxmp(self, pfs):
+        """DRA == DRX-MP before any extension (subsumption)."""
+        from repro.drxmp import DRXMPFile
+        ref = pattern_array((6, 6))
+        def body(comm):
+            a = DRAFile.create(comm, pfs, "d1", (6, 6), (2, 2))
+            b = DRXMPFile.create(comm, pfs, "d2", (6, 6), (2, 2))
+            if comm.rank == 0:
+                a.write((0, 0), ref)
+                b.write((0, 0), ref)
+            comm.barrier()
+            raw_a = pfs.open("d1.xta").read(0, ref.nbytes)
+            raw_b = pfs.open("d2.xta").read(0, ref.nbytes)
+            a.close()
+            b.close()
+            return raw_a == raw_b
+        assert all(mpi.mpiexec(2, body, timeout=30))

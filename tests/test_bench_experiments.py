@@ -1,0 +1,39 @@
+"""Tests for the experiment aggregator (repro.bench.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+
+
+def test_discover_finds_every_design_id():
+    found = experiments.discover()
+    for ident in experiments.ORDER:
+        assert ident in found, f"missing benchmark module for {ident}"
+
+
+def test_run_single(capsys):
+    n = experiments.run(["a2"])
+    assert n == 1
+    out = capsys.readouterr().out
+    assert "A2 (ablation)" in out
+    assert "merged (paper)" in out
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(SystemExit):
+        experiments.run(["zz9"])
+
+
+def test_every_module_has_run_experiment_and_shape_test():
+    """Each benchmark module must expose run_experiment() and at least
+    one plain (non-benchmark) shape assertion test."""
+    import ast
+    for ident, path in experiments.discover().items():
+        tree = ast.parse(path.read_text())
+        names = {n.name for n in ast.walk(tree)
+                 if isinstance(n, (ast.FunctionDef,))}
+        assert "run_experiment" in names, ident
+        assert any(n.startswith("test_shape") or n.startswith("test_")
+                   for n in names), ident

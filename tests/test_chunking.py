@@ -1,0 +1,125 @@
+"""Unit tests for element <-> chunk arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRXExtendError,
+    DRXIndexError,
+    box_shape,
+    ceil_div,
+    chunk_bounds_for,
+    chunk_element_box,
+    chunk_of,
+    chunks_covering_box,
+    iter_box_intersections,
+    validate_box,
+    within_chunk_offset,
+)
+
+
+class TestBasics:
+    def test_ceil_div(self):
+        assert ceil_div(0, 3) == 0
+        assert ceil_div(1, 3) == 1
+        assert ceil_div(3, 3) == 1
+        assert ceil_div(4, 3) == 2
+
+    def test_chunk_bounds_for(self):
+        assert chunk_bounds_for((10, 12), (2, 3)) == (5, 4)
+        assert chunk_bounds_for((1, 1), (4, 4)) == (1, 1)
+
+    def test_chunk_bounds_rank_mismatch(self):
+        with pytest.raises(DRXExtendError):
+            chunk_bounds_for((10,), (2, 3))
+
+    def test_chunk_bounds_bad_values(self):
+        with pytest.raises(DRXExtendError):
+            chunk_bounds_for((10, 0), (2, 3))
+        with pytest.raises(DRXExtendError):
+            chunk_bounds_for((10, 10), (2, 0))
+
+    def test_chunk_of(self):
+        ci, local = chunk_of((5, 7), (2, 3))
+        assert ci == (2, 2)
+        assert local == (1, 1)
+
+    def test_chunk_of_negative(self):
+        with pytest.raises(DRXIndexError):
+            chunk_of((-1, 0), (2, 3))
+
+    def test_within_chunk_offset_row_major(self):
+        assert within_chunk_offset((0, 0), (2, 3)) == 0
+        assert within_chunk_offset((0, 2), (2, 3)) == 2
+        assert within_chunk_offset((1, 0), (2, 3)) == 3
+        assert within_chunk_offset((1, 2), (2, 3)) == 5
+
+
+class TestBoxes:
+    def test_chunk_element_box(self):
+        lo, hi = chunk_element_box((2, 1), (2, 3))
+        assert (lo, hi) == ((4, 3), (6, 6))
+
+    def test_chunk_element_box_clipped(self):
+        # last chunk of a 10-element dim with chunk width 3: [9, 10)
+        lo, hi = chunk_element_box((3,), (3,), (10,))
+        assert (lo, hi) == ((9,), (10,))
+
+    def test_chunk_entirely_outside_raises(self):
+        with pytest.raises(DRXIndexError):
+            chunk_element_box((4,), (3,), (10,))
+
+    def test_validate_box(self):
+        validate_box((0, 0), (2, 2), (5, 5))
+        with pytest.raises(DRXIndexError):
+            validate_box((0,), (2, 2), (5, 5))
+        with pytest.raises(DRXIndexError):
+            validate_box((2, 0), (2, 2), (5, 5))     # empty
+        with pytest.raises(DRXIndexError):
+            validate_box((0, 0), (6, 2), (5, 5))     # overflow
+
+    def test_box_shape(self):
+        assert box_shape((1, 2), (4, 7)) == (3, 5)
+
+    def test_chunks_covering_box(self):
+        got = chunks_covering_box((1, 2), (5, 7), (2, 3))
+        # rows 0..2, cols 0..2
+        want = [(i, j) for i in range(3) for j in range(3)]
+        assert [tuple(r) for r in got] == want
+
+    def test_chunks_covering_single_chunk(self):
+        got = chunks_covering_box((2, 3), (4, 6), (2, 3))
+        assert [tuple(r) for r in got] == [(1, 1)]
+
+
+class TestIntersections:
+    def test_full_cover_detection(self):
+        inters = list(iter_box_intersections((0, 0), (4, 6), (2, 3)))
+        assert len(inters) == 4
+        assert all(i.full for i in inters)
+
+    def test_partial_edges(self):
+        inters = list(iter_box_intersections((1, 1), (3, 5), (2, 3)))
+        assert not any(i.full for i in inters)
+        # reassemble a pattern array through the intersections
+        src = np.arange(100).reshape(10, 10)
+        out = np.zeros((2, 4))
+        for it in inters:
+            c_lo = tuple(ci * cs for ci, cs in zip(it.chunk_index, (2, 3)))
+            chunk = src[c_lo[0]:c_lo[0] + 2, c_lo[1]:c_lo[1] + 3]
+            out[it.box_slices] = chunk[it.chunk_slices]
+        assert np.array_equal(out, src[1:3, 1:5])
+
+    def test_nelems(self):
+        inters = list(iter_box_intersections((0, 0), (2, 3), (2, 3)))
+        assert inters[0].nelems == 6
+
+    def test_coverage_partition(self):
+        """Every element of the box is covered exactly once."""
+        lo, hi, cs = (3, 1, 2), (9, 8, 5), (4, 3, 2)
+        seen = np.zeros(box_shape(lo, hi), dtype=int)
+        for it in iter_box_intersections(lo, hi, cs):
+            seen[it.box_slices] += 1
+        assert np.all(seen == 1)

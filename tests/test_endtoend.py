@@ -1,0 +1,185 @@
+"""End-to-end system tests: every layer against one evolving dataset.
+
+A 3-D dataset lives through the full life cycle the paper describes:
+serial creation, parallel zone processing, arbitrary-dimension growth,
+one-sided updates, baseline-equivalence checks, and container
+conversion — with a NumPy shadow array as the ground truth throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.baselines import ChunkedBTreeFile
+from repro.drx import DRXFile, DRXSingleFile, MemExtendibleArray, verify
+from repro.drxmp import DRXMPFile, GlobalArray, ga_dot, ga_scale
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array
+
+
+class Shadow:
+    """A NumPy ground-truth twin supporting the same grow/write ops."""
+
+    def __init__(self, shape):
+        self.a = np.zeros(shape)
+
+    def extend(self, dim, by):
+        shape = list(self.a.shape)
+        shape[dim] += by
+        grown = np.zeros(shape)
+        grown[tuple(slice(0, s) for s in self.a.shape)] = self.a
+        self.a = grown
+
+    def write(self, lo, values):
+        self.a[tuple(slice(l, l + s)
+                     for l, s in zip(lo, values.shape))] = values
+
+
+@pytest.mark.parametrize("nproc", [2, 4])
+def test_full_lifecycle_3d(tmp_path, nproc):
+    rng = np.random.default_rng(nproc)
+    shadow = Shadow((6, 8, 4))
+
+    # ---- phase 1: serial creation and population ------------------------
+    ser = DRXFile.create(tmp_path / "ds", (6, 8, 4), (2, 3, 2))
+    block = rng.random((6, 8, 4))
+    ser.write((0, 0, 0), block)
+    shadow.write((0, 0, 0), block)
+    ser.extend(2, 3)                      # time-like growth
+    shadow.extend(2, 3)
+    tail = rng.random((6, 8, 3))
+    ser.write((0, 0, 4), tail)
+    shadow.write((0, 0, 4), tail)
+    ser.attrs["phase"] = 1
+    ser.close()
+    assert verify(tmp_path / "ds") == []
+
+    # ---- phase 2: import into the PFS, process in parallel --------------
+    fs = ParallelFileSystem(nservers=3, stripe_size=4096)
+    fs.create("ds.xmd").write(0, (tmp_path / "ds.xmd").read_bytes())
+    fs.create("ds.xta").write(0, (tmp_path / "ds.xta").read_bytes())
+
+    def phase2(comm):
+        a = DRXMPFile.open(comm, fs, "ds", mode="r+")
+        assert a.attrs["phase"] == 1
+        # zones: each rank doubles its zone
+        mem = a.read_zone()
+        got_ok = True
+        lo, hi = mem.zone.element_box(a.chunk_shape, a.shape)
+        box = tuple(slice(l, h) for l, h in zip(lo, hi))
+        got_ok &= np.allclose(mem.array, phase2.shadow[box])
+        mem.array *= 2.0
+        a.write_zone(mem)
+        comm.barrier()
+        # grow two spatial dims collectively
+        a.extend(0, 2)
+        a.extend(1, 1)
+        if comm.rank == 0:
+            a.write((6, 0, 0), np.full((2, 9, 7), 5.0))
+        comm.barrier()
+        got = a.read((0, 0, 0), a.shape)
+        a.close()
+        return got_ok, got
+
+    phase2.shadow = shadow.a.copy()
+    results = mpi.mpiexec(nproc, phase2, timeout=120)
+    shadow.a *= 2.0
+    shadow.extend(0, 2)
+    shadow.extend(1, 1)
+    shadow.write((6, 0, 0), np.full((2, 9, 7), 5.0))
+    for ok, got in results:
+        assert ok
+        assert np.allclose(got, shadow.a)
+
+    # ---- phase 3: GA compute over the grown dataset ----------------------
+    def phase3(comm):
+        a = DRXMPFile.open(comm, fs, "ds", mode="r+")
+        ga = GlobalArray.from_file(a)
+        ga_scale(ga, 0.5)
+        sq = ga_dot(ga, ga)
+        ga.to_file(a)
+        got = a.read((0, 0, 0), a.shape)
+        a.close()
+        return sq, got
+
+    results = mpi.mpiexec(nproc, phase3, timeout=120)
+    shadow.a *= 0.5
+    want_sq = float((shadow.a * shadow.a).sum())
+    for sq, got in results:
+        assert np.isclose(sq, want_sq)
+        assert np.allclose(got, shadow.a)
+
+    # ---- phase 4: export, verify with serial + single-file + baseline ---
+    xta = fs.open("ds.xta")
+    xmd = fs.open("ds.xmd")
+    (tmp_path / "out.xta").write_bytes(xta.read(0, xta.size))
+    (tmp_path / "out.xmd").write_bytes(xmd.read(0, xmd.size))
+    final = DRXFile.open(tmp_path / "out")
+    assert np.allclose(final.read(), shadow.a)
+
+    single = DRXSingleFile.from_pair(final, tmp_path / "out-single")
+    assert np.allclose(single.read(), shadow.a)
+    single.close()
+
+    mem = MemExtendibleArray.from_drx(final)
+    assert np.allclose(mem.to_numpy(), shadow.a)
+    final.close()
+
+    # an HDF5-model file fed the same operations agrees
+    h = ChunkedBTreeFile(shadow.a.shape, (2, 3, 2))
+    h.write((0, 0, 0), shadow.a)
+    assert np.allclose(h.read(), shadow.a)
+
+
+def test_growth_marathon_serial_vs_parallel(tmp_path):
+    """20 interleaved grow/write rounds; serial DRX, parallel DRX-MP and
+    the shadow stay identical, and the two files stay byte-identical."""
+    rng = np.random.default_rng(77)
+    fs = ParallelFileSystem(nservers=2, stripe_size=2048)
+    shadow = Shadow((4, 4))
+    ser = DRXFile.create(tmp_path / "m", (4, 4), (2, 2))
+
+    def par_create(comm):
+        DRXMPFile.create(comm, fs, "m", (4, 4), (2, 2)).close()
+        return True
+    mpi.mpiexec(1, par_create)
+
+    for step in range(20):
+        dim = int(rng.integers(0, 2))
+        by = int(rng.integers(1, 4))
+        shadow.extend(dim, by)
+        ser.extend(dim, by)
+
+        lo = tuple(int(rng.integers(0, s)) for s in shadow.a.shape)
+        size = tuple(int(rng.integers(1, s - l + 1))
+                     for l, s in zip(lo, shadow.a.shape))
+        block = rng.random(size)
+        shadow.write(lo, block)
+        ser.write(lo, block)
+
+        def par_step(comm, dim=dim, by=by, lo=lo, block=block):
+            a = DRXMPFile.open(comm, fs, "m", mode="r+")
+            a.extend(dim, by)
+            if comm.rank == 0:
+                a.write(lo, block)
+            comm.barrier()
+            a.close()
+            return True
+        assert all(mpi.mpiexec(2, par_step, timeout=60))
+
+        assert np.allclose(ser.read(), shadow.a), f"serial diverged @{step}"
+
+    ser.close()
+    par_xta = fs.open("m.xta")
+    assert (tmp_path / "m.xta").read_bytes() == \
+        par_xta.read(0, par_xta.size)
+
+    def par_check(comm):
+        a = DRXMPFile.open(comm, fs, "m")
+        got = a.read((0, 0), a.shape)
+        a.close()
+        return np.allclose(got, par_check.shadow)
+    par_check.shadow = shadow.a
+    assert all(mpi.mpiexec(4, par_check, timeout=60))

@@ -1,0 +1,36 @@
+"""Every example script must run clean — they are part of the API contract."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert "OK" in proc.stdout or "Fig" in proc.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    # the deliverable set: quickstart + domain scenarios
+    assert "quickstart.py" in names
+    assert "climate_timeseries.py" in names
+    assert "paper_listing_fig1.py" in names
+    assert len(names) >= 5

@@ -1,0 +1,192 @@
+"""Unit tests for the growth engine (ExtendibleChunkIndex)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRXExtendError,
+    DRXFormatError,
+    DRXIndexError,
+    ExtendibleChunkIndex,
+    all_addresses,
+    replay_history,
+)
+
+
+class TestConstruction:
+    def test_initial_bounds(self):
+        eci = ExtendibleChunkIndex([2, 3])
+        assert eci.bounds == (2, 3)
+        assert eci.rank == 2
+        assert eci.num_chunks == 6
+
+    def test_rank_one(self):
+        eci = ExtendibleChunkIndex([5])
+        assert [eci.address((i,)) for i in range(5)] == list(range(5))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(DRXExtendError):
+            ExtendibleChunkIndex([])
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(DRXExtendError):
+            ExtendibleChunkIndex([2, 0])
+
+    def test_sentinels_on_all_but_dim0(self):
+        eci = ExtendibleChunkIndex([2, 3, 4])
+        assert not eci.axial_vectors[0][0].is_sentinel
+        assert eci.axial_vectors[1][0].is_sentinel
+        assert eci.axial_vectors[2][0].is_sentinel
+
+
+class TestExtend:
+    def test_bad_dim(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        with pytest.raises(DRXExtendError):
+            eci.extend(2)
+        with pytest.raises(DRXExtendError):
+            eci.extend(-1)
+
+    def test_bad_amount(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        with pytest.raises(DRXExtendError):
+            eci.extend(0, 0)
+
+    def test_segment_accounting(self):
+        eci = ExtendibleChunkIndex([2, 3])
+        seg = eci.extend(0, 2)   # adds 2*3 = 6 chunks at address 6
+        assert seg.start_address == 6
+        assert seg.n_chunks == 6
+        assert eci.num_chunks == 12
+        assert eci.bounds == (4, 3)
+
+    def test_generation_counter(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        g0 = eci.generation
+        eci.extend(0)
+        eci.extend(1)
+        assert eci.generation == g0 + 2
+
+    def test_first_extension_never_merges_into_initial(self):
+        """Even extending dimension 0 (whose record the initial box uses)
+        must open a new segment: appending along dim 0 of a row-major box
+        IS contiguous, but the record's coefficients must be re-derived
+        anyway; the paper's Fig. 3b shows a fresh record."""
+        eci = ExtendibleChunkIndex([2, 3])
+        assert len(eci.segments) == 1
+        eci.extend(0)
+        assert len(eci.segments) == 2
+
+    def test_merge_only_on_same_dim_runs(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        eci.extend(0)
+        n_seg = len(eci.segments)
+        eci.extend(0)            # merge
+        assert len(eci.segments) == n_seg
+        eci.extend(1)            # new
+        assert len(eci.segments) == n_seg + 1
+        eci.extend(0)            # interrupted: new again
+        assert len(eci.segments) == n_seg + 2
+
+    def test_num_records_counts_all(self, fig3_index):
+        assert fig3_index.num_records == 7  # 2 + 2 + 3
+
+
+class TestAddressing:
+    def test_rank_mismatch(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        with pytest.raises(DRXIndexError):
+            eci.address((1,))
+
+    def test_out_of_bounds(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        with pytest.raises(DRXIndexError):
+            eci.address((2, 0))
+        with pytest.raises(DRXIndexError):
+            eci.address((0, -1))
+
+    def test_inverse_out_of_range(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        with pytest.raises(DRXIndexError):
+            eci.index(4)
+        with pytest.raises(DRXIndexError):
+            eci.index(-1)
+
+    def test_bijectivity_through_growth(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        for dim in (0, 1, 1, 0, 1, 0, 0, 1):
+            eci.extend(dim)
+            grid = all_addresses(eci)
+            assert sorted(grid.ravel().tolist()) == \
+                list(range(eci.num_chunks))
+
+    def test_stability_through_growth(self):
+        """The defining property: no previously assigned address changes."""
+        eci = ExtendibleChunkIndex([2, 3, 2])
+        pinned: dict[tuple, int] = {}
+        for dim in (2, 0, 1, 1, 2, 0):
+            for idx in np.ndindex(*eci.bounds):
+                pinned[idx] = eci.address(idx)
+            eci.extend(dim)
+            for idx, addr in pinned.items():
+                assert eci.address(idx) == addr, (idx, dim)
+
+    def test_index_address_roundtrip(self, fig3_index):
+        for q in range(fig3_index.num_chunks):
+            assert fig3_index.address(fig3_index.index(q)) == q
+
+
+class TestSerialization:
+    def test_roundtrip(self, fig3_index):
+        clone = ExtendibleChunkIndex.from_dict(fig3_index.to_dict())
+        assert clone.bounds == fig3_index.bounds
+        assert clone.num_chunks == fig3_index.num_chunks
+        assert np.array_equal(all_addresses(clone),
+                              all_addresses(fig3_index))
+        assert [len(v) for v in clone.axial_vectors] == \
+            [len(v) for v in fig3_index.axial_vectors]
+
+    def test_copy_is_independent(self, fig3_index):
+        clone = fig3_index.copy()
+        clone.extend(0)
+        assert clone.bounds != fig3_index.bounds
+
+    def test_roundtrip_preserves_merge_state(self):
+        """After deserialization, an uninterrupted follow-up extension
+        must still merge (last_extended_dim survives)."""
+        eci = ExtendibleChunkIndex([2, 2])
+        eci.extend(1)
+        clone = ExtendibleChunkIndex.from_dict(eci.to_dict())
+        nseg = len(clone.segments)
+        clone.extend(1)
+        assert len(clone.segments) == nseg
+
+    def test_malformed_documents(self, fig3_index):
+        good = fig3_index.to_dict()
+        with pytest.raises(DRXFormatError):
+            ExtendibleChunkIndex.from_dict({})
+        bad = dict(good)
+        bad["axial_vectors"] = good["axial_vectors"][:1]
+        with pytest.raises(DRXFormatError):
+            ExtendibleChunkIndex.from_dict(bad)
+
+    def test_missing_initial_record(self):
+        eci = ExtendibleChunkIndex([2, 2])
+        doc = eci.to_dict()
+        # surgically delete the initial record
+        doc["axial_vectors"][0]["records"] = []
+        with pytest.raises(DRXFormatError):
+            ExtendibleChunkIndex.from_dict(doc)
+
+
+class TestReplayHistory:
+    def test_replay(self):
+        eci = replay_history([2, 2], [(0, 1), (1, 2), (0, 1)])
+        assert eci.bounds == (4, 4)
+        ref = ExtendibleChunkIndex([2, 2])
+        ref.extend(0, 1)
+        ref.extend(1, 2)
+        ref.extend(0, 1)
+        assert np.array_equal(all_addresses(eci), all_addresses(ref))

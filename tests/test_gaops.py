@@ -1,0 +1,185 @@
+"""Tests of the GA-toolkit-style collective operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import DRXDistributionError, DRXIndexError
+from repro.drxmp import (
+    DRXMPFile,
+    GlobalArray,
+    ga_add,
+    ga_copy,
+    ga_dot,
+    ga_elem_multiply,
+    ga_fill,
+    ga_matmul,
+    ga_norm2,
+    ga_reduce_max,
+    ga_reduce_min,
+    ga_scale,
+)
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array
+
+
+def run(n, fn, *args, **kw):
+    return mpi.mpiexec(n, fn, *args, timeout=kw.pop("timeout", 90), **kw)
+
+
+def make_ga(comm, fs, name, content=None, shape=(9, 7), chunks=(2, 3)):
+    a = DRXMPFile.create(comm, fs, name, shape, chunks)
+    if content is not None and comm.rank == 0:
+        a.write((0, 0), content)
+    comm.barrier()
+    ga = GlobalArray.from_file(a)
+    a.close()
+    return ga
+
+
+class TestElementwise:
+    def test_fill_and_scale(self, pfs):
+        def body(comm):
+            ga = make_ga(comm, pfs, "f")
+            ga_fill(ga, 3.0)
+            ga_scale(ga, 2.0)
+            got = ga.get((0, 0), (9, 7))
+            return np.all(got == 6.0)
+        assert all(run(4, body))
+
+    def test_fill_masks_padding(self, pfs):
+        """A fill followed by a max must not expose pad elements."""
+        def body(comm):
+            ga = make_ga(comm, pfs, "fp")   # 9x7 with 2x3 chunks: padded
+            ga_fill(ga, -5.0)
+            return ga_reduce_max(ga) == -5.0 and ga_reduce_min(ga) == -5.0
+        assert all(run(4, body))
+
+    def test_copy_and_add(self, pfs):
+        ref = pattern_array((9, 7))
+        def body(comm):
+            a = make_ga(comm, pfs, "a", ref)
+            b = make_ga(comm, pfs, "b")
+            c = make_ga(comm, pfs, "c")
+            ga_copy(a, b)
+            ga_add(2.0, a, -1.0, b, c)      # c = 2a - b = a
+            got = c.get((0, 0), (9, 7))
+            return np.allclose(got, ref)
+        assert all(run(4, body))
+
+    def test_elem_multiply(self, pfs):
+        ref = pattern_array((9, 7))
+        def body(comm):
+            a = make_ga(comm, pfs, "m1", ref)
+            b = make_ga(comm, pfs, "m2", ref)
+            c = make_ga(comm, pfs, "m3")
+            ga_elem_multiply(a, b, c)
+            return np.allclose(c.get((0, 0), (9, 7)), ref * ref)
+        assert all(run(2, body))
+
+    def test_misaligned_rejected(self, pfs):
+        def body(comm):
+            a = make_ga(comm, pfs, "x1", shape=(8, 8), chunks=(2, 2))
+            b = make_ga(comm, pfs, "x2", shape=(8, 8), chunks=(4, 4))
+            try:
+                ga_copy(a, b)
+                return False
+            except DRXDistributionError:
+                return True
+        assert all(run(2, body))
+
+
+class TestReductions:
+    def test_dot_and_norm(self, pfs):
+        ref = pattern_array((9, 7))
+        def body(comm):
+            a = make_ga(comm, pfs, "d1", ref)
+            b = make_ga(comm, pfs, "d2", ref)
+            dot = ga_dot(a, b)
+            norm = ga_norm2(a)
+            return (np.isclose(dot, float((ref * ref).sum()))
+                    and np.isclose(norm, float(np.linalg.norm(ref))))
+        assert all(run(4, body))
+
+    def test_max_min_mask_padding(self, pfs):
+        ref = -1.0 - pattern_array((9, 7))      # all <= -1: pad zeros larger!
+        def body(comm):
+            a = make_ga(comm, pfs, "mm", ref)
+            return (ga_reduce_max(a) == float(ref.max())
+                    and ga_reduce_min(a) == float(ref.min()))
+        assert all(run(4, body))
+
+    def test_reductions_agree_across_ranks(self, pfs):
+        ref = pattern_array((10, 10))
+        def body(comm):
+            a = make_ga(comm, pfs, "ag", ref, shape=(10, 10), chunks=(3, 3))
+            vals = (ga_dot(a, a), ga_reduce_max(a), ga_reduce_min(a))
+            gathered = comm.allgather(vals)
+            return all(g == gathered[0] for g in gathered)
+        assert all(run(4, body))
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("m,k,n,cm,ck,cn", [
+        (8, 8, 8, 2, 2, 2),
+        (6, 10, 4, 3, 2, 4),     # uneven blockings
+        (9, 7, 5, 2, 3, 2),      # padded edges everywhere
+    ])
+    def test_matches_numpy(self, pfs, m, k, n, cm, ck, cn):
+        rng = np.random.default_rng(m * 100 + n)
+        A = rng.random((m, k))
+        B = rng.random((k, n))
+        name = f"mm{m}{k}{n}"
+        def body(comm):
+            ga_a = make_ga(comm, pfs, name + "a", A, (m, k), (cm, ck))
+            ga_b = make_ga(comm, pfs, name + "b", B, (k, n), (ck, cn))
+            ga_c = make_ga(comm, pfs, name + "c", None, (m, n), (cm, cn))
+            ga_matmul(ga_a, ga_b, ga_c)
+            got = ga_c.get((0, 0), (m, n))
+            return np.allclose(got, A @ B)
+        assert all(run(4, body))
+
+    def test_shape_mismatch_rejected(self, pfs):
+        def body(comm):
+            a = make_ga(comm, pfs, "s1", shape=(4, 6), chunks=(2, 2))
+            b = make_ga(comm, pfs, "s2", shape=(4, 6), chunks=(2, 2))
+            c = make_ga(comm, pfs, "s3", shape=(4, 6), chunks=(2, 2))
+            try:
+                ga_matmul(a, b, c)
+                return False
+            except DRXIndexError:
+                return True
+        assert all(run(2, body))
+
+    def test_blocking_mismatch_rejected(self, pfs):
+        def body(comm):
+            a = make_ga(comm, pfs, "b1", shape=(4, 4), chunks=(2, 2))
+            b = make_ga(comm, pfs, "b2", shape=(4, 4), chunks=(4, 2))
+            c = make_ga(comm, pfs, "b3", shape=(4, 4), chunks=(2, 2))
+            try:
+                ga_matmul(a, b, c)
+                return False
+            except DRXIndexError:
+                return True
+        assert all(run(2, body))
+
+    def test_matmul_on_extended_arrays(self, pfs):
+        """Operands with growth history (non-row-major chunk addresses)."""
+        rng = np.random.default_rng(8)
+        A = rng.random((8, 8))
+        B = rng.random((8, 8))
+        def body(comm):
+            fa = DRXMPFile.create(comm, pfs, "ea", (8, 4), (2, 2))
+            fa.extend(1, 4)
+            if comm.rank == 0:
+                fa.write((0, 0), A)
+            comm.barrier()
+            ga_a = GlobalArray.from_file(fa)
+            fa.close()
+            ga_b = make_ga(comm, pfs, "eb", B, (8, 8), (2, 2))
+            ga_c = make_ga(comm, pfs, "ec", None, (8, 8), (2, 2))
+            ga_matmul(ga_a, ga_b, ga_c)
+            return np.allclose(ga_c.get((0, 0), (8, 8)), A @ B)
+        assert all(run(4, body))

@@ -1,0 +1,107 @@
+"""Tests for strided hyperslab selections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DRXIndexError, Hyperslab
+from repro.drx import DRXFile
+from repro.workloads import pattern_array
+
+
+class TestGeometry:
+    def test_shape_and_bbox(self):
+        h = Hyperslab.build((1, 2), (3, 4), (5, 2))
+        assert h.shape == (5, 2)
+        assert h.nelems == 10
+        lo, hi = h.bounding_box()
+        assert lo == (1, 2)
+        assert hi == (1 + 4 * 3 + 1, 2 + 1 * 4 + 1)
+
+    def test_validation(self):
+        with pytest.raises(DRXIndexError):
+            Hyperslab.build((0,), (0,), (2,))
+        with pytest.raises(DRXIndexError):
+            Hyperslab.build((-1,), (1,), (2,))
+        with pytest.raises(DRXIndexError):
+            Hyperslab.build((0,), (1,), (0,))
+        with pytest.raises(DRXIndexError):
+            Hyperslab.build((0, 0), (1,), (2, 2))
+        h = Hyperslab.build((0,), (2,), (5,))
+        with pytest.raises(DRXIndexError):
+            h.validate((8,))
+        h.validate((9,))
+
+    def test_box_selector_picks_lattice(self):
+        h = Hyperslab.build((1,), (3,), (4,))   # elements 1, 4, 7, 10
+        sel = h.box_selector((3,), (9,))        # box holds 4, 7
+        assert sel is not None
+        box_sl, out_sl = sel
+        assert box_sl == (slice(1, 5, 3),)      # 4-3=1, 7-3=4
+        assert out_sl == (slice(1, 3),)
+
+    def test_box_selector_empty(self):
+        h = Hyperslab.build((0,), (10,), (3,))  # 0, 10, 20
+        assert h.box_selector((1,), (10,)) is None
+        assert h.box_selector((21,), (25,)) is None
+
+
+class TestFileIO:
+    def test_read_matches_numpy(self, tmp_path):
+        ref = pattern_array((17, 23))
+        with DRXFile.create(tmp_path / "s", (17, 23), (4, 5)) as a:
+            a.write((0, 0), ref)
+            got = a.read_slab((2, 1), (3, 4), (5, 5))
+            assert np.array_equal(got, ref[2:2 + 15:3, 1:1 + 20:4])
+            # unit stride degenerates to a box read
+            got = a.read_slab((3, 3), (1, 1), (4, 4))
+            assert np.array_equal(got, ref[3:7, 3:7])
+
+    def test_write_touches_only_lattice(self, tmp_path):
+        ref = pattern_array((12, 12))
+        with DRXFile.create(tmp_path / "w", (12, 12), (5, 5)) as a:
+            a.write((0, 0), ref)
+            a.write_slab((1, 1), (2, 3), np.zeros((5, 4)))
+            got = a.read()
+            want = ref.copy()
+            want[1:1 + 10:2, 1:1 + 12:3] = 0
+            assert np.array_equal(got, want)
+
+    def test_slab_beyond_bounds_rejected(self, tmp_path):
+        with DRXFile.create(tmp_path / "b", (10,), (3,)) as a:
+            a.read_slab((0,), (3,), (4,))        # last = 9: in bounds
+            with pytest.raises(DRXIndexError):
+                a.read_slab((0,), (3,), (5,))    # last = 12: outside
+
+    def test_slab_roundtrip_3d(self, tmp_path):
+        ref = pattern_array((9, 8, 7))
+        with DRXFile.create(tmp_path / "t", (9, 8, 7), (2, 3, 4)) as a:
+            a.write((0, 0, 0), ref)
+            got = a.read_slab((1, 0, 2), (2, 3, 2), (4, 3, 3))
+            assert np.array_equal(
+                got, ref[1:1 + 8:2, 0:0 + 9:3, 2:2 + 6:2])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_property_slab_matches_numpy(data):
+    k = data.draw(st.integers(1, 3))
+    shape = tuple(data.draw(st.integers(4, 14)) for _ in range(k))
+    chunk = tuple(data.draw(st.integers(1, 5)) for _ in range(k))
+    start = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+    stride = tuple(data.draw(st.integers(1, 4)) for _ in range(k))
+    count = tuple(
+        data.draw(st.integers(1, max(1, (s - st0 - 1) // sd + 1)))
+        for s, st0, sd in zip(shape, start, stride)
+    )
+    ref = pattern_array(shape)
+    a = DRXFile.create(None, shape, chunk)
+    a.write(tuple(0 for _ in shape), ref)
+    got = a.read_slab(start, stride, count)
+    want = ref[tuple(slice(s, s + (c - 1) * sd + 1, sd)
+                     for s, sd, c in zip(start, stride, count))]
+    assert np.array_equal(got, want)
+    a.close()

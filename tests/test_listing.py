@@ -1,0 +1,135 @@
+"""LIST1: the paper's section IV-B code listing, translated line by line.
+
+The C program reads the 20 chunks of the Fig. 1 array (6 doubles per
+chunk) collectively into 4 processes, using a chunk datatype
+(``MPI_Type_contiguous``), an indexed filetype over each rank's chunk
+addresses (``globalMap``), and an indexed memtype placing chunks at
+their in-zone positions (``inMemoryMap``).
+
+We verify (a) the translation produces exactly the data layout the C
+maps imply, and (b) the hardcoded maps themselves are what DRX-MP
+computes from the Fig. 1 growth history plus the 2x2 BLOCK zones —
+i.e. the listing's constants are *derived*, not coincidental.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.inverse import f_star_inv_many
+from repro.core.mapping import f_star_many
+from repro.drxmp.partition import BlockPartition
+from repro.pfs import ParallelFileSystem
+
+CHUNK_SIZE = 6           # doubles per chunk (2x3)
+N_CHUNKS = 20
+CHUNK_DISTRIB = [6, 6, 4, 4]
+GLOBAL_MAP = [
+    [0, 1, 2, 3, 4, 5],
+    [6, 7, 8, 12, 13, 14],
+    [9, 10, 16, 17, -1, -1],
+    [11, 15, 18, 19, -1, -1],
+]
+IN_MEMORY_MAP = [
+    [0, 1, 2, 3, 4, 5],
+    [0, 2, 4, 1, 3, 5],
+    [0, 1, 2, 3, -1, -1],
+    [0, 1, 2, 3, -1, -1],
+]
+
+
+@pytest.fixture
+def chunked_file(pfs):
+    """The file of the listing: 20 chunks, chunk q holding the values
+    q*6 .. q*6+5 (so every double identifies its source chunk)."""
+    f = pfs.create("/mnt/pvfs2/chunkedArray4.dat")
+    payload = np.arange(N_CHUNKS * CHUNK_SIZE, dtype=np.float64)
+    f.write(0, payload.tobytes())
+    return pfs
+
+
+def listing_body(comm, pfs):
+    """The C listing, in the substrate's mpi4py-style API."""
+    my_rank = comm.Get_rank()
+    assert comm.Get_size() == 4, "Size must be 4"
+
+    fh = mpi.File.Open(comm, "/mnt/pvfs2/chunkedArray4.dat",
+                       mpi.MODE_RDONLY, pfs)
+
+    no_of_chunks = CHUNK_DISTRIB[my_rank]
+    chunk_map = GLOBAL_MAP[my_rank][:no_of_chunks]
+    inmemmap = IN_MEMORY_MAP[my_rank][:no_of_chunks]
+    blocklens = [1] * no_of_chunks
+
+    chunk = mpi.DOUBLE.Create_contiguous(CHUNK_SIZE)
+    chunk.Commit()
+    filetype = chunk.Create_indexed(blocklens, chunk_map)
+    filetype.Commit()
+    memtype = chunk.Create_indexed(blocklens, inmemmap)
+    memtype.Commit()
+
+    fh.Set_view(0, chunk, filetype)
+
+    ndbls = no_of_chunks * CHUNK_SIZE
+    membuf = np.full(ndbls, -1.0)
+    status = mpi.Status()
+    fh.Read_all((membuf, 1, memtype), status=status)
+    count = status.Get_count(chunk)
+    comm.Barrier()
+    fh.Close()
+    return count, membuf
+
+
+class TestListingTranslation:
+    def test_counts_and_layout(self, chunked_file):
+        results = mpi.mpiexec(4, listing_body, chunked_file, timeout=60)
+        for rank, (count, membuf) in enumerate(results):
+            n = CHUNK_DISTRIB[rank]
+            assert count == n, f"rank {rank} read {count} chunks"
+            # chunk from file slot i lands at memory slot inmemmap[i]
+            for i, q in enumerate(GLOBAL_MAP[rank][:n]):
+                slot = IN_MEMORY_MAP[rank][i]
+                got = membuf[slot * CHUNK_SIZE:(slot + 1) * CHUNK_SIZE]
+                want = np.arange(q * CHUNK_SIZE, (q + 1) * CHUNK_SIZE,
+                                 dtype=np.float64)
+                assert np.array_equal(got, want), (rank, i, q)
+
+    def test_rank3_prints_its_chunks(self, chunked_file):
+        """The listing dumps rank 3's buffer; chunks 11, 15, 18, 19 in
+        memory slots 0..3."""
+        results = mpi.mpiexec(4, listing_body, chunked_file, timeout=60)
+        _count, membuf = results[3]
+        expect = np.concatenate([
+            np.arange(q * CHUNK_SIZE, (q + 1) * CHUNK_SIZE)
+            for q in (11, 15, 18, 19)
+        ]).astype(np.float64)
+        assert np.array_equal(membuf, expect)
+
+
+class TestListingConstantsAreDerived:
+    """The hardcoded maps equal what the library computes."""
+
+    def test_global_map(self, fig1_index):
+        part = BlockPartition(fig1_index.bounds, 4, pgrid=(2, 2))
+        for rank in range(4):
+            addrs = np.sort(
+                f_star_many(fig1_index, part.chunks_of(rank))).tolist()
+            n = CHUNK_DISTRIB[rank]
+            assert addrs == GLOBAL_MAP[rank][:n], rank
+
+    def test_chunk_distrib(self, fig1_index):
+        part = BlockPartition(fig1_index.bounds, 4, pgrid=(2, 2))
+        assert part.chunk_counts() == CHUNK_DISTRIB
+
+    def test_in_memory_map(self, fig1_index):
+        part = BlockPartition(fig1_index.bounds, 4, pgrid=(2, 2))
+        for rank in range(4):
+            zone = part.zone_of(rank)
+            addrs = np.sort(f_star_many(fig1_index, zone.chunk_indices()))
+            indices = f_star_inv_many(fig1_index, addrs)
+            rel = indices - np.asarray(zone.lo)
+            inmem = (rel[:, 0] * zone.shape[1] + rel[:, 1]).tolist()
+            n = CHUNK_DISTRIB[rank]
+            assert inmem == IN_MEMORY_MAP[rank][:n], rank

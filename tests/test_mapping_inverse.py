@@ -1,0 +1,98 @@
+"""Vectorized F* / F*^-1 against the scalar reference implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRXIndexError,
+    ExtendibleChunkIndex,
+    f_star,
+    f_star_inv,
+    f_star_inv_many,
+    f_star_many,
+    all_addresses,
+    replay_history,
+)
+from repro.workloads import random_growth
+
+
+def histories():
+    yield [2, 3], []
+    yield [1, 1], [(1, 1), (0, 2), (1, 1), (0, 1)]
+    yield [4, 3, 1], [(2, 2), (1, 1), (0, 2), (2, 1)]
+    yield [2, 2, 2, 2], random_growth(4, 6, seed=5, max_by=2)
+    yield [3], [(0, 4), (0, 1)]
+
+
+@pytest.mark.parametrize("bounds,history", list(histories()))
+def test_vectorized_matches_scalar(bounds, history):
+    eci = replay_history(bounds, history)
+    idx = np.array(list(np.ndindex(*eci.bounds)), dtype=np.int64)
+    batch = f_star_many(eci, idx)
+    scalar = np.array([f_star(eci, tuple(i)) for i in idx])
+    assert np.array_equal(batch, scalar)
+
+
+@pytest.mark.parametrize("bounds,history", list(histories()))
+def test_vectorized_inverse_matches_scalar(bounds, history):
+    eci = replay_history(bounds, history)
+    q = np.arange(eci.num_chunks)
+    batch = f_star_inv_many(eci, q)
+    scalar = np.array([f_star_inv(eci, int(a)) for a in q])
+    assert np.array_equal(batch, scalar)
+
+
+@pytest.mark.parametrize("bounds,history", list(histories()))
+def test_roundtrip_both_ways(bounds, history):
+    eci = replay_history(bounds, history)
+    q = np.arange(eci.num_chunks)
+    assert np.array_equal(f_star_many(eci, f_star_inv_many(eci, q)), q)
+    idx = np.array(list(np.ndindex(*eci.bounds)), dtype=np.int64)
+    assert np.array_equal(f_star_inv_many(eci, f_star_many(eci, idx)), idx)
+
+
+def test_f_star_many_single_row_promotes():
+    eci = ExtendibleChunkIndex([3, 3])
+    out = f_star_many(eci, np.array([1, 2]))
+    assert out.shape == (1,)
+    assert out[0] == eci.address((1, 2))
+
+
+def test_f_star_many_empty():
+    eci = ExtendibleChunkIndex([3, 3])
+    assert f_star_many(eci, np.empty((0, 2), dtype=np.int64)).size == 0
+    assert f_star_inv_many(eci, np.empty(0, dtype=np.int64)).shape == (0, 2)
+
+
+def test_f_star_many_rank_mismatch():
+    eci = ExtendibleChunkIndex([3, 3])
+    with pytest.raises(DRXIndexError):
+        f_star_many(eci, np.zeros((2, 3), dtype=np.int64))
+
+
+def test_f_star_many_out_of_bounds_reports_offender():
+    eci = ExtendibleChunkIndex([3, 3])
+    with pytest.raises(DRXIndexError, match=r"\(3, 0\)"):
+        f_star_many(eci, np.array([[0, 0], [3, 0]]))
+
+
+def test_f_star_inv_many_out_of_range():
+    eci = ExtendibleChunkIndex([3, 3])
+    with pytest.raises(DRXIndexError):
+        f_star_inv_many(eci, np.array([0, 9]))
+
+
+def test_all_addresses_shape(fig1_index):
+    grid = all_addresses(fig1_index)
+    assert grid.shape == fig1_index.bounds
+
+
+def test_degenerate_bounds_with_ones():
+    """Dimensions of extent 1 (tied coefficients) decode correctly."""
+    eci = replay_history([1, 4, 1], [(1, 2), (0, 1), (2, 1), (1, 1)])
+    grid = all_addresses(eci)
+    assert sorted(grid.ravel().tolist()) == list(range(eci.num_chunks))
+    q = np.arange(eci.num_chunks)
+    assert np.array_equal(f_star_many(eci, f_star_inv_many(eci, q)), q)

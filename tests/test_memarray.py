@@ -1,0 +1,94 @@
+"""Unit tests for the memory-resident extendible array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DRXIndexError
+from repro.drx import DRXFile, MemExtendibleArray
+
+
+class TestBasics:
+    def test_create_and_index(self):
+        m = MemExtendibleArray((4, 5), (2, 2))
+        m[(1, 2)] = 7.5
+        assert m[(1, 2)] == 7.5
+        assert m.get((0, 0)) == 0.0
+        assert m.shape == (4, 5)
+        assert m.rank == 2
+
+    def test_bounds(self):
+        m = MemExtendibleArray((4, 5), (2, 2))
+        with pytest.raises(DRXIndexError):
+            m.get((4, 0))
+        with pytest.raises(DRXIndexError):
+            m.put((0, 5), 1.0)
+        with pytest.raises(DRXIndexError):
+            m.get((0,))
+
+    def test_subarrays(self, rng):
+        m = MemExtendibleArray((6, 7), (2, 3))
+        ref = rng.random((6, 7))
+        m.write((0, 0), ref)
+        assert np.allclose(m.read(), ref)
+        assert np.allclose(m.read((1, 2), (5, 6)), ref[1:5, 2:6])
+        f = m.read(order="F")
+        assert f.flags["F_CONTIGUOUS"] and np.allclose(f, ref)
+
+
+class TestExtend:
+    def test_extend_keeps_data(self, rng):
+        m = MemExtendibleArray((3, 3), (2, 2))
+        ref = rng.random((3, 3))
+        m.write((0, 0), ref)
+        m.extend(1, 4)
+        m.extend(0, 2)
+        assert m.shape == (5, 7)
+        assert np.allclose(m.read((0, 0), (3, 3)), ref)
+        assert np.all(m.read((3, 0), (5, 7)) == 0)
+
+    def test_num_chunks_tracks_meta(self):
+        m = MemExtendibleArray((4, 4), (2, 2))
+        assert m.num_chunks == 4
+        m.extend(0, 4)
+        assert m.num_chunks == 8
+        assert len(m._chunks) == 8
+
+
+class TestConversions:
+    def test_numpy_roundtrip(self, rng):
+        ref = rng.random((5, 6))
+        m = MemExtendibleArray.from_numpy(ref, (2, 3))
+        assert np.allclose(m.to_numpy(), ref)
+
+    def test_drx_roundtrip_preserves_history(self, tmp_path, rng):
+        """The file must use the SAME chunk addresses as the memory
+        array (the growth history is carried, not recomputed)."""
+        m = MemExtendibleArray((3, 3), (2, 2))
+        m.write((0, 0), rng.random((3, 3)))
+        m.extend(1, 3)
+        m.write((0, 3), rng.random((3, 3)))
+        m.extend(0, 2)
+        f = m.to_drx(tmp_path / "m")
+        f.close()
+        g = DRXFile.open(tmp_path / "m")
+        # identical axial vectors
+        assert g.meta.eci.to_dict() == m.meta.eci.to_dict()
+        assert np.allclose(g.read(), m.to_numpy())
+        m2 = MemExtendibleArray.from_drx(g)
+        g.close()
+        assert np.allclose(m2.to_numpy(), m.to_numpy())
+        assert m2.meta.eci.to_dict() == m.meta.eci.to_dict()
+
+    def test_loaded_copy_is_extendible(self, tmp_path, rng):
+        m = MemExtendibleArray((4, 4), (2, 2))
+        m.write((0, 0), rng.random((4, 4)))
+        f = m.to_drx(tmp_path / "x")
+        f.close()
+        g = DRXFile.open(tmp_path / "x")
+        m2 = MemExtendibleArray.from_drx(g)
+        g.close()
+        m2.extend(0, 2)
+        m2.write((4, 0), np.ones((2, 4)))
+        assert np.all(m2.read((4, 0), (6, 4)) == 1)

@@ -1,0 +1,125 @@
+"""Unit tests for the DRX meta-data model and .xmd serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRXFormatError,
+    DRXTypeError,
+    DRXMeta,
+    DRXType,
+    MAGIC,
+)
+
+
+class TestDRXType:
+    def test_supported_types(self):
+        assert DRXType.to_numpy("int") == np.dtype(np.int64)
+        assert DRXType.to_numpy("double") == np.dtype(np.float64)
+        assert DRXType.to_numpy("complex") == np.dtype(np.complex128)
+
+    def test_from_numpy(self):
+        assert DRXType.from_numpy(np.float64) == "double"
+        assert DRXType.from_numpy(np.dtype(np.int64)) == "int"
+        assert DRXType.from_numpy(np.complex128) == "complex"
+
+    def test_unsupported(self):
+        with pytest.raises(DRXTypeError):
+            DRXType.to_numpy("float16")
+        with pytest.raises(DRXTypeError):
+            DRXType.from_numpy(np.float16)
+
+
+class TestCreate:
+    def test_basics(self):
+        m = DRXMeta.create((10, 12), (2, 3))
+        assert m.rank == 2
+        assert m.chunk_bounds == (5, 4)
+        assert m.chunk_elems == 6
+        assert m.chunk_nbytes == 48
+        assert m.num_chunks == 20
+        assert m.data_nbytes == 960
+
+    def test_numpy_dtype_accepted(self):
+        m = DRXMeta.create((4,), (2,), np.int64)
+        assert m.dtype_name == "int"
+
+    def test_consistency_check(self):
+        m = DRXMeta.create((10, 12), (2, 3))
+        m.check_consistent()
+        m.element_bounds = (100, 12)
+        with pytest.raises(DRXFormatError):
+            m.check_consistent()
+
+
+class TestExtendElements:
+    def test_within_partial_chunk_no_new_chunks(self):
+        # 10 elements, chunk 3 -> 4 chunks with 2 slack slots
+        m = DRXMeta.create((10,), (3,))
+        new = m.extend_elements(0, 2)        # 10 -> 12, still 4 chunks
+        assert new == []
+        assert m.element_bounds == (12,)
+        assert m.chunk_bounds == (4,)
+
+    def test_spill_allocates_chunks(self):
+        m = DRXMeta.create((10,), (3,))
+        new = m.extend_elements(0, 5)        # 10 -> 15 needs 5 chunks
+        assert new == [4]
+        assert m.chunk_bounds == (5,)
+
+    def test_multidim_spill_addresses(self):
+        m = DRXMeta.create((4, 4), (2, 2))   # 2x2 chunks, 4 total
+        new = m.extend_elements(1, 4)        # cols 4 -> 8: 2 new chunk cols
+        assert new == [4, 5, 6, 7]
+        m.check_consistent()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        m = DRXMeta.create((10, 12), (2, 3), "complex")
+        m.extend_elements(1, 7)
+        m.extend_elements(0, 3)
+        blob = m.to_bytes()
+        assert blob.startswith(MAGIC)
+        m2 = DRXMeta.from_bytes(blob)
+        assert m2.element_bounds == m.element_bounds
+        assert m2.chunk_shape == m.chunk_shape
+        assert m2.dtype_name == "complex"
+        assert m2.num_chunks == m.num_chunks
+        assert m2.to_bytes() == blob          # deterministic
+
+    def test_replicate_independent(self):
+        m = DRXMeta.create((4, 4), (2, 2))
+        r = m.replicate()
+        r.extend_elements(0, 10)
+        assert m.element_bounds == (4, 4)
+
+    def test_bad_magic(self):
+        with pytest.raises(DRXFormatError):
+            DRXMeta.from_bytes(b"NOPE{}")
+
+    def test_corrupt_json(self):
+        with pytest.raises(DRXFormatError):
+            DRXMeta.from_bytes(MAGIC + b"{not json")
+
+    def test_bad_version(self):
+        m = DRXMeta.create((4,), (2,))
+        import json
+        doc = json.loads(m.to_bytes()[len(MAGIC):])
+        doc["format_version"] = 999
+        with pytest.raises(DRXFormatError):
+            DRXMeta.from_bytes(MAGIC + json.dumps(doc).encode())
+
+    def test_inconsistent_chunk_count_detected(self):
+        m = DRXMeta.create((4,), (2,))
+        import json
+        doc = json.loads(m.to_bytes()[len(MAGIC):])
+        doc["num_chunks"] = 77
+        with pytest.raises(DRXFormatError):
+            DRXMeta.from_bytes(MAGIC + json.dumps(doc).encode())
+
+    def test_missing_fields(self):
+        with pytest.raises(DRXFormatError):
+            DRXMeta.from_bytes(MAGIC + b'{"format_version": 1}')

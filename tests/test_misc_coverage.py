@@ -1,0 +1,128 @@
+"""Small-surface coverage: harness, status/requests, misc edge paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.bench import Table, format_bytes, speedup, wallclock
+from repro.core.errors import MPIError
+
+
+class TestHarness:
+    def test_table_render_alignment(self):
+        t = Table("demo", ["a", "bb"])
+        t.add(1, "xx")
+        t.add(12345, 3.14159)
+        t.note("a note")
+        out = t.render()
+        assert "== demo ==" in out
+        assert "note: a note" in out
+        lines = out.splitlines()
+        assert len({len(l) for l in lines[1:4]}) <= 2   # aligned columns
+
+    def test_table_rejects_ragged_rows(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_table_float_formats(self):
+        t = Table("x", ["v"])
+        t.add(0.0)
+        t.add(1234567.0)
+        t.add(0.000001)
+        out = t.render()
+        assert "0" in out and "e+" in out and "e-" in out
+
+    def test_empty_table_renders(self):
+        assert "== empty ==" in Table("empty", ["h"]).render()
+
+    def test_format_bytes(self):
+        assert format_bytes(10) == "10B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MiB"
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == "2.00x"
+        assert speedup(0.0, 1.0) == "-"
+        assert speedup(1.0, 0.0) == "-"
+
+    def test_wallclock_returns_result(self):
+        t, val = wallclock(lambda: 41 + 1, repeat=2)
+        assert val == 42 and t >= 0
+
+
+class TestStatusRequests:
+    def test_get_count_remainder_rejected(self):
+        st = mpi.Status()
+        st.count = 10
+        with pytest.raises(MPIError):
+            st.Get_count(mpi.DOUBLE)     # 10 % 8 != 0
+        st.count = 16
+        assert st.Get_count(mpi.DOUBLE) == 2
+        assert st.Get_count() == 16
+
+    def test_waitall(self):
+        def body(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, dest=1, tag=i) for i in range(3)]
+                mpi.Request.Waitall(reqs)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(3)]
+            return mpi.Request.Waitall(reqs)
+        res = mpi.mpiexec(2, body, timeout=30)
+        assert res[1] == [0, 1, 2]
+
+
+class TestMiscEdges:
+    def test_pfs_open_or_create(self):
+        from repro.pfs import ParallelFileSystem
+        fs = ParallelFileSystem(nservers=2, stripe_size=16)
+        a = fs.open_or_create("x")
+        assert fs.open_or_create("x") is a
+
+    def test_stripe_layout_repr_fields(self):
+        from repro.pfs import StripeLayout
+        lay = StripeLayout(nservers=3, stripe_size=8)
+        assert lay.nservers == 3 and lay.stripe_size == 8
+
+    def test_drxmeta_memory_order_roundtrip(self):
+        from repro.core import DRXMeta
+        m = DRXMeta.create((4,), (2,))
+        m.memory_order = "F"
+        m2 = DRXMeta.from_bytes(m.to_bytes())
+        assert m2.memory_order == "F"
+
+    def test_zone_repr_fields(self):
+        from repro.drxmp import Zone
+        z = Zone(1, (0, 0), (2, 3))
+        assert z.rank == 1 and z.shape == (2, 3)
+
+    def test_comm_free_noop(self):
+        def body(comm):
+            dup = comm.Dup()
+            dup.Free()
+            return True
+        assert all(mpi.mpiexec(2, body, timeout=30))
+
+    def test_win_lock_shared_degrades(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(2), comm)
+            win.Lock(0, mpi.LOCK_SHARED)
+            win.Unlock(0)
+            win.Free()
+            return True
+        assert all(mpi.mpiexec(2, body, timeout=30))
+
+    def test_empty_buffer_messages(self):
+        """Zero-size buffers are legal message payloads end to end."""
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.empty(0), dest=1)
+                return None
+            buf = np.empty(0)
+            comm.Recv(buf, source=0)
+            return True
+        res = mpi.mpiexec(2, body, timeout=30)
+        assert res[1] is True

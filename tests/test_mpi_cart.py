@@ -1,0 +1,113 @@
+"""Tests for Cartesian topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import MPICommError
+from repro.mpi.cart import PROC_NULL, Cartcomm
+from repro.mpi.runner import SPMDFailure
+
+
+def run(n, fn, **kw):
+    return mpi.mpiexec(n, fn, timeout=kw.pop("timeout", 30), **kw)
+
+
+class TestCreation:
+    def test_coords_roundtrip(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (2, 3))
+            assert cart.Get_cart_rank(cart.coords) == cart.rank
+            return cart.coords
+        res = run(6, body)
+        assert res == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_wrong_grid_size(self):
+        def body(comm):
+            Cartcomm.Create_cart(comm, (2, 2))
+        with pytest.raises(SPMDFailure):
+            run(6, body)
+
+    def test_with_dims_create(self):
+        from repro.drxmp.partition import dims_create
+        def body(comm):
+            dims = dims_create(comm.size, 2)
+            cart = Cartcomm.Create_cart(comm, dims)
+            return cart.dims
+        assert run(6, body) == [(3, 2)] * 6
+
+    def test_periodic_wrap_rank(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (4,), periods=[True])
+            return cart.Get_cart_rank((-1,)), cart.Get_cart_rank((5,))
+        assert run(4, body)[0] == (3, 1)
+
+    def test_nonperiodic_out_of_range(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (4,))
+            with pytest.raises(MPICommError):
+                cart.Get_cart_rank((-1,))
+            return True
+        assert all(run(4, body))
+
+
+class TestShift:
+    def test_shift_interior_and_edges(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (4,))
+            return cart.Shift(0, 1)
+        res = run(4, body)
+        assert res[0] == (PROC_NULL, 1)
+        assert res[1] == (0, 2)
+        assert res[3] == (2, PROC_NULL)
+
+    def test_periodic_shift(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (4,), periods=[True])
+            return cart.Shift(0, 1)
+        res = run(4, body)
+        assert res[0] == (3, 1)
+        assert res[3] == (2, 0)
+
+    def test_halo_exchange_usecase(self):
+        """A classic ring halo exchange through the topology."""
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (comm.size,),
+                                        periods=[True])
+            left, right = cart.Shift(0, 1)
+            out = np.array([float(cart.rank)])
+            buf = np.empty(1)
+            cart.Sendrecv(out, dest=right, recvbuf=buf, source=left)
+            return buf[0]
+        res = run(4, body)
+        assert res == [3.0, 0.0, 1.0, 2.0]
+
+
+class TestSub:
+    def test_row_communicators(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (2, 3))
+            rows = cart.Sub([False, True])     # keep columns: row comms
+            return rows.size, sorted(rows.allgather(cart.rank))
+        res = run(6, body)
+        assert res[0] == (3, [0, 1, 2])
+        assert res[5] == (3, [3, 4, 5])
+
+    def test_column_communicators(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (2, 3))
+            cols = cart.Sub([True, False])
+            return cols.size, sorted(cols.allgather(cart.rank))
+        res = run(6, body)
+        assert res[0] == (2, [0, 3])
+        assert res[4] == (2, [1, 4])
+
+    def test_sub_keeps_periods(self):
+        def body(comm):
+            cart = Cartcomm.Create_cart(comm, (2, 2),
+                                        periods=[True, False])
+            sub = cart.Sub([True, False])
+            return sub.periods
+        assert run(4, body)[0] == (True,)

@@ -1,0 +1,374 @@
+"""Unit tests for communicators: point-to-point, collectives, failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import MPICommError, MPIError
+from repro.mpi.runner import SPMDFailure
+
+
+def run(n, fn, **kw):
+    return mpi.mpiexec(n, fn, timeout=kw.pop("timeout", 30), **kw)
+
+
+class TestRunner:
+    def test_results_in_rank_order(self):
+        assert run(4, lambda c: c.rank * 10) == [0, 10, 20, 30]
+
+    def test_single_rank(self):
+        assert run(1, lambda c: c.size) == [1]
+
+    def test_exception_propagates_with_rank(self):
+        def body(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+        with pytest.raises(SPMDFailure) as ei:
+            run(4, body)
+        assert 2 in ei.value.failures
+        assert isinstance(ei.value.failures[2], ValueError)
+
+    def test_failure_wakes_blocked_ranks(self):
+        """Ranks stuck in a collective must not hang when another dies."""
+        def body(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.barrier()      # would block forever without abort
+        with pytest.raises(SPMDFailure):
+            run(4, body)
+
+    def test_deadlock_watchdog(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.barrier()  # others never arrive
+            return True
+        with pytest.raises(MPIError, match="deadlock"):
+            run(2, body, timeout=2)
+
+    def test_abort_call(self):
+        def body(comm):
+            if comm.rank == 1:
+                comm.Abort(7)
+            comm.barrier()
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_bad_world_size(self):
+        with pytest.raises(MPICommError):
+            mpi.World(0)
+
+
+class TestPointToPoint:
+    def test_object_send_recv(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"k": [1, 2]}, dest=1, tag=3)
+                return None
+            return comm.recv(source=0, tag=3)
+        assert run(2, body)[1] == {"k": [1, 2]}
+
+    def test_send_is_a_copy(self):
+        """Mutating the sent object after send must not affect receipt."""
+        def body(comm):
+            if comm.rank == 0:
+                obj = [1, 2, 3]
+                comm.send(obj, dest=1)
+                obj.append(99)
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+        assert run(2, body)[1] == [1, 2, 3]
+
+    def test_tag_matching(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            first = comm.recv(source=0, tag=2)
+            second = comm.recv(source=0, tag=1)
+            return first, second
+        assert run(2, body)[1] == ("b", "a")
+
+    def test_any_source_any_tag_with_status(self):
+        def body(comm):
+            if comm.rank == 0:
+                st = mpi.Status()
+                vals = []
+                for _ in range(2):
+                    vals.append(comm.recv(source=mpi.ANY_SOURCE,
+                                          tag=mpi.ANY_TAG, status=st))
+                return sorted(vals)
+            comm.send(comm.rank, dest=0, tag=comm.rank)
+            return None
+        assert run(3, body)[0] == [1, 2]
+
+    def test_fifo_per_pair(self):
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=9)
+                return None
+            return [comm.recv(source=0, tag=9) for _ in range(20)]
+        assert run(2, body)[1] == list(range(20))
+
+    def test_buffer_send_recv_with_status(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(5, dtype=np.int64), dest=1)
+                return None
+            buf = np.empty(5, dtype=np.int64)
+            st = mpi.Status()
+            comm.Recv(buf, source=0, status=st)
+            assert st.Get_count(mpi.INT64) == 5
+            assert st.source == 0
+            return buf.tolist()
+        assert run(2, body)[1] == [0, 1, 2, 3, 4]
+
+    def test_buffer_overflow_detected(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(10, dtype=np.int64), dest=1)
+                return None
+            buf = np.empty(2, dtype=np.int64)
+            comm.Recv(buf, source=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_kind_mismatch_detected(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("pickled", dest=1)
+                return None
+            buf = np.empty(1)
+            comm.Recv(buf, source=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_isend_irecv(self):
+        def body(comm):
+            if comm.rank == 0:
+                req = comm.isend("hello", dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+        assert run(2, body)[1] == "hello"
+
+    def test_irecv_test_then_wait(self):
+        def body(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0)
+                comm.barrier()          # rank 0 sends before barrier
+                ok, val = req.test()
+                while not ok:
+                    ok, val = req.test()
+                return val
+            comm.send(42, dest=1)
+            comm.barrier()
+            return None
+        assert run(2, body)[1] == 42
+
+    def test_probe_and_iprobe(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1, tag=5)
+                comm.barrier()
+                return None
+            comm.barrier()
+            assert comm.Iprobe(source=0, tag=5)
+            assert not comm.Iprobe(source=0, tag=6)
+            st = mpi.Status()
+            assert comm.Probe(source=0, tag=5, status=st)
+            assert st.source == 0 and st.tag == 5
+            return comm.recv(source=0, tag=5)
+        assert run(2, body)[1] == 1
+
+    def test_sendrecv(self):
+        def body(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            out = np.array([float(comm.rank)])
+            buf = np.empty(1)
+            comm.Sendrecv(out, dest=right, recvbuf=buf, source=left)
+            return buf[0]
+        assert run(4, body) == [3.0, 0.0, 1.0, 2.0]
+
+    def test_bad_peer_rank(self):
+        def body(comm):
+            comm.send(1, dest=5)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+
+class TestObjectCollectives:
+    def test_bcast(self):
+        def body(comm):
+            return comm.bcast({"x": comm.rank} if comm.rank == 1 else None,
+                              root=1)
+        assert run(3, body) == [{"x": 1}] * 3
+
+    def test_bcast_deep_copies(self):
+        def body(comm):
+            obj = comm.bcast([1, 2] if comm.rank == 0 else None)
+            obj.append(comm.rank)    # private copy per rank
+            comm.barrier()
+            return len(obj)
+        assert run(3, body) == [3, 3, 3]
+
+    def test_gather(self):
+        def body(comm):
+            return comm.gather(comm.rank ** 2, root=2)
+        res = run(4, body)
+        assert res[2] == [0, 1, 4, 9]
+        assert res[0] is None
+
+    def test_scatter(self):
+        def body(comm):
+            data = [i * 10 for i in range(comm.size)] if comm.rank == 0 \
+                else None
+            return comm.scatter(data, root=0)
+        assert run(4, body) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_count(self):
+        def body(comm):
+            comm.scatter([1] if comm.rank == 0 else None, root=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_allgather(self):
+        def body(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+        assert run(3, body) == [["a", "b", "c"]] * 3
+
+    def test_alltoall(self):
+        def body(comm):
+            return comm.alltoall([f"{comm.rank}->{d}"
+                                  for d in range(comm.size)])
+        res = run(3, body)
+        assert res[1] == ["0->1", "1->1", "2->1"]
+
+    def test_reduce_and_allreduce(self):
+        def body(comm):
+            s = comm.reduce(comm.rank + 1, op=mpi.SUM, root=0)
+            m = comm.allreduce(comm.rank, op=mpi.MAX)
+            return s, m
+        res = run(4, body)
+        assert res[0] == (10, 3)
+        assert res[1] == (None, 3)
+
+    def test_scan(self):
+        def body(comm):
+            return comm.scan(comm.rank + 1)
+        assert run(4, body) == [1, 3, 6, 10]
+
+
+class TestBufferCollectives:
+    def test_bcast_buffer(self):
+        def body(comm):
+            buf = (np.arange(6, dtype=np.float64) if comm.rank == 0
+                   else np.empty(6))
+            comm.Bcast(buf, root=0)
+            return buf.sum()
+        assert run(3, body) == [15.0] * 3
+
+    def test_scatter_gather_buffers(self):
+        def body(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(comm.size * 2, dtype=np.int64)
+            part = np.empty(2, dtype=np.int64)
+            comm.Scatter(send, part, root=0)
+            assert part.tolist() == [comm.rank * 2, comm.rank * 2 + 1]
+            out = np.empty(comm.size * 2, dtype=np.int64) \
+                if comm.rank == 0 else None
+            comm.Gather(part * 10, out, root=0)
+            return out.tolist() if comm.rank == 0 else None
+        assert run(3, body)[0] == [0, 10, 20, 30, 40, 50]
+
+    def test_allgather_buffer(self):
+        def body(comm):
+            out = np.empty(comm.size, dtype=np.int64)
+            comm.Allgather(np.array([comm.rank ** 2]), out)
+            return out.tolist()
+        assert run(4, body)[3] == [0, 1, 4, 9]
+
+    def test_alltoall_buffer(self):
+        def body(comm):
+            send = np.full(comm.size, comm.rank, dtype=np.int64)
+            recv = np.empty(comm.size, dtype=np.int64)
+            comm.Alltoall(send, recv)
+            return recv.tolist()
+        assert run(3, body)[1] == [0, 1, 2]
+
+    def test_reduce_allreduce_scan_buffers(self):
+        def body(comm):
+            v = np.full(3, float(comm.rank + 1))
+            r = np.empty(3)
+            comm.Allreduce(v, r, op=mpi.PROD)
+            s = np.empty(3)
+            comm.Scan(v, s, op=mpi.SUM)
+            red = np.empty(3) if comm.rank == 1 else None
+            comm.Reduce(v, red, op=mpi.MIN, root=1)
+            return r[0], s[0], (red[0] if comm.rank == 1 else None)
+        res = run(3, body)
+        assert res[0] == (6.0, 1.0, None)
+        assert res[1] == (6.0, 3.0, 1.0)
+        assert res[2] == (6.0, 6.0, None)
+
+    def test_missing_root_buffer_rejected(self):
+        def body(comm):
+            comm.Gather(np.zeros(1), None, root=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+
+class TestCommManagement:
+    def test_split_even_odd(self):
+        def body(comm):
+            sub = comm.Split(color=comm.rank % 2, key=-comm.rank)
+            # key = -rank reverses the ordering inside each color
+            return sub.size, sub.rank, sub.allgather(comm.rank)
+        res = run(4, body)
+        assert res[0] == (2, 1, [2, 0])
+        assert res[2] == (2, 0, [2, 0])
+        assert res[1] == (2, 1, [3, 1])
+
+    def test_split_undefined_color(self):
+        def body(comm):
+            sub = comm.Split(color=0 if comm.rank == 0 else -1)
+            if comm.rank == 0:
+                assert sub.size == 1
+                return "in"
+            assert sub is None
+            return "out"
+        assert run(3, body) == ["in", "out", "out"]
+
+    def test_dup_independent_collectives(self):
+        def body(comm):
+            dup = comm.Dup()
+            a = dup.allreduce(1)
+            b = comm.allreduce(2)
+            return a, b
+        assert run(3, body) == [(3, 6)] * 3
+
+    def test_subcommunicator_pt2pt(self):
+        def body(comm):
+            sub = comm.Split(color=comm.rank // 2, key=comm.rank)
+            if sub.rank == 0:
+                sub.send(f"group{comm.rank // 2}", dest=1)
+                return None
+            return sub.recv(source=0)
+        res = run(4, body)
+        assert res[1] == "group0" and res[3] == "group1"
+
+    def test_wtime_and_name(self):
+        def body(comm):
+            t = comm.Wtime()
+            assert t > 0
+            return comm.Get_processor_name()
+        assert run(2, body) == ["thread-rank-0", "thread-rank-1"]

@@ -1,0 +1,289 @@
+"""Unit tests for MPI-IO: views, independent and collective I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import MPIFileError
+from repro.mpi.file import FileView, _clamp_extents
+from repro.mpi.runner import SPMDFailure
+from repro.pfs import ParallelFileSystem
+
+
+def run(n, fn, *args, **kw):
+    return mpi.mpiexec(n, fn, *args, timeout=kw.pop("timeout", 30), **kw)
+
+
+class TestFileView:
+    def test_default_view_is_identity(self):
+        v = FileView()
+        assert v.extents(0, 10) == [(0, 10)]
+        assert v.extents(5, 3) == [(5, 3)]
+
+    def test_displacement(self):
+        v = FileView(disp=100)
+        assert v.extents(4, 8) == [(104, 8)]
+
+    def test_empty_request(self):
+        assert FileView().extents(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(MPIFileError):
+            FileView().extents(-1, 4)
+        with pytest.raises(MPIFileError):
+            FileView(disp=-1)
+
+    def test_vector_filetype_tiling(self):
+        # every other double, starting at byte 16
+        ft = mpi.DOUBLE.Create_vector(2, 1, 2).Commit()
+        v = FileView(disp=16, etype=mpi.DOUBLE, filetype=ft)
+        # tile: data bytes at file offsets 16 and 32; extent 3 doubles
+        assert v.extents(0, 16) == [(16, 8), (32, 8)]
+        # second tile begins at 16 + 24
+        assert v.extents(16, 8) == [(40, 8)]
+        # crossing tiles: the tail of tile 0 (at 32) abuts the head of
+        # tile 1 (at 40), so the two pieces merge into one extent
+        assert v.extents(8, 16) == [(32, 16)]
+
+    def test_indexed_filetype_mid_run(self):
+        chunk = mpi.DOUBLE.Create_contiguous(4).Commit()
+        ft = chunk.Create_indexed([1, 1], [1, 3]).Commit()
+        v = FileView(0, mpi.DOUBLE, ft)
+        # data bytes 0..31 -> file bytes 32..63; 32..63 -> 96..127
+        assert v.extents(0, 64) == [(32, 32), (96, 32)]
+        # a read starting inside the first chunk
+        assert v.extents(8, 32) == [(40, 24), (96, 8)]
+
+    def test_etype_filetype_mismatch(self):
+        ft = mpi.INT.Create_contiguous(3).Commit()
+        with pytest.raises(MPIFileError):
+            FileView(0, mpi.DOUBLE, ft)
+
+    def test_non_monotonic_filetype_rejected(self):
+        ft = mpi.DOUBLE.Create_indexed([1, 1], [3, 0]).Commit()
+        with pytest.raises(MPIFileError):
+            FileView(0, mpi.DOUBLE, ft)
+
+    def test_clamp_extents(self):
+        assert _clamp_extents([(0, 10), (20, 10)], 25) == [(0, 10), (20, 5)]
+        assert _clamp_extents([(30, 10)], 25) == []
+        assert _clamp_extents([(0, 10)], 100) == [(0, 10)]
+
+
+class TestOpenClose:
+    def test_create_and_reopen(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "f", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            if comm.rank == 0:
+                fh.Write_at(0, np.arange(4, dtype=np.float64))
+            fh.Close()
+            fh2 = mpi.File.Open(comm, "f", mpi.MODE_RDONLY, pfs)
+            buf = np.empty(4)
+            fh2.Read_at(0, buf)
+            fh2.Close()
+            return buf.tolist()
+        assert run(2, body) == [[0, 1, 2, 3]] * 2
+
+    def test_open_missing_fails_everywhere(self, pfs):
+        def body(comm):
+            mpi.File.Open(comm, "nope", mpi.MODE_RDONLY, pfs)
+        with pytest.raises(SPMDFailure) as ei:
+            run(2, body)
+        assert len(ei.value.failures) == 2   # every rank raised
+
+    def test_excl_on_existing(self, pfs):
+        pfs.create("exists")
+        def body(comm):
+            mpi.File.Open(comm, "exists",
+                          mpi.MODE_RDWR | mpi.MODE_CREATE | mpi.MODE_EXCL,
+                          pfs)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_mismatched_arguments_detected(self, pfs):
+        def body(comm):
+            name = "a" if comm.rank == 0 else "b"
+            mpi.File.Open(comm, name, mpi.MODE_RDONLY, pfs)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_delete_on_close(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(
+                comm, "tmp",
+                mpi.MODE_RDWR | mpi.MODE_CREATE | mpi.MODE_DELETE_ON_CLOSE,
+                pfs)
+            fh.Close()
+            return pfs.exists("tmp")
+        assert run(2, body) == [False, False]
+
+    def test_use_after_close(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "g", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            fh.Close()
+            fh.Read_at(0, np.empty(1))
+        with pytest.raises(SPMDFailure):
+            run(1, body)
+
+    def test_mode_enforcement(self, pfs):
+        pfs.create("ro").write(0, b"\x00" * 8)
+        def body(comm):
+            fh = mpi.File.Open(comm, "ro", mpi.MODE_RDONLY, pfs)
+            with pytest.raises(MPIFileError):
+                fh.Write_at(0, np.zeros(1))
+            fh.Close()
+            fh = mpi.File.Open(comm, "wo", mpi.MODE_WRONLY | mpi.MODE_CREATE,
+                               pfs)
+            with pytest.raises(MPIFileError):
+                fh.Read_at(0, np.empty(1))
+            fh.Close()
+            return True
+        assert run(1, body) == [True]
+
+
+class TestIndependentIO:
+    def test_read_write_with_pointer(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "p", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            fh.Set_view(0, mpi.DOUBLE)
+            if comm.rank == 0:
+                fh.Write(np.array([1.0, 2.0]))
+                fh.Write(np.array([3.0]))
+                assert fh.Get_position() == 3
+            fh.Sync()
+            comm.barrier()
+            fh.Seek(1)
+            buf = np.empty(2)
+            fh.Read(buf)
+            fh.Close()
+            return buf.tolist()
+        assert run(2, body) == [[2.0, 3.0]] * 2
+
+    def test_eof_short_read(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "eof", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            fh.Write_at(0, np.arange(3, dtype=np.float64))
+            buf = np.full(10, -1.0)
+            st = mpi.Status()
+            n = fh.Read_at(0, buf, status=st)
+            fh.Close()
+            assert n == 24 and st.count == 24
+            return buf.tolist()
+        out = run(1, body)[0]
+        assert out[:3] == [0, 1, 2] and out[3:] == [-1.0] * 7
+
+    def test_interleaved_views(self, pfs):
+        """Two ranks with complementary strided views write a full file."""
+        def body(comm):
+            fh = mpi.File.Open(comm, "s", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            ft = mpi.DOUBLE.Create_vector(4, 1, 2).Commit()
+            fh.Set_view(comm.rank * 8, mpi.DOUBLE, ft)
+            fh.Write_at(0, np.full(4, float(comm.rank + 1)))
+            fh.Sync()
+            comm.barrier()
+            fh.Set_view(0, mpi.DOUBLE)
+            whole = np.empty(8)
+            fh.Read_at(0, whole)
+            fh.Close()
+            return whole.tolist()
+        assert run(2, body)[0] == [1, 2, 1, 2, 1, 2, 1, 2]
+
+
+class TestCollectiveIO:
+    def test_read_write_all_roundtrip(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "c", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            n = 16
+            block = mpi.DOUBLE.Create_contiguous(n).Commit()
+            ft = block.Create_indexed([1], [comm.rank]).Commit()
+            fh.Set_view(0, mpi.DOUBLE, ft)
+            fh.Write_all(np.full(n, float(comm.rank)))
+            fh.Seek(0)
+            buf = np.empty(n)
+            fh.Read_all(buf)
+            fh.Close()
+            return float(buf.mean())
+        assert run(4, body) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_collective_aggregates_requests(self, pfs):
+        """The E3 property at the MPI level: interleaved chunked reads
+        collapse into far fewer server requests than independent ones."""
+        f = pfs.create("agg")
+        f.write(0, np.arange(64, dtype=np.float64).tobytes())
+
+        def coll(comm):
+            fh = mpi.File.Open(comm, "agg", mpi.MODE_RDONLY, pfs)
+            chunk = mpi.DOUBLE.Create_contiguous(4).Commit()
+            ft = chunk.Create_indexed([1, 1],
+                                      [comm.rank, comm.rank + 4]).Commit()
+            fh.Set_view(0, mpi.DOUBLE, ft)
+            buf = np.empty(8)
+            fh.Read_at_all(0, buf)
+            fh.Close()
+            return buf.sum()
+
+        def indep(comm):
+            fh = mpi.File.Open(comm, "agg", mpi.MODE_RDONLY, pfs)
+            chunk = mpi.DOUBLE.Create_contiguous(4).Commit()
+            ft = chunk.Create_indexed([1, 1],
+                                      [comm.rank, comm.rank + 4]).Commit()
+            fh.Set_view(0, mpi.DOUBLE, ft)
+            buf = np.empty(8)
+            fh.Read_at(0, buf)
+            fh.Close()
+            return buf.sum()
+
+        pfs.reset_stats()
+        a = run(4, coll)
+        coll_reqs = pfs.total_stats().read_requests
+        pfs.reset_stats()
+        b = run(4, indep)
+        indep_reqs = pfs.total_stats().read_requests
+        assert a == b
+        assert coll_reqs < indep_reqs
+
+    def test_write_all_with_memtype(self, pfs):
+        """The listing's pattern: memtype permutes the in-memory chunks."""
+        def body(comm):
+            fh = mpi.File.Open(comm, "mt", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            chunk = mpi.DOUBLE.Create_contiguous(2).Commit()
+            ft = chunk.Create_indexed([1, 1],
+                                      [comm.rank * 2,
+                                       comm.rank * 2 + 1]).Commit()
+            # memory holds the two chunks REVERSED
+            mt = chunk.Create_indexed([1, 1], [1, 0]).Commit()
+            fh.Set_view(0, mpi.DOUBLE, ft)
+            mem = np.array([3.0, 4.0, 1.0, 2.0]) + 10 * comm.rank
+            fh.Write_at_all(0, (mem, 2, chunk) if False else (mem, 1, mt))
+            fh.Sync()
+            comm.barrier()
+            fh.Set_view(0, mpi.DOUBLE)
+            if comm.rank == 0:
+                whole = np.empty(8)
+                fh.Read_at(0, whole)
+                fh.Close()
+                return whole.tolist()
+            fh.Close()
+            return None
+        out = run(2, body)[0]
+        assert out == [1, 2, 3, 4, 11, 12, 13, 14]
+
+    def test_set_size_and_get_size(self, pfs):
+        def body(comm):
+            fh = mpi.File.Open(comm, "sz", mpi.MODE_RDWR | mpi.MODE_CREATE,
+                               pfs)
+            fh.Set_size(1024)
+            fh.Preallocate(512)      # never shrinks
+            size = fh.Get_size()
+            fh.Close()
+            return size
+        assert run(2, body) == [1024, 1024]

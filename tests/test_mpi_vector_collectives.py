@@ -1,0 +1,108 @@
+"""Tests for the vector collectives (Scatterv / Gatherv / Allgatherv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.runner import SPMDFailure
+
+
+def run(n, fn, **kw):
+    return mpi.mpiexec(n, fn, timeout=kw.pop("timeout", 30), **kw)
+
+
+class TestScatterv:
+    def test_uneven_pieces(self):
+        counts = [1, 3, 2]
+        displs = [0, 1, 4]
+        def body(comm):
+            send = None
+            if comm.rank == 0:
+                send = [np.arange(6, dtype=np.float64), counts, displs,
+                        None]
+            recv = np.empty(counts[comm.rank])
+            comm.Scatterv(send, recv, root=0)
+            return recv.tolist()
+        res = run(3, body)
+        assert res == [[0.0], [1.0, 2.0, 3.0], [4.0, 5.0]]
+
+    def test_missing_spec_rejected(self):
+        def body(comm):
+            comm.Scatterv(None, np.empty(1), root=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+    def test_wrong_counts_length(self):
+        def body(comm):
+            send = [np.arange(4.0), [4], [0], None] if comm.rank == 0 \
+                else None
+            comm.Scatterv(send, np.empty(2), root=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+
+class TestGatherv:
+    def test_uneven_pieces(self):
+        counts = [2, 1, 3]
+        displs = [0, 2, 3]
+        def body(comm):
+            send = np.full(counts[comm.rank], float(comm.rank))
+            recv = None
+            if comm.rank == 1:
+                recv = [np.empty(6), counts, displs, None]
+            comm.Gatherv(send, recv, root=1)
+            return recv[0].tolist() if comm.rank == 1 else None
+        res = run(3, body)
+        assert res[1] == [0.0, 0.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_count_mismatch_detected(self):
+        def body(comm):
+            send = np.zeros(5)       # claims 5, counts say 1
+            recv = [np.empty(2), [1, 1], [0, 1], None] \
+                if comm.rank == 0 else None
+            comm.Gatherv(send, recv, root=0)
+        with pytest.raises(SPMDFailure):
+            run(2, body)
+
+
+class TestAllgatherv:
+    def test_roundtrip(self):
+        counts = [3, 1, 2, 2]
+        displs = [0, 3, 4, 6]
+        def body(comm):
+            send = np.full(counts[comm.rank], float(comm.rank + 10))
+            recv = np.empty(8)
+            comm.Allgatherv(send, [recv, counts, displs, None])
+            return recv.tolist()
+        res = run(4, body)
+        expect = [10, 10, 10, 11, 12, 12, 13, 13]
+        assert all(r == expect for r in res)
+
+    def test_gap_displacements_leave_holes(self):
+        counts = [1, 1]
+        displs = [0, 3]
+        def body(comm):
+            recv = np.full(4, -1.0)
+            comm.Allgatherv(np.array([float(comm.rank)]),
+                            [recv, counts, displs, None])
+            return recv.tolist()
+        res = run(2, body)
+        assert res[0] == [0.0, -1.0, -1.0, 1.0]
+
+    def test_zone_size_exchange_usecase(self):
+        """The DRX-MP pattern: ranks exchange variable-size zone
+        payloads via Allgatherv after sharing counts with allgather."""
+        def body(comm):
+            mine = np.arange(comm.rank + 1, dtype=np.float64) + comm.rank
+            counts = comm.allgather(len(mine))
+            displs = np.zeros(comm.size, dtype=int)
+            np.cumsum(counts[:-1], out=displs[1:])
+            total = int(np.sum(counts))
+            recv = np.empty(total)
+            comm.Allgatherv(mine, [recv, counts, list(displs), None])
+            return recv.tolist()
+        res = run(3, body)
+        assert res[0] == [0.0, 1.0, 2.0, 2.0, 3.0, 4.0]
+        assert all(r == res[0] for r in res)

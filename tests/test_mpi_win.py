@@ -1,0 +1,211 @@
+"""Unit tests for RMA windows: epochs, Put/Get/Accumulate, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import MPIWinError
+from repro.mpi.runner import SPMDFailure
+
+
+def run(n, fn, **kw):
+    return mpi.mpiexec(n, fn, timeout=kw.pop("timeout", 30), **kw)
+
+
+class TestEpochs:
+    def test_access_outside_epoch_rejected(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(4), comm)
+            buf = np.empty(4)
+            with pytest.raises(MPIWinError):
+                win.Get(buf, 0)
+            win.Free()
+            return True
+        assert all(run(2, body))
+
+    def test_fence_opens_epoch(self):
+        def body(comm):
+            local = np.full(4, float(comm.rank))
+            win = mpi.Win.Create(local, comm)
+            win.Fence()
+            buf = np.empty(4)
+            win.Get(buf, (comm.rank + 1) % comm.size)
+            win.Fence()
+            win.Free()
+            return buf[0]
+        assert run(3, body) == [1.0, 2.0, 0.0]
+
+    def test_lock_unlock_discipline(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(4), comm)
+            win.Lock(0)
+            with pytest.raises(MPIWinError):
+                win.Lock(0)          # double lock
+            win.Unlock(0)
+            with pytest.raises(MPIWinError):
+                win.Unlock(0)        # not held
+            win.Free()
+            return True
+        assert all(run(2, body))
+
+    def test_lock_all(self):
+        def body(comm):
+            local = np.full(2, float(comm.rank))
+            win = mpi.Win.Create(local, comm)
+            comm.barrier()
+            win.Lock_all()
+            total = 0.0
+            buf = np.empty(2)
+            for r in range(comm.size):
+                win.Get(buf, r)
+                total += buf[0]
+            win.Unlock_all()
+            win.Free()
+            return total
+        assert run(3, body) == [3.0, 3.0, 3.0]
+
+    def test_bad_target_rank(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(4), comm)
+            with pytest.raises(MPIWinError):
+                win.Lock(5)
+            win.Free()
+            return True
+        assert all(run(2, body))
+
+
+class TestDataMovement:
+    def test_put_get_roundtrip(self):
+        def body(comm):
+            local = np.zeros(8)
+            win = mpi.Win.Create(local, comm)
+            win.Fence()
+            if comm.rank == 0:
+                for r in range(1, comm.size):
+                    win.Put(np.full(8, float(r * 11)), r)
+            win.Fence()
+            win.Free()
+            return local[0]
+        assert run(3, body) == [0.0, 11.0, 22.0]
+
+    def test_target_triple_subrange(self):
+        def body(comm):
+            local = np.arange(10, dtype=np.float64) + 100 * comm.rank
+            win = mpi.Win.Create(local, comm)
+            win.Lock(1)
+            buf = np.empty(3)
+            win.Get(buf, 1, target=(4, 3, mpi.DOUBLE))
+            win.Unlock(1)
+            win.Free()
+            return buf.tolist()
+        assert run(2, body)[0] == [104.0, 105.0, 106.0]
+
+    def test_int_offset_target(self):
+        def body(comm):
+            local = np.zeros(6)
+            win = mpi.Win.Create(local, comm)
+            win.Fence()
+            if comm.rank == 1:
+                win.Put(np.array([7.0, 8.0]), 0, target=2)
+            win.Fence()
+            win.Free()
+            return local.tolist()
+        assert run(2, body)[0] == [0, 0, 7, 8, 0, 0]
+
+    def test_out_of_range_target(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(4), comm)
+            win.Lock(0)
+            try:
+                with pytest.raises(MPIWinError):
+                    win.Put(np.zeros(8), 0)
+            finally:
+                win.Unlock(0)
+            win.Free()
+            return True
+        assert all(run(2, body))
+
+    def test_none_window_rejected(self):
+        def body(comm):
+            local = np.zeros(4) if comm.rank == 0 else None
+            win = mpi.Win.Create(local, comm)
+            win.Lock(1)
+            try:
+                with pytest.raises(MPIWinError):
+                    win.Get(np.empty(1), 1)
+            finally:
+                win.Unlock(1)
+            win.Free()
+            return True
+        assert all(run(2, body))
+
+    def test_count_mismatch_detected(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(8), comm)
+            win.Lock(0)
+            try:
+                with pytest.raises(MPIWinError):
+                    win.Put(np.zeros(3), 0, target=(0, 2, mpi.DOUBLE))
+            finally:
+                win.Unlock(0)
+            win.Free()
+            return True
+        assert all(run(1, body))
+
+
+class TestAccumulate:
+    def test_sum_from_all_ranks(self):
+        def body(comm):
+            local = np.zeros(4)
+            win = mpi.Win.Create(local, comm)
+            comm.barrier()
+            win.Lock(0)
+            win.Accumulate(np.ones(4), 0)
+            win.Unlock(0)
+            comm.barrier()
+            win.Free()
+            return local.sum()
+        res = run(4, body)
+        assert res[0] == 16.0      # 4 ranks x 4 elements
+        assert res[1] == 0.0
+
+    def test_custom_op(self):
+        def body(comm):
+            local = np.full(2, 10.0)
+            win = mpi.Win.Create(local, comm)
+            comm.barrier()
+            win.Lock(0)
+            win.Accumulate(np.full(2, float(comm.rank)), 0, op=mpi.MAX)
+            win.Unlock(0)
+            comm.barrier()
+            win.Free()
+            return local[0]
+        assert run(4, body)[0] == 10.0   # max(10, ranks) stays 10
+
+    def test_get_accumulate(self):
+        def body(comm):
+            local = np.array([5.0])
+            win = mpi.Win.Create(local, comm)
+            comm.barrier()
+            old = np.empty(1)
+            win.Lock(0)
+            win.Get_accumulate(np.array([1.0]), old, 0)
+            win.Unlock(0)
+            comm.barrier()
+            win.Free()
+            return float(old[0]), float(local[0])
+        res = run(2, body)
+        olds = sorted(r[0] for r in res)
+        assert olds == [5.0, 6.0]          # fetch-and-add is atomic
+        assert res[0][1] == 7.0
+
+    def test_flush_is_noop(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(1), comm)
+            win.Flush(0)
+            win.Flush_all()
+            win.Free()
+            return True
+        assert all(run(2, body))

@@ -1,0 +1,165 @@
+"""FIG2: the four allocation orders and their extendibility properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DRXIndexError
+from repro.core.orders import (
+    AxialOrder,
+    RowMajorOrder,
+    SymmetricShellOrder,
+    ZOrder,
+    next_pow2,
+)
+
+
+class TestRowMajor:
+    def test_fig2a_grid(self):
+        """Fig. 2a: the 8x8 row-major labels 0..63."""
+        o = RowMajorOrder((8, 8))
+        grid = np.array([[o.address((i, j)) for j in range(8)]
+                         for i in range(8)])
+        assert np.array_equal(grid, np.arange(64).reshape(8, 8))
+
+    def test_inverse(self):
+        o = RowMajorOrder((4, 5, 6))
+        for idx in [(0, 0, 0), (3, 4, 5), (2, 1, 3)]:
+            assert o.index(o.address(idx)) == idx
+
+    def test_extend_dim0_preserves_addresses(self):
+        o = RowMajorOrder((4, 6))
+        before = {(i, j): o.address((i, j))
+                  for i in range(4) for j in range(6)}
+        o.extend(0, 3)
+        assert all(o.address(k) == v for k, v in before.items())
+
+    def test_extend_other_dim_changes_addresses(self):
+        """The limitation the paper starts from."""
+        o = RowMajorOrder((4, 6))
+        before = o.address((2, 1))
+        o.extend(1, 2)
+        assert o.address((2, 1)) != before
+
+    def test_bounds_checking(self):
+        o = RowMajorOrder((4, 6))
+        with pytest.raises(DRXIndexError):
+            o.address((4, 0))
+        with pytest.raises(DRXIndexError):
+            o.index(24)
+
+    def test_no_waste(self):
+        assert RowMajorOrder.allocated_cells((5, 7)) == 35
+
+
+class TestZOrder:
+    def test_fig2b_prefix(self):
+        """Fig. 2b: the first Z-order cells of the 8x8 grid."""
+        z = ZOrder(2)
+        assert z.address((0, 0)) == 0
+        assert z.address((0, 1)) == 1
+        assert z.address((1, 0)) == 2
+        assert z.address((1, 1)) == 3
+        assert z.address((0, 2)) == 4
+        assert z.address((2, 0)) == 8
+        assert z.address((7, 7)) == 63
+
+    def test_bijective_on_pow2_box(self):
+        z = ZOrder(2)
+        addrs = sorted(z.address((i, j))
+                       for i in range(8) for j in range(8))
+        assert addrs == list(range(64))
+
+    def test_inverse(self):
+        z = ZOrder(3)
+        for idx in [(0, 0, 0), (1, 2, 3), (7, 5, 6), (4, 0, 7)]:
+            assert z.index(z.address(idx)) == idx
+
+    def test_exponential_waste(self):
+        """'constrained to have exponential growth': a 9x3 grid claims
+        the 16x16 bounding power-of-two box."""
+        z = ZOrder(2)
+        assert z.allocated_cells((9, 3)) == 256
+        assert next_pow2(9) == 16
+
+    def test_negative_rejected(self):
+        z = ZOrder(2)
+        with pytest.raises(DRXIndexError):
+            z.address((-1, 0))
+        with pytest.raises(DRXIndexError):
+            z.index(-3)
+
+
+class TestSymmetricShell:
+    def test_shell_starts_at_s_squared(self):
+        o = SymmetricShellOrder(2)
+        for s in range(6):
+            # the first cell of shell s in row-major box order is (0, s)
+            assert o.address((0, s)) == s * s if s > 0 else True
+        assert o.address((0, 0)) == 0
+        assert o.address((0, 1)) == 1
+        assert o.address((3, 3)) == 9 + 3 + 3  # rank s + j within shell
+
+    def test_bijective_2d(self):
+        o = SymmetricShellOrder(2)
+        addrs = sorted(o.address((i, j))
+                       for i in range(7) for j in range(7))
+        assert addrs == list(range(49))
+
+    def test_inverse_2d(self):
+        o = SymmetricShellOrder(2)
+        for q in range(49):
+            assert o.address(o.index(q)) == q
+
+    def test_bijective_3d(self):
+        o = SymmetricShellOrder(3)
+        addrs = sorted(o.address((i, j, k))
+                       for i in range(4) for j in range(4)
+                       for k in range(4))
+        assert addrs == list(range(64))
+
+    def test_inverse_3d(self):
+        o = SymmetricShellOrder(3)
+        for q in range(27):
+            assert o.address(o.index(q)) == q
+
+    def test_cubic_waste(self):
+        """'chunk locations may be assigned but unused' under asymmetric
+        growth: a 9x3 grid claims the 9x9 bounding cube."""
+        o = SymmetricShellOrder(2)
+        assert o.allocated_cells((9, 3)) == 81
+
+
+class TestAxialOrder:
+    def test_arbitrary_growth_no_waste(self):
+        """Fig. 2d: any dimension, any order, allocated == used."""
+        o = AxialOrder((1, 1))
+        for dim in (0, 1, 1, 0, 0, 1):
+            o.extend(dim)
+        n = o.bounds[0] * o.bounds[1]
+        addrs = sorted(o.address((i, j))
+                       for i in range(o.bounds[0])
+                       for j in range(o.bounds[1]))
+        assert addrs == list(range(n))
+        assert AxialOrder.allocated_cells(o.bounds) == n
+
+    def test_inverse(self):
+        o = AxialOrder((2, 2))
+        o.extend(1, 2)
+        o.extend(0, 1)
+        for q in range(o.eci.num_chunks):
+            assert o.address(o.index(q)) == q
+
+
+class TestWasteComparison:
+    def test_fig2_waste_ordering(self):
+        """The motivating comparison: growing a 2-D grid to 9x3, the
+        allocated address space ranks axial = rowmajor < shell < z."""
+        bounds = (9, 3)
+        axial = AxialOrder.allocated_cells(bounds)
+        rm = RowMajorOrder.allocated_cells(bounds)
+        shell = SymmetricShellOrder(2).allocated_cells(bounds)
+        z = ZOrder(2).allocated_cells(bounds)
+        assert axial == rm == 27
+        assert axial < shell < z

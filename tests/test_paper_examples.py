@@ -1,0 +1,174 @@
+"""Ground truth from the paper's figures — every stated number, exactly.
+
+FIG3: the 3-D worked example of section III-B / Fig. 3, including the
+axial-vector record contents of Fig. 3b and the three worked addresses.
+FIG1: the 2-D example of Fig. 1 (section II-A), including the chunk
+address grid implied by the code listing's globalMap and F*(4,2) = 18.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AxialRecord,
+    ExtendibleChunkIndex,
+    all_addresses,
+    f_star,
+    f_star_inv,
+)
+
+
+class TestFigure3:
+    """A[4][3][1] extended +D2 +D2 | +D1 | +D0 by 2 | +D2 (Fig. 3)."""
+
+    def test_worked_addresses(self, fig3_index):
+        # "the chunk A[2,1,0] is assigned to address 7"
+        assert f_star(fig3_index, (2, 1, 0)) == 7
+        # "chunk A[3,1,2] is assigned to address 34"
+        assert f_star(fig3_index, (3, 1, 2)) == 34
+        # "F*(<4,2,2>) = 48 + 12x(4-4) + 3x2 + 1x2 = 56"
+        assert f_star(fig3_index, (4, 2, 2)) == 56
+
+    def test_inverse_of_worked_addresses(self, fig3_index):
+        assert f_star_inv(fig3_index, 7) == (2, 1, 0)
+        assert f_star_inv(fig3_index, 34) == (3, 1, 2)
+        assert f_star_inv(fig3_index, 56) == (4, 2, 2)
+
+    def test_record_counts(self, fig3_index):
+        # "In the example of Figure 3b, E0 = 2, E1 = 2, and E2 = 3."
+        assert [len(v) for v in fig3_index.axial_vectors] == [2, 2, 3]
+
+    def test_axial_vector_contents(self, fig3_index):
+        """The record fields of Fig. 3b, coefficient vectors verbatim."""
+        v0, v1, v2 = fig3_index.axial_vectors
+        # initial allocation record: "0; 0; 3 1 1"
+        assert (v0[0].start_index, v0[0].start_address) == (0, 0)
+        assert v0[0].coeffs == (3, 1, 1)
+        # D0 extension: "4; 48; 12 3 1"
+        assert (v0[1].start_index, v0[1].start_address) == (4, 48)
+        assert v0[1].coeffs == (12, 3, 1)
+        # sentinel: "0; -1; 0 0 0"
+        assert v1[0].is_sentinel and v1[0].coeffs == (0, 0, 0)
+        # D1 extension: "3; 36; 3 12 1"
+        assert (v1[1].start_index, v1[1].start_address) == (3, 36)
+        assert v1[1].coeffs == (3, 12, 1)
+        # sentinel on D2, then "1; 12; 3 1 12" and "3; 72; 4 1 24"
+        assert v2[0].is_sentinel
+        assert (v2[1].start_index, v2[1].start_address) == (1, 12)
+        assert v2[1].coeffs == (3, 1, 12)
+        assert (v2[2].start_index, v2[2].start_address) == (3, 72)
+        assert v2[2].coeffs == (4, 1, 24)
+
+    def test_final_bounds_and_size(self, fig3_index):
+        # 4+2 x 3+1 x 1+2+1 = 6 x 4 x 4 = 96 chunks, addresses 0..95
+        assert fig3_index.bounds == (6, 4, 4)
+        assert fig3_index.num_chunks == 96
+        grid = all_addresses(fig3_index)
+        assert sorted(grid.ravel().tolist()) == list(range(96))
+
+    def test_uninterrupted_extension_merges(self):
+        """The two consecutive D2 extensions make ONE record (paper:
+        'handled by only one expansion record entry')."""
+        eci = ExtendibleChunkIndex([4, 3, 1])
+        eci.extend(2)
+        eci.extend(2)
+        # D2 vector: sentinel + exactly one extension record covering both
+        assert len(eci.axial_vectors[2]) == 2
+        assert eci.bounds == (4, 3, 3)
+
+    def test_interrupted_extension_adds_record(self):
+        eci = ExtendibleChunkIndex([4, 3, 1])
+        eci.extend(2)
+        eci.extend(1)
+        eci.extend(2)  # interrupted: new record
+        assert len(eci.axial_vectors[2]) == 3
+
+    def test_initial_allocation_is_row_major(self):
+        """Inside the initial A[4][3][1] box, addresses are row-major."""
+        eci = ExtendibleChunkIndex([4, 3, 1])
+        expect = np.arange(12).reshape(4, 3, 1)
+        assert np.array_equal(all_addresses(eci), expect)
+
+
+class TestFigure1:
+    """The 2-D A[10][12] example with 2x3 chunks (Fig. 1)."""
+
+    # Address grid implied by the listing's globalMap: P0={0..5},
+    # P1={6,7,8,12,13,14}, P2={9,10,16,17}, P3={11,15,18,19} with a
+    # 2x2 BLOCK decomposition of the 5x4 chunk grid.
+    EXPECTED_GRID = np.array([
+        [0, 1, 6, 12],
+        [2, 3, 7, 13],
+        [4, 5, 8, 14],
+        [9, 10, 11, 15],
+        [16, 17, 18, 19],
+    ])
+
+    def test_address_grid(self, fig1_index):
+        assert np.array_equal(all_addresses(fig1_index), self.EXPECTED_GRID)
+
+    def test_f_star_4_2_is_18(self, fig1_index):
+        # "The chunk A[4,2] is assigned to the linear address location 18
+        #  in the file. Hence the mapping function computes F*(4,2) = 18."
+        assert f_star(fig1_index, (4, 2)) == 18
+
+    def test_growth_narrative(self):
+        """'The array of Figure 1 grew from an initial allocation of
+        chunk 0.  It was then expanded by extending dimension 1 with
+        chunk 1.  This was followed with the extension of dimension 0 by
+        allocating the segment consisting of chunks 2 and 3.  The same
+        dimension was then extended by appending chunks 4 and 5.'"""
+        eci = ExtendibleChunkIndex([1, 1])
+        assert eci.address((0, 0)) == 0
+        seg = eci.extend(1)
+        assert (seg.start_address, seg.n_chunks) == (1, 1)
+        seg = eci.extend(0)
+        assert (seg.start_address, seg.n_chunks) == (2, 2)
+        seg = eci.extend(0)  # uninterrupted: merged into the same segment
+        assert (seg.start_address, seg.n_chunks) == (2, 4)
+        assert eci.address((1, 0)) == 2
+        assert eci.address((1, 1)) == 3
+        assert eci.address((2, 0)) == 4
+        assert eci.address((2, 1)) == 5
+
+    def test_chunk_grid_of_a_10_12_array(self):
+        """A[10][12] with 2x3 chunks occupies the 5x4 chunk grid; the
+        maximum element index of dimension 1 (9 in the paper's
+        narrative) need not fall on a chunk boundary."""
+        from repro.core import chunk_bounds_for
+        assert chunk_bounds_for((10, 12), (2, 3)) == (5, 4)
+        assert chunk_bounds_for((10, 10), (2, 3)) == (5, 4)  # N1=10 too
+
+    def test_zone_chunk_sets_match_listing_globalmap(self, fig1_index):
+        """The 2x2 BLOCK zones hold exactly the listing's globalMap."""
+        from repro.core.mapping import f_star_many
+        from repro.drxmp.partition import BlockPartition
+        part = BlockPartition(fig1_index.bounds, 4, pgrid=(2, 2))
+        expected = {
+            0: [0, 1, 2, 3, 4, 5],
+            1: [6, 7, 8, 12, 13, 14],
+            2: [9, 10, 16, 17],
+            3: [11, 15, 18, 19],
+        }
+        for rank, want in expected.items():
+            chunks = part.chunks_of(rank)
+            addrs = sorted(f_star_many(fig1_index, chunks).tolist())
+            assert addrs == want, f"rank {rank}"
+
+    def test_inmemorymap_of_listing(self, fig1_index):
+        """Rank 1's inMemoryMap {0,2,4,1,3,5}: position of each chunk
+        (sorted by file address) within the zone's row-major C layout."""
+        from repro.core.inverse import f_star_inv_many
+        from repro.core.mapping import f_star_many
+        from repro.drxmp.partition import BlockPartition
+        part = BlockPartition(fig1_index.bounds, 4, pgrid=(2, 2))
+        zone = part.zone_of(1)
+        addrs = np.sort(f_star_many(fig1_index, zone.chunk_indices()))
+        indices = f_star_inv_many(fig1_index, addrs)
+        # row-major position of each chunk within the zone box
+        shape = zone.shape
+        rel = indices - np.asarray(zone.lo)
+        inmem = rel[:, 0] * shape[1] + rel[:, 1]
+        assert inmem.tolist() == [0, 2, 4, 1, 3, 5]

@@ -1,0 +1,166 @@
+"""Unit tests for zone partitioning (BLOCK, BLOCK_CYCLIC, dims_create)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DRXDistributionError
+from repro.drxmp.partition import (
+    BlockCyclicPartition,
+    BlockPartition,
+    Zone,
+    dims_create,
+)
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,k,expect", [
+        (4, 2, (2, 2)),
+        (6, 2, (3, 2)),
+        (8, 3, (2, 2, 2)),
+        (12, 2, (4, 3)),
+        (7, 2, (7, 1)),
+        (1, 3, (1, 1, 1)),
+        (16, 2, (4, 4)),
+    ])
+    def test_balanced(self, n, k, expect):
+        dims = dims_create(n, k)
+        assert dims == expect
+        assert int(np.prod(dims)) == n
+
+    def test_invalid(self):
+        with pytest.raises(DRXDistributionError):
+            dims_create(0, 2)
+        with pytest.raises(DRXDistributionError):
+            dims_create(4, 0)
+
+
+class TestZone:
+    def test_shape_and_count(self):
+        z = Zone(0, (1, 2), (4, 6))
+        assert z.shape == (3, 4)
+        assert z.num_chunks == 12
+        assert not z.empty
+        assert z.contains((1, 2)) and z.contains((3, 5))
+        assert not z.contains((4, 2))
+
+    def test_chunk_indices_row_major(self):
+        z = Zone(0, (1, 1), (3, 3))
+        got = [tuple(r) for r in z.chunk_indices()]
+        assert got == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_empty_zone(self):
+        z = Zone(0, (2, 2), (2, 4))
+        assert z.empty
+        assert z.chunk_indices().shape == (0, 2)
+
+    def test_element_box_clipping(self):
+        z = Zone(0, (4, 3), (5, 4))           # chunk (4, 3)
+        lo, hi = z.element_box((2, 3), (10, 10))
+        assert lo == (8, 9)
+        assert hi == (10, 10)                 # clipped from (10, 12)
+
+
+class TestBlockPartition:
+    def test_fig1_zones(self):
+        part = BlockPartition((5, 4), 4, pgrid=(2, 2))
+        zones = part.zones()
+        assert zones[0].lo == (0, 0) and zones[0].hi == (3, 2)
+        assert zones[1].lo == (0, 2) and zones[1].hi == (3, 4)
+        assert zones[2].lo == (3, 0) and zones[2].hi == (5, 2)
+        assert zones[3].lo == (3, 2) and zones[3].hi == (5, 4)
+
+    def test_disjoint_and_covering(self):
+        part = BlockPartition((7, 5, 3), 12)
+        seen = np.zeros((7, 5, 3), dtype=int)
+        for r in range(12):
+            for ci in part.chunks_of(r):
+                seen[tuple(ci)] += 1
+        assert np.all(seen == 1)
+
+    def test_owner_matches_zones(self):
+        part = BlockPartition((7, 5), 6)
+        for r in range(6):
+            for ci in part.chunks_of(r):
+                assert part.owner_of(tuple(ci)) == r
+
+    def test_owners_vectorized(self):
+        part = BlockPartition((9, 8), 4)
+        idx = np.array([[i, j] for i in range(9) for j in range(8)])
+        owners = part.owners_of(idx)
+        scalar = [part.owner_of(tuple(r)) for r in idx]
+        assert owners.tolist() == scalar
+
+    def test_more_procs_than_chunks(self):
+        part = BlockPartition((2, 2), 8, pgrid=(4, 2))
+        counts = part.chunk_counts()
+        assert sum(counts) == 4
+        assert max(counts) <= 1
+
+    def test_bad_grid(self):
+        with pytest.raises(DRXDistributionError):
+            BlockPartition((4, 4), 4, pgrid=(3, 2))
+        with pytest.raises(DRXDistributionError):
+            BlockPartition((4, 4), 4, pgrid=(4,))
+
+    def test_rank_coords_roundtrip(self):
+        part = BlockPartition((6, 6), 6, pgrid=(3, 2))
+        for r in range(6):
+            assert part.rank_of_coords(part.coords_of_rank(r)) == r
+        with pytest.raises(DRXDistributionError):
+            part.coords_of_rank(6)
+
+    def test_owner_out_of_bounds(self):
+        part = BlockPartition((4, 4), 4)
+        with pytest.raises(DRXDistributionError):
+            part.owner_of((4, 0))
+
+
+class TestBlockCyclicPartition:
+    def test_disjoint_and_covering(self):
+        part = BlockCyclicPartition((7, 5), 4, block=1)
+        seen = np.zeros((7, 5), dtype=int)
+        for r in range(4):
+            for ci in part.chunks_of(r):
+                seen[tuple(ci)] += 1
+        assert np.all(seen == 1)
+
+    def test_owner_matches_chunks(self):
+        part = BlockCyclicPartition((6, 6), 4, block=2)
+        for r in range(4):
+            for ci in part.chunks_of(r):
+                assert part.owner_of(tuple(ci)) == r
+
+    def test_owners_vectorized(self):
+        part = BlockCyclicPartition((6, 7), 6, block=(2, 1))
+        idx = np.array([[i, j] for i in range(6) for j in range(7)])
+        assert part.owners_of(idx).tolist() == \
+            [part.owner_of(tuple(r)) for r in idx]
+
+    def test_boxes_cover_chunks(self):
+        part = BlockCyclicPartition((7, 5), 4, block=2)
+        for r in range(4):
+            from_boxes = set()
+            for box in part.boxes_of(r):
+                for ci in box.chunk_indices():
+                    from_boxes.add(tuple(ci))
+            from_list = {tuple(c) for c in part.chunks_of(r)}
+            assert from_boxes == from_list
+
+    def test_cyclic_balances_skewed_grid(self):
+        """E6's claim: on a grid grown along one dimension, BLOCK_CYCLIC
+        spreads chunks far more evenly than BLOCK when the grid dimension
+        is indivisible."""
+        chunk_bounds = (17, 2)      # heavily skewed after dim-0 growth
+        nproc = 4
+        blk = BlockPartition(chunk_bounds, nproc, pgrid=(4, 1))
+        cyc = BlockCyclicPartition(chunk_bounds, nproc, block=1,
+                                   pgrid=(4, 1))
+        def imbalance(counts):
+            return max(counts) - min(counts)
+        assert imbalance(cyc.chunk_counts()) <= imbalance(blk.chunk_counts())
+
+    def test_bad_block(self):
+        with pytest.raises(DRXDistributionError):
+            BlockCyclicPartition((4, 4), 4, block=0)

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+The paper's correctness rests on three properties of ``F*``:
+
+* **bijectivity** — at every instant the mapping is a bijection between
+  the chunk-index box and ``[0, M*)``;
+* **stability** — extension never changes an existing address (no
+  reorganization, ever);
+* **inverse consistency** — ``F*^-1(F*(I)) == I`` and vice versa.
+
+Plus serialization fidelity of the meta-data and the Fig.-2 orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DRXMeta,
+    ExtendibleChunkIndex,
+    all_addresses,
+    f_star_inv_many,
+    f_star_many,
+    replay_history,
+)
+from repro.core.orders import SymmetricShellOrder, ZOrder
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+ranks = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def growth_cases(draw, max_steps: int = 8, max_by: int = 3):
+    """(initial bounds, growth history) with a bounded final size."""
+    k = draw(ranks)
+    bounds = draw(st.lists(st.integers(1, 3), min_size=k, max_size=k))
+    steps = draw(st.integers(0, max_steps))
+    history = [
+        (draw(st.integers(0, k - 1)), draw(st.integers(1, max_by)))
+        for _ in range(steps)
+    ]
+    # bound the total size so tests stay fast
+    eci = replay_history(bounds, [])
+    total = eci.num_chunks
+    pruned = []
+    sim = list(bounds)
+    for dim, by in history:
+        grown = total // sim[dim] * (sim[dim] + by)
+        if grown > 3000:
+            break
+        sim[dim] += by
+        total = grown
+        pruned.append((dim, by))
+    return bounds, pruned
+
+
+@settings(max_examples=120, deadline=None)
+@given(growth_cases())
+def test_f_star_is_a_bijection(case):
+    bounds, history = case
+    eci = replay_history(bounds, history)
+    grid = all_addresses(eci)
+    assert sorted(grid.ravel().tolist()) == list(range(eci.num_chunks))
+
+
+@settings(max_examples=60, deadline=None)
+@given(growth_cases(max_steps=6))
+def test_addresses_are_stable_under_growth(case):
+    bounds, history = case
+    eci = replay_history(bounds, [])
+    pinned: dict[tuple, int] = {}
+    for dim, by in history:
+        grid = all_addresses(eci)
+        for idx in np.ndindex(*eci.bounds):
+            pinned[idx] = int(grid[idx])
+        eci.extend(dim, by)
+        for idx, addr in pinned.items():
+            assert eci.address(idx) == addr
+
+
+@settings(max_examples=120, deadline=None)
+@given(growth_cases())
+def test_inverse_roundtrip(case):
+    bounds, history = case
+    eci = replay_history(bounds, history)
+    q = np.arange(eci.num_chunks)
+    assert np.array_equal(f_star_many(eci, f_star_inv_many(eci, q)), q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(growth_cases())
+def test_serialized_replica_addresses_identically(case):
+    bounds, history = case
+    eci = replay_history(bounds, history)
+    clone = ExtendibleChunkIndex.from_dict(eci.to_dict())
+    assert np.array_equal(all_addresses(clone), all_addresses(eci))
+
+
+@settings(max_examples=60, deadline=None)
+@given(growth_cases(max_steps=5), st.integers(0, 1_000_000))
+def test_record_count_bounded_by_extensions(case, _seed):
+    """E_j <= 1 + number of extension runs of dimension j (merging)."""
+    bounds, history = case
+    eci = replay_history(bounds, history)
+    runs = [0] * len(bounds)
+    prev = None
+    for dim, _by in history:
+        if dim != prev:
+            runs[dim] += 1
+        prev = dim
+    for j, v in enumerate(eci.axial_vectors):
+        assert len(v) <= 1 + runs[j]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=3))
+def test_zorder_roundtrip(index):
+    z = ZOrder(len(index))
+    assert z.index(z.address(index)) == tuple(index)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 400))
+def test_symmetric_shell_roundtrip_2d(q):
+    o = SymmetricShellOrder(2)
+    assert o.address(o.index(q)) == q
+
+
+@settings(max_examples=40, deadline=None)
+@given(growth_cases(max_steps=4))
+def test_metadata_roundtrip_deterministic(case):
+    bounds, history = case
+    # element bounds = chunk bounds here (chunk shape of ones)
+    meta = DRXMeta.create(bounds, [1] * len(bounds))
+    for dim, by in history:
+        meta.extend_elements(dim, by)
+    blob = meta.to_bytes()
+    again = DRXMeta.from_bytes(blob)
+    assert again.to_bytes() == blob
+    assert np.array_equal(all_addresses(again.eci),
+                          all_addresses(meta.eci))

@@ -1,0 +1,158 @@
+"""Tests of the single-file DRX container (the paper's §V future work)."""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    DRXFileError,
+    DRXFileExistsError,
+    DRXFileNotFoundError,
+    DRXFormatError,
+)
+from repro.drx import DRXFile, DRXSingleFile
+from repro.drx.singlefile import _HEADER_END, SINGLE_MAGIC
+from repro.workloads import pattern_array, random_growth
+
+
+class TestLifecycle:
+    def test_create_open_roundtrip(self, tmp_path, rng):
+        ref = rng.random((10, 12))
+        with DRXSingleFile.create(tmp_path / "a", (10, 12), (3, 4)) as a:
+            a.write((0, 0), ref)
+        assert (tmp_path / "a.drx").exists()
+        # exactly ONE file
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.drx"]
+        with DRXSingleFile.open(tmp_path / "a") as b:
+            assert b.shape == (10, 12)
+            assert np.allclose(b.read(), ref)
+
+    def test_magic_and_header(self, tmp_path):
+        DRXSingleFile.create(tmp_path / "a", (4, 4), (2, 2)).close()
+        raw = (tmp_path / "a.drx").read_bytes()
+        assert raw.startswith(SINGLE_MAGIC)
+        off, length = struct.unpack_from("<QQ", raw, len(SINGLE_MAGIC))
+        assert off == _HEADER_END and length > 0
+
+    def test_create_refuses_existing(self, tmp_path):
+        DRXSingleFile.create(tmp_path / "a", (4,), (2,)).close()
+        with pytest.raises(DRXFileExistsError):
+            DRXSingleFile.create(tmp_path / "a", (4,), (2,))
+        DRXSingleFile.create(tmp_path / "a", (6,), (2,),
+                             overwrite=True).close()
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(DRXFileNotFoundError):
+            DRXSingleFile.open(tmp_path / "nope")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "junk.drx"
+        p.write_bytes(b"NOTDRX" + bytes(64))
+        with pytest.raises(DRXFormatError):
+            DRXSingleFile.open(tmp_path / "junk")
+
+    def test_readonly(self, tmp_path):
+        DRXSingleFile.create(tmp_path / "a", (4,), (2,)).close()
+        b = DRXSingleFile.open(tmp_path / "a", mode="r")
+        with pytest.raises(DRXFileError):
+            b.put((0,), 1.0)
+        b.close()
+
+    def test_tiny_reserve_rejected(self, tmp_path):
+        with pytest.raises(DRXFileError):
+            DRXSingleFile.create(tmp_path / "a", (4,), (2,),
+                                 header_reserve=16)
+
+    def test_in_memory(self):
+        a = DRXSingleFile.create(None, (4, 4), (2, 2))
+        a.write((0, 0), np.eye(4))
+        assert np.allclose(a.read(), np.eye(4))
+        a.close()
+
+
+class TestGrowth:
+    def test_extend_and_reopen(self, tmp_path, rng):
+        ref = rng.random((6, 6))
+        a = DRXSingleFile.create(tmp_path / "g", (6, 6), (2, 2))
+        a.write((0, 0), ref)
+        a.extend(0, 4)
+        a.extend(1, 2)
+        a.write((6, 0), np.ones((4, 8)))
+        a.close()
+        b = DRXSingleFile.open(tmp_path / "g", mode="r+")
+        assert b.shape == (10, 8)
+        assert np.allclose(b.read((0, 0), (6, 6)), ref)
+        assert np.all(b.read((6, 0), (10, 8)) == 1)
+        b.extend(0, 1)
+        b.close()
+        assert DRXSingleFile.open(tmp_path / "g").shape == (11, 8)
+
+    def test_meta_relocates_when_outgrowing_reserve(self, tmp_path):
+        """A tiny reserve forces the tail relocation path."""
+        a = DRXSingleFile.create(tmp_path / "r", (2, 2), (1, 1),
+                                 header_reserve=700)
+        a.write((0, 0), pattern_array((2, 2)))
+        # many interrupted extensions -> many axial records -> big meta
+        for dim, by in random_growth(2, 30, seed=4, max_by=1):
+            a.extend(dim, by)
+        raw = (tmp_path / "r.drx").read_bytes()
+        off, length = struct.unpack_from("<QQ", raw, len(SINGLE_MAGIC))
+        assert off > 700, "meta should have relocated to the tail"
+        a.close()
+        b = DRXSingleFile.open(tmp_path / "r")
+        assert np.array_equal(b.read((0, 0), (2, 2)), pattern_array((2, 2)))
+        assert b.meta.eci.num_records > 10
+        b.close()
+
+    def test_chunk_bytes_never_move(self, tmp_path):
+        a = DRXSingleFile.create(tmp_path / "s", (4, 4), (2, 2),
+                                 header_reserve=1024)
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()
+        before = (tmp_path / "s.drx").read_bytes()[1024:1024 + 4 * 4 * 8]
+        for dim, by in random_growth(2, 6, seed=7):
+            a.extend(dim, by)
+            a.flush()
+            now = (tmp_path / "s.drx").read_bytes()[1024:1024 + 4 * 4 * 8]
+            assert now == before
+        a.close()
+
+
+class TestConversion:
+    def test_pair_to_single_and_back(self, tmp_path, rng):
+        ref = rng.random((5, 7))
+        pair = DRXFile.create(tmp_path / "p", (5, 7), (2, 3))
+        pair.write((0, 0), ref)
+        pair.extend(1, 4)
+        pair.write((0, 7), rng.random((5, 4)))
+        want = pair.read()
+
+        single = DRXSingleFile.from_pair(pair, tmp_path / "single")
+        assert np.allclose(single.read(), want)
+        # identical axial vectors -> identical chunk addressing
+        assert single.meta.eci.to_dict() == pair.meta.eci.to_dict()
+        pair.close()
+
+        back = single.to_pair(tmp_path / "back")
+        assert np.allclose(back.read(), want)
+        single.close()
+        back.close()
+        # the two pairs' data files are byte-identical
+        assert (tmp_path / "p.xta").read_bytes() == \
+            (tmp_path / "back.xta").read_bytes()
+
+    def test_single_still_extendible_after_conversion(self, tmp_path):
+        pair = DRXFile.create(tmp_path / "p", (4, 4), (2, 2))
+        pair.write((0, 0), pattern_array((4, 4)))
+        single = DRXSingleFile.from_pair(pair, tmp_path / "s")
+        pair.close()
+        single.extend(0, 4)
+        single.write((4, 0), np.ones((4, 4)))
+        assert np.all(single.read((4, 0), (8, 4)) == 1)
+        assert np.array_equal(single.read((0, 0), (4, 4)),
+                              pattern_array((4, 4)))
+        single.close()

@@ -1,0 +1,143 @@
+"""Soak tests: higher rank, bigger grids, longer mixed workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import DRXFileError
+from repro.drx import DRXFile
+from repro.drxmp import DRXMPFile, GlobalArray
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array, random_boxes, random_growth
+
+
+def test_4d_serial_lifecycle(tmp_path):
+    """A 4-D array (e.g. time x level x lat x lon) through growth and
+    random box traffic, checked against a shadow array."""
+    rng = np.random.default_rng(44)
+    shape = [3, 4, 5, 6]
+    a = DRXFile.create(tmp_path / "d4", shape, (2, 2, 2, 3),
+                       cache_pages=8)
+    shadow = np.zeros(shape)
+    for step in range(10):
+        # random growth on a random dim
+        dim = int(rng.integers(0, 4))
+        by = int(rng.integers(1, 3))
+        a.extend(dim, by)
+        ns = list(shadow.shape)
+        ns[dim] += by
+        grown = np.zeros(ns)
+        grown[tuple(slice(0, s) for s in shadow.shape)] = shadow
+        shadow = grown
+        # a few random writes and reads
+        for lo, hi in random_boxes(shadow.shape, 3, seed=step):
+            block = rng.random(tuple(h - l for l, h in zip(lo, hi)))
+            a.write(lo, block)
+            shadow[tuple(slice(l, h) for l, h in zip(lo, hi))] = block
+        for lo, hi in random_boxes(shadow.shape, 3, seed=100 + step):
+            got = a.read(lo, hi)
+            want = shadow[tuple(slice(l, h) for l, h in zip(lo, hi))]
+            assert np.allclose(got, want), step
+    # persist + reopen at the end
+    a.close()
+    b = DRXFile.open(tmp_path / "d4")
+    assert np.allclose(b.read(), shadow)
+    # hyperslab over the final 4-D array
+    got = b.read_slab((0, 1, 0, 2), (2, 2, 3, 2), (2, 2, 2, 2))
+    want = shadow[0:0 + 4:2, 1:1 + 4:2, 0:0 + 6:3, 2:2 + 4:2]
+    assert np.allclose(got, want)
+    b.close()
+
+
+def test_memhandle_reuse_across_rounds(pfs):
+    """The paper's C pattern: allocate the memhdl once, refresh it with
+    repeated DRXMP_Read_all calls while the data evolves."""
+    def body(comm):
+        a = DRXMPFile.create(comm, pfs, "reuse", (8, 8), (2, 2))
+        mem = a.read_zone()
+        for round_no in range(1, 4):
+            mem.array[...] = float(round_no * 10 + comm.rank)
+            a.write_zone(mem)
+            comm.barrier()
+            refreshed = a.read_zone(into=mem)
+            assert refreshed is mem
+            assert np.all(mem.array == round_no * 10 + comm.rank)
+        # growth keeps the old zone's chunk box valid: the refresh still
+        # reads that region (the stale zone simply covers less of the
+        # grown array)
+        a.extend(0, 4)
+        refreshed = a.read_zone(into=mem, collective=False)
+        assert refreshed is mem
+        # a handle whose buffer shape diverged is rejected loudly
+        mem.array = np.zeros((1, 1))
+        try:
+            a.read_zone(into=mem, collective=False)
+            ok = False
+        except DRXFileError:
+            ok = True
+        comm.barrier()
+        a.close()
+        return ok
+    assert all(mpi.mpiexec(4, body, timeout=60))
+
+
+@pytest.mark.parametrize("nproc", [3, 5])
+def test_odd_process_counts(pfs, nproc):
+    """Zones with ragged splits (process counts that do not divide the
+    chunk grid) still partition and round-trip correctly."""
+    ref = pattern_array((13, 11))
+    name = f"odd{nproc}"
+    def body(comm):
+        a = DRXMPFile.create(comm, pfs, name, (13, 11), (3, 2))
+        mem = a.read_zone()
+        lo, hi = mem.zone.element_box(a.chunk_shape, a.shape)
+        if mem.array.size:
+            mem.array[...] = ref[lo[0]:hi[0], lo[1]:hi[1]]
+        a.write_zone(mem)
+        comm.barrier()
+        got = a.read((0, 0), (13, 11))
+        a.close()
+        return np.array_equal(got, ref)
+    assert all(mpi.mpiexec(nproc, body, timeout=90))
+
+
+def test_ga_concurrent_mixed_traffic(pfs):
+    """All ranks hammer the same GlobalArray with interleaved acc and
+    get; the accumulated total must be exact (atomicity soak)."""
+    ROUNDS = 25
+    def body(comm):
+        a = DRXMPFile.create(comm, pfs, "soakga", (12, 12), (3, 3))
+        ga = GlobalArray.from_file(a)
+        rng = np.random.default_rng(comm.rank)
+        for _ in range(ROUNDS):
+            i = int(rng.integers(0, 9))
+            j = int(rng.integers(0, 9))
+            ga.acc((i, j), np.ones((3, 3)))
+            ga.get((i, j), (i + 3, j + 3))   # concurrent reads
+        ga.sync()
+        total = ga.get((0, 0), (12, 12)).sum()
+        a.close()
+        return float(total)
+    totals = mpi.mpiexec(4, body, timeout=120)
+    expect = 4 * ROUNDS * 9.0          # every acc adds 9 ones
+    assert all(t == expect for t in totals)
+
+
+def test_long_random_growth_file_integrity(tmp_path):
+    """60 random extensions; verify() stays clean and the axial record
+    count stays bounded by the number of extension runs."""
+    from repro.drx import verify
+    rng = np.random.default_rng(60)
+    a = DRXFile.create(tmp_path / "long", (2, 2, 2), (2, 2, 2))
+    runs = 0
+    prev = None
+    for dim, by in random_growth(3, 60, seed=8, max_by=2):
+        a.extend(dim, by)
+        if dim != prev:
+            runs += 1
+        prev = dim
+    assert a.meta.eci.num_records <= runs + 3
+    a.close()
+    assert verify(tmp_path / "long") == []

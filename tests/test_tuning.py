@@ -1,0 +1,91 @@
+"""Tests for the chunk/stripe tuning advisor (paper §V, experiment E5)."""
+
+from __future__ import annotations
+
+from math import prod
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DRXExtendError
+from repro.drxmp.tuning import chunk_stripe_report, suggest_chunk_shape
+
+
+class TestSuggest:
+    def test_fits_one_stripe(self):
+        chunk = suggest_chunk_shape((4096, 4096), stripe_size=64 * 1024)
+        report = chunk_stripe_report(chunk, 64 * 1024)
+        assert report["fits_one_stripe"]
+        # and uses a decent share of it
+        assert report["ratio"] > 0.2
+
+    def test_growth_dims_stay_small(self):
+        chunk = suggest_chunk_shape((100000, 512, 512),
+                                    stripe_size=64 * 1024,
+                                    growth_dims=[0])
+        assert chunk[0] <= 4
+        assert prod(chunk) * 8 <= 64 * 1024
+
+    def test_last_dim_prioritized(self):
+        """Row-major contiguity: the last dimension gets the extent."""
+        chunk = suggest_chunk_shape((10000, 10000), stripe_size=8 * 1024)
+        assert chunk[1] >= chunk[0]
+
+    def test_small_array_capped_by_bounds(self):
+        chunk = suggest_chunk_shape((4, 6), stripe_size=1 << 20)
+        assert chunk == (4, 6)     # whole array fits a stripe easily
+
+    def test_tiny_stripe(self):
+        chunk = suggest_chunk_shape((100, 100), stripe_size=64)
+        assert prod(chunk) * 8 <= 64
+
+    def test_dtype_item_size_respected(self):
+        c_double = suggest_chunk_shape((10**6,), 4096, dtype="double")
+        c_complex = suggest_chunk_shape((10**6,), 4096, dtype="complex")
+        assert prod(c_complex) <= prod(c_double)
+
+    def test_validation(self):
+        with pytest.raises(DRXExtendError):
+            suggest_chunk_shape((10,), 0)
+        with pytest.raises(DRXExtendError):
+            suggest_chunk_shape((10,), 4096, fill=0)
+        with pytest.raises(DRXExtendError):
+            suggest_chunk_shape((10,), 4096, growth_dims=[5])
+        with pytest.raises(DRXExtendError):
+            suggest_chunk_shape((), 4096)
+
+
+class TestReport:
+    def test_aligned(self):
+        r = chunk_stripe_report((64, 64), 64 * 1024)
+        assert r["chunk_nbytes"] == 32 * 1024
+        assert r["fits_one_stripe"]
+        assert r["worst_case_requests"] >= 1
+
+    def test_oversized(self):
+        r = chunk_stripe_report((128, 128), 64 * 1024)
+        assert not r["fits_one_stripe"]
+        assert r["ratio"] == 2.0
+        assert r["worst_case_requests"] >= 2
+
+    def test_matches_e5_measurement(self):
+        """The advisor's worst case bounds what E5 actually measures."""
+        from repro.core.metadata import DRXMeta
+        from repro.drx import PFSByteStore
+        from repro.drx.drxfile import DRXFile
+        from repro.pfs import ParallelFileSystem
+        for edge in (32, 90, 181):
+            fs = ParallelFileSystem(nservers=4, stripe_size=64 * 1024)
+            meta = DRXMeta.create((256, 256), (edge, edge))
+            a = DRXFile(meta, PFSByteStore(fs.create("t.xta")), None,
+                        writable=True, cache_pages=2)
+            a.write((0, 0), np.zeros((256, 256)))
+            a.flush()
+            a._pool.invalidate()
+            fs.reset_stats()
+            a.read((0, 0), (edge, edge))      # one chunk
+            measured = fs.total_stats().read_requests
+            bound = chunk_stripe_report((edge, edge),
+                                        64 * 1024)["worst_case_requests"]
+            assert measured <= bound + 1, (edge, measured, bound)
+            a.close()

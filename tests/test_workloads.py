@@ -1,0 +1,104 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import replay_history
+from repro.core.errors import DRXError
+from repro.workloads import (
+    boundary_slabs,
+    bursty_growth,
+    column_scan_boxes,
+    pattern_array,
+    random_boxes,
+    random_growth,
+    round_robin_growth,
+    row_scan_boxes,
+    single_dim_growth,
+)
+
+
+class TestPatternArray:
+    def test_values_encode_indices(self):
+        a = pattern_array((3, 4))
+        assert a[0, 0] == 0 and a[2, 3] == 11
+        assert a[1, 2] == 1 * 4 + 2
+
+
+class TestGrowthSchedules:
+    def test_round_robin(self):
+        h = round_robin_growth(3, 7, by=2)
+        assert [d for d, _ in h] == [0, 1, 2, 0, 1, 2, 0]
+        assert all(b == 2 for _, b in h)
+
+    def test_single_dim(self):
+        h = single_dim_growth(1, 4)
+        assert h == [(1, 1)] * 4
+
+    def test_random_deterministic(self):
+        assert random_growth(3, 10, seed=9) == random_growth(3, 10, seed=9)
+        assert random_growth(3, 10, seed=9) != random_growth(3, 10, seed=10)
+
+    def test_random_valid(self):
+        for dim, by in random_growth(4, 50, seed=1, max_by=5):
+            assert 0 <= dim < 4 and 1 <= by <= 5
+
+    def test_bursty_merges(self):
+        """Record count tracks bursts, not total extensions."""
+        h = bursty_growth(3, bursts=4, burst_len=5, seed=2)
+        assert len(h) == 20
+        eci = replay_history([1, 1, 1], h)
+        non_sentinel = sum(
+            1 for v in eci.axial_vectors for r in v if not r.is_sentinel)
+        assert non_sentinel <= 1 + 4   # initial + one per burst
+
+    def test_schedules_replayable(self):
+        for h in (round_robin_growth(2, 6), random_growth(2, 6, seed=3),
+                  bursty_growth(2, 3, 2, seed=4)):
+            eci = replay_history([1, 1], h)
+            assert eci.num_chunks >= 1
+
+
+class TestAccessPatterns:
+    def test_row_scan_covers(self):
+        boxes = list(row_scan_boxes((7, 5), rows_per_read=2))
+        covered = np.zeros((7, 5), dtype=int)
+        for lo, hi in boxes:
+            covered[lo[0]:hi[0], lo[1]:hi[1]] += 1
+        assert np.all(covered == 1)
+
+    def test_column_scan_covers(self):
+        boxes = list(column_scan_boxes((7, 5), cols_per_read=2))
+        covered = np.zeros((7, 5), dtype=int)
+        for lo, hi in boxes:
+            covered[lo[0]:hi[0], lo[1]:hi[1]] += 1
+        assert np.all(covered == 1)
+
+    def test_random_boxes_valid_and_deterministic(self):
+        a = list(random_boxes((9, 9), 20, seed=5))
+        b = list(random_boxes((9, 9), 20, seed=5))
+        assert a == b
+        for lo, hi in a:
+            assert all(0 <= l < h <= 9 for l, h in zip(lo, hi))
+
+    def test_random_boxes_max_edge(self):
+        for lo, hi in random_boxes((20, 20), 30, seed=6, max_edge=3):
+            assert all(h - l <= 3 for l, h in zip(lo, hi))
+
+    def test_random_boxes_empty_shape_rejected(self):
+        with pytest.raises(DRXError):
+            list(random_boxes((0, 4), 1, seed=0))
+
+    def test_boundary_slabs(self):
+        slabs = list(boundary_slabs((6, 8), thickness=2))
+        assert ((0, 0), (2, 8)) in slabs
+        assert ((4, 0), (6, 8)) in slabs
+        assert ((0, 0), (6, 2)) in slabs
+        assert ((0, 6), (6, 8)) in slabs
+        assert len(slabs) == 4
+
+    def test_boundary_thicker_than_dim(self):
+        slabs = list(boundary_slabs((2, 8), thickness=5))
+        assert slabs[0] == ((0, 0), (2, 8))
