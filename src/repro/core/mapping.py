@@ -59,8 +59,9 @@ def f_star_many(eci: ExtendibleChunkIndex, indices: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
 
     bounds = np.asarray(eci.bounds, dtype=np.int64)
-    if np.any(indices < 0) or np.any(indices >= bounds):
-        bad = indices[np.any((indices < 0) | (indices >= bounds), axis=1)][0]
+    oob = ((indices < 0) | (indices >= bounds)).any(axis=1)
+    if oob.any():
+        bad = indices[oob.argmax()]
         raise DRXIndexError(
             f"chunk index {tuple(int(x) for x in bad)} outside bounds "
             f"{eci.bounds}"

@@ -7,10 +7,17 @@ keeps the same chunked axial-vector layout in core.
 
 from .drxfile import DRXFile
 from .inspect import describe, load_meta, verify
+from .ioplan import IOPlan, Run, Visit, coalesce_addresses, plan_box, plan_slab
 from .memarray import MemExtendibleArray
 from .mpool import Mpool, MpoolStats
 from .singlefile import DRXSingleFile
-from .storage import ByteStore, MemoryByteStore, PFSByteStore, PosixByteStore
+from .storage import (
+    ByteStore,
+    MemoryByteStore,
+    PFSByteStore,
+    PosixByteStore,
+    StoreStats,
+)
 
 __all__ = [
     "DRXFile",
@@ -25,4 +32,11 @@ __all__ = [
     "MemoryByteStore",
     "PosixByteStore",
     "PFSByteStore",
+    "StoreStats",
+    "IOPlan",
+    "Run",
+    "Visit",
+    "coalesce_addresses",
+    "plan_box",
+    "plan_slab",
 ]

@@ -15,6 +15,16 @@ sequential scan of the chunks on disk" — and use the inverse mapping to
 scatter each chunk into its place in the requested in-memory order
 (``order="C"`` or ``"F"``), which is the paper's on-the-fly
 transposition.
+
+Every sub-array request is first compiled by :mod:`repro.drx.ioplan`
+into maximal contiguous address runs.  Small requests are served through
+the pool with batched faulting (one vectored store call for all missing
+chunks); requests larger than the pool **stream**: they move whole runs
+with ``readv``/``writev`` and never churn the cache, overlaying dirty
+cached pages on reads and refreshing stale cached pages on writes so the
+pool and the bypass stay coherent.  ``coalesce=False`` restores the
+legacy one-store-call-per-chunk execution (used by equivalence tests and
+the coalescing benchmark).
 """
 
 from __future__ import annotations
@@ -24,12 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.chunking import (
-    box_shape,
-    chunk_of,
-    iter_box_intersections,
-    validate_box,
-)
+from ..core.chunking import box_shape, chunk_of, validate_box
 from ..core.errors import (
     DRXClosedError,
     DRXFileExistsError,
@@ -38,8 +43,8 @@ from ..core.errors import (
     DRXIndexError,
 )
 from ..core.hyperslab import Hyperslab
-from ..core.mapping import f_star_many
 from ..core.metadata import DRXMeta, DRXType
+from .ioplan import IOPlan, coalesce_addresses, plan_box, plan_slab
 from .mpool import Mpool
 from .storage import ByteStore, MemoryByteStore, PosixByteStore
 
@@ -62,13 +67,14 @@ class DRXFile:
 
     def __init__(self, meta: DRXMeta, data_store: ByteStore,
                  meta_store: ByteStore | None, writable: bool,
-                 cache_pages: int = 64) -> None:
+                 cache_pages: int = 64, coalesce: bool = True) -> None:
         self.meta = meta
         self._data = data_store
         self._meta_store = meta_store
         self._writable = writable
         self._pool = Mpool(data_store, meta.chunk_nbytes,
                            max_pages=max(1, cache_pages))
+        self._coalesce = coalesce
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -79,7 +85,8 @@ class DRXFile:
                bounds: Sequence[int], chunk_shape: Sequence[int],
                dtype: str | np.dtype | type = DRXType.DOUBLE,
                overwrite: bool = False, cache_pages: int = 64,
-               fill: float | int | complex = 0) -> "DRXFile":
+               fill: float | int | complex = 0,
+               coalesce: bool = True) -> "DRXFile":
         """Create a new extendible array file.
 
         ``path`` is the array name without suffix (``None`` creates a
@@ -99,7 +106,7 @@ class DRXFile:
             meta_store = PosixByteStore(xmd, "w+")
             data = PosixByteStore(xta, "w+")
         obj = cls(meta, data, meta_store, writable=True,
-                  cache_pages=cache_pages)
+                  cache_pages=cache_pages, coalesce=coalesce)
         if fill != 0:
             obj._fill_chunks(range(meta.num_chunks), fill)
         obj._persist_meta()
@@ -107,7 +114,7 @@ class DRXFile:
 
     @classmethod
     def open(cls, path: str | pathlib.Path, mode: str = "r",
-             cache_pages: int = 64) -> "DRXFile":
+             cache_pages: int = 64, coalesce: bool = True) -> "DRXFile":
         """Open an existing array file (``mode`` is ``"r"`` or ``"r+"``).
 
         The paper: "The file must exist otherwise it returns an error."
@@ -123,7 +130,7 @@ class DRXFile:
         meta_store = PosixByteStore(xmd, mode if mode == "r" else "r+")
         data = PosixByteStore(xta, mode)
         return cls(meta, data, meta_store, writable=(mode == "r+"),
-                   cache_pages=cache_pages)
+                   cache_pages=cache_pages, coalesce=coalesce)
 
     def close(self) -> None:
         """Flush and close both files (idempotent)."""
@@ -226,8 +233,13 @@ class DRXFile:
     def _fill_chunks(self, addresses, value) -> None:
         payload = np.full(self.meta.chunk_elems, value,
                           dtype=self.dtype).tobytes()
-        for q in addresses:
-            self._data.write(q * self.meta.chunk_nbytes, payload)
+        nb = self.meta.chunk_nbytes
+        addrs = np.sort(np.fromiter((int(q) for q in addresses),
+                                    dtype=np.int64))
+        starts, counts = coalesce_addresses(addrs)
+        extents = [(int(s) * nb, int(c) * nb)
+                   for s, c in zip(starts, counts)]
+        self._data.writev(extents, payload * len(addrs))
 
     # ------------------------------------------------------------------
     # element access
@@ -279,6 +291,9 @@ class DRXFile:
         Chunks are visited in increasing linear address (a sequential
         file scan); each is scattered into the output box, so asking for
         ``order="F"`` costs no extra I/O pass (on-the-fly transposition).
+        The visit list is coalesced into contiguous runs: requests that
+        fit the pool fault every missing chunk with one vectored store
+        call, larger ones stream run by run past the pool.
         """
         self._require_open()
         lo = tuple(lo) if lo is not None else (0,) * self.rank
@@ -286,40 +301,28 @@ class DRXFile:
         validate_box(lo, hi, self.shape)
         if order not in ("C", "F"):
             raise DRXIndexError(f"order must be 'C' or 'F', got {order!r}")
+        plan = plan_box(self.meta.eci, lo, hi, self.chunk_shape,
+                        self.meta.chunk_nbytes)
         out = np.zeros(box_shape(lo, hi), dtype=self.dtype, order=order)
-        for q, inter in self._plan(lo, hi):
-            buf = self._pool.get(q)
-            try:
-                arr = buf.view(self.dtype).reshape(self.chunk_shape)
-                out[inter.box_slices] = arr[inter.chunk_slices]
-            finally:
-                self._pool.put(q)
+        self._execute_read(plan, out)
         return out
 
     def write(self, lo: Sequence[int], values: np.ndarray) -> None:
-        """Write ``values`` into the box starting at ``lo``."""
+        """Write ``values`` into the box starting at ``lo``.
+
+        Fully covered chunks of oversized requests are streamed straight
+        to the store in coalesced runs; partially covered chunks always
+        read-modify-write through the pool.
+        """
         self._require_open()
         self._require_writable()
         values = np.asarray(values, dtype=self.dtype)
         lo = tuple(lo)
         hi = tuple(l + s for l, s in zip(lo, values.shape))
         validate_box(lo, hi, self.shape)
-        for q, inter in self._plan(lo, hi):
-            buf = self._pool.get(q)
-            try:
-                arr = buf.view(self.dtype).reshape(self.chunk_shape)
-                arr[inter.chunk_slices] = values[inter.box_slices]
-            finally:
-                self._pool.put(q, dirty=True)
-
-    def _plan(self, lo, hi):
-        """Chunk visit plan for a box: (address, intersection) pairs in
-        increasing linear-address order."""
-        inters = list(iter_box_intersections(lo, hi, self.chunk_shape))
-        idx = np.asarray([it.chunk_index for it in inters], dtype=np.int64)
-        addrs = f_star_many(self.meta.eci, idx)
-        order = np.argsort(addrs, kind="stable")
-        return [(int(addrs[i]), inters[i]) for i in order]
+        plan = plan_box(self.meta.eci, lo, hi, self.chunk_shape,
+                        self.meta.chunk_nbytes)
+        self._execute_write(plan, values)
 
     def read_all(self, order: str = "C") -> np.ndarray:
         """The whole principal array as one in-memory array."""
@@ -340,15 +343,10 @@ class DRXFile:
         self._require_open()
         slab = Hyperslab.build(start, stride, count)
         slab.validate(self.shape)
-        lo, hi = slab.bounding_box()
+        plan = plan_slab(self.meta.eci, slab, self.chunk_shape,
+                         self.meta.chunk_nbytes)
         out = np.zeros(slab.shape, dtype=self.dtype, order=order)
-        for q, inter, chunk_sl, out_sl in self._slab_plan(slab, lo, hi):
-            buf = self._pool.get(q)
-            try:
-                arr = buf.view(self.dtype).reshape(self.chunk_shape)
-                out[out_sl] = arr[chunk_sl]
-            finally:
-                self._pool.put(q)
+        self._execute_read(plan, out)
         return out
 
     def write_slab(self, start, stride, values: np.ndarray) -> None:
@@ -359,29 +357,111 @@ class DRXFile:
         values = np.asarray(values, dtype=self.dtype)
         slab = Hyperslab.build(start, stride, values.shape)
         slab.validate(self.shape)
-        lo, hi = slab.bounding_box()
-        for q, inter, chunk_sl, out_sl in self._slab_plan(slab, lo, hi):
-            buf = self._pool.get(q)
-            try:
-                arr = buf.view(self.dtype).reshape(self.chunk_shape)
-                arr[chunk_sl] = values[out_sl]
-            finally:
-                self._pool.put(q, dirty=True)
+        plan = plan_slab(self.meta.eci, slab, self.chunk_shape,
+                         self.meta.chunk_nbytes)
+        self._execute_write(plan, values)
 
-    def _slab_plan(self, slab: Hyperslab, lo, hi):
-        """Chunk visits for a slab: (address, intersection, strided
-        chunk-local slices, output slices), file order."""
-        for q, inter in self._plan(lo, hi):
-            abs_lo = tuple(l + bs.start
-                           for l, bs in zip(lo, inter.box_slices))
-            abs_hi = tuple(l + bs.stop
-                           for l, bs in zip(lo, inter.box_slices))
-            sel = slab.box_selector(abs_lo, abs_hi)
-            if sel is None:
-                continue
-            rel_sl, out_sl = sel
-            chunk_sl = tuple(
-                slice(cs.start + rs.start, cs.start + rs.stop, rs.step)
-                for cs, rs in zip(inter.chunk_slices, rel_sl)
-            )
-            yield q, inter, chunk_sl, out_sl
+    # ------------------------------------------------------------------
+    # plan execution (per-chunk, pool-batched, or streaming)
+    # ------------------------------------------------------------------
+    def _execute_read(self, plan: IOPlan, out: np.ndarray) -> None:
+        """Scatter the planned chunks into ``out`` (its ``box_slices``
+        coordinate frame)."""
+        cs = self.chunk_shape
+        if not self._coalesce or plan.num_chunks <= 1:
+            for v in plan.visits:
+                buf = self._pool.get(v.address)
+                try:
+                    arr = buf.view(self.dtype).reshape(cs)
+                    out[v.box_slices] = arr[v.chunk_slices]
+                finally:
+                    self._pool.put(v.address)
+        elif plan.num_chunks > self._pool.max_pages:
+            self._read_streaming(plan, out)
+        else:
+            addrs = plan.addresses
+            bufs = self._pool.get_many(addrs)
+            try:
+                for v, buf in zip(plan.visits, bufs):
+                    arr = buf.view(self.dtype).reshape(cs)
+                    out[v.box_slices] = arr[v.chunk_slices]
+            finally:
+                self._pool.put_many(addrs)
+
+    def _read_streaming(self, plan: IOPlan, out: np.ndarray) -> None:
+        """Move whole runs with one vectored read, bypassing the pool.
+
+        Dirty cached pages shadow the file, so their buffers are used in
+        place of the freshly read bytes (coherence with unflushed
+        writes); clean cached pages are byte-identical to the file.
+        """
+        cs = self.chunk_shape
+        nb = self.meta.chunk_nbytes
+        blob = memoryview(self._data.readv(plan.byte_extents()))
+        pos = 0
+        for v in plan.visits:           # visit order == blob order
+            cached = self._pool.peek_dirty(v.address)
+            if cached is not None:
+                arr = cached.view(self.dtype).reshape(cs)
+            else:
+                arr = np.frombuffer(blob[pos:pos + nb],
+                                    dtype=self.dtype).reshape(cs)
+            out[v.box_slices] = arr[v.chunk_slices]
+            pos += nb
+
+    def _execute_write(self, plan: IOPlan, values: np.ndarray) -> None:
+        """Gather ``values`` (``box_slices`` frame) into the planned
+        chunks."""
+        cs = self.chunk_shape
+        if not self._coalesce or plan.num_chunks <= 1:
+            for v in plan.visits:
+                buf = self._pool.get(v.address)
+                try:
+                    arr = buf.view(self.dtype).reshape(cs)
+                    arr[v.chunk_slices] = values[v.box_slices]
+                finally:
+                    self._pool.put(v.address, dirty=True)
+        elif plan.num_chunks > self._pool.max_pages:
+            self._write_streaming(plan, values)
+        else:
+            addrs = plan.addresses
+            bufs = self._pool.get_many(addrs)
+            try:
+                for v, buf in zip(plan.visits, bufs):
+                    arr = buf.view(self.dtype).reshape(cs)
+                    arr[v.chunk_slices] = values[v.box_slices]
+            finally:
+                self._pool.put_many(addrs, dirty=True)
+
+    def _write_streaming(self, plan: IOPlan, values: np.ndarray) -> None:
+        """Stream fully covered chunks to the store in coalesced runs.
+
+        Partially covered (edge) chunks still read-modify-write through
+        the pool, in capacity-sized batches.  Cached copies of streamed
+        chunks are refreshed in place so the pool cannot later resurface
+        (or write back) stale bytes.
+        """
+        nb = self.meta.chunk_nbytes
+        full = [v for v in plan.visits if v.full]
+        partial = [v for v in plan.visits if not v.full]
+        if full:
+            starts, counts = coalesce_addresses(
+                np.asarray([v.address for v in full], dtype=np.int64))
+            extents = [(int(s) * nb, int(c) * nb)
+                       for s, c in zip(starts, counts)]
+            payload = bytearray()
+            for v in full:
+                raw = np.ascontiguousarray(values[v.box_slices]).tobytes()
+                self._pool.refresh(v.address, raw)
+                payload += raw
+            self._data.writev(extents, payload)
+        for i in range(0, len(partial), self._pool.max_pages):
+            batch = partial[i:i + self._pool.max_pages]
+            addrs = [v.address for v in batch]
+            bufs = self._pool.get_many(addrs)
+            try:
+                for v, buf in zip(batch, bufs):
+                    arr = buf.view(self.dtype).reshape(self.chunk_shape)
+                    arr[v.chunk_slices] = values[v.box_slices]
+            finally:
+                self._pool.put_many(addrs, dirty=True)

@@ -1,0 +1,190 @@
+"""I/O planning: coalescing sorted chunk addresses into contiguous runs.
+
+The mapping function ``F*`` lays an extendible array out so that the
+chunks of any rectilinear region sort into long stretches of consecutive
+linear addresses — the paper's "sequential scan of the chunks on disk".
+The per-chunk transfer loops in :class:`~repro.drx.drxfile.DRXFile` and
+:class:`~repro.drx.mpool.Mpool` used to throw that contiguity away by
+issuing one store call per chunk.  This module turns a box or hyperslab
+request into an :class:`IOPlan`: the chunk visits in increasing linear
+address order, grouped into **maximal contiguous runs**, each of which
+can move with a single vectored store call (the serial analog of MPI-IO
+data sieving / two-phase aggregation).
+
+The planner is pure geometry + address arithmetic; the transfers live in
+``DRXFile`` (which executes plans against its :class:`Mpool` and
+:class:`~repro.drx.storage.ByteStore`) and in
+:func:`repro.drxmp.subarray.indexed_filetype` (which folds runs into the
+blocklengths of the MPI indexed filetype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.chunking import iter_box_intersections
+from ..core.errors import DRXIndexError
+from ..core.extendible import ExtendibleChunkIndex
+from ..core.hyperslab import Hyperslab
+from ..core.mapping import f_star_many
+
+__all__ = ["Visit", "Run", "IOPlan", "coalesce_addresses",
+           "plan_box", "plan_slab"]
+
+#: A half-open byte extent ``(offset, length)``.
+Extent = tuple[int, int]
+
+
+def coalesce_addresses(addresses: np.ndarray | Sequence[int]
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Group strictly increasing chunk addresses into contiguous runs.
+
+    Returns ``(starts, counts)``: run ``i`` covers addresses
+    ``starts[i] .. starts[i] + counts[i] - 1``.  Raises
+    :class:`DRXIndexError` when the input is not strictly increasing
+    (planners always sort and deduplicate first).
+    """
+    a = np.ascontiguousarray(addresses, dtype=np.int64)
+    if a.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    gaps = np.diff(a)
+    if np.any(gaps < 1):
+        raise DRXIndexError(
+            "addresses must be strictly increasing to coalesce"
+        )
+    breaks = np.empty(a.size, dtype=bool)
+    breaks[0] = True
+    breaks[1:] = gaps > 1
+    starts = a[breaks]
+    first = np.flatnonzero(breaks)
+    counts = np.diff(np.append(first, a.size))
+    return starts, counts.astype(np.int64)
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """One chunk touched by a request, with its scatter/gather slices.
+
+    ``chunk_slices`` select the transferred region inside the chunk
+    (local coordinates, possibly strided for hyperslabs); ``box_slices``
+    select the matching region of the request's in-memory array.
+    ``full`` is True when the whole chunk payload moves with unit stride
+    — such writes need no read-modify-write.
+    """
+
+    address: int
+    chunk_slices: tuple[slice, ...]
+    box_slices: tuple[slice, ...]
+    full: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Run:
+    """A maximal stretch of consecutive chunk addresses.
+
+    ``first`` indexes the run's first chunk in the plan's visit list, so
+    ``plan.visits[first:first + count]`` are exactly this run's visits.
+    """
+
+    start: int
+    count: int
+    first: int
+
+    def byte_extent(self, chunk_nbytes: int) -> Extent:
+        return (self.start * chunk_nbytes, self.count * chunk_nbytes)
+
+
+class IOPlan:
+    """A request compiled to file order: sorted visits + contiguous runs."""
+
+    __slots__ = ("visits", "runs", "chunk_nbytes")
+
+    def __init__(self, visits: list[Visit], chunk_nbytes: int) -> None:
+        self.visits = visits
+        self.chunk_nbytes = chunk_nbytes
+        addrs = np.fromiter((v.address for v in visits), dtype=np.int64,
+                            count=len(visits))
+        starts, counts = coalesce_addresses(addrs)
+        first = 0
+        runs: list[Run] = []
+        for s, c in zip(starts, counts):
+            runs.append(Run(int(s), int(c), first))
+            first += int(c)
+        self.runs = runs
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.visits)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def addresses(self) -> list[int]:
+        return [v.address for v in self.visits]
+
+    def byte_extents(self) -> list[Extent]:
+        """One byte extent per run — the vectored transfer list."""
+        return [r.byte_extent(self.chunk_nbytes) for r in self.runs]
+
+    def run_visits(self) -> Iterator[tuple[Run, list[Visit]]]:
+        for r in self.runs:
+            yield r, self.visits[r.first:r.first + r.count]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IOPlan({self.num_chunks} chunks in {self.num_runs} runs, "
+                f"chunk_nbytes={self.chunk_nbytes})")
+
+
+def plan_box(eci: ExtendibleChunkIndex, lo: Sequence[int],
+             hi: Sequence[int], chunk_shape: Sequence[int],
+             chunk_nbytes: int) -> IOPlan:
+    """Compile a dense box request ``[lo, hi)`` into an :class:`IOPlan`."""
+    inters = list(iter_box_intersections(lo, hi, chunk_shape))
+    idx = np.asarray([it.chunk_index for it in inters], dtype=np.int64)
+    addrs = f_star_many(eci, idx)
+    order = np.argsort(addrs, kind="stable")
+    visits = [
+        Visit(int(addrs[i]), inters[i].chunk_slices,
+              inters[i].box_slices, inters[i].full)
+        for i in order
+    ]
+    return IOPlan(visits, chunk_nbytes)
+
+
+def plan_slab(eci: ExtendibleChunkIndex, slab: Hyperslab,
+              chunk_shape: Sequence[int], chunk_nbytes: int) -> IOPlan:
+    """Compile a strided hyperslab into an :class:`IOPlan`.
+
+    Chunks of the slab's bounding box that hold no lattice point are
+    dropped; the surviving visits carry strided ``chunk_slices`` picking
+    the lattice and dense ``box_slices`` into the result array.
+    """
+    lo, hi = slab.bounding_box()
+    inters = list(iter_box_intersections(lo, hi, chunk_shape))
+    idx = np.asarray([it.chunk_index for it in inters], dtype=np.int64)
+    addrs = f_star_many(eci, idx)
+    order = np.argsort(addrs, kind="stable")
+    visits: list[Visit] = []
+    for i in order:
+        inter = inters[i]
+        abs_lo = tuple(l + bs.start for l, bs in zip(lo, inter.box_slices))
+        abs_hi = tuple(l + bs.stop for l, bs in zip(lo, inter.box_slices))
+        sel = slab.box_selector(abs_lo, abs_hi)
+        if sel is None:
+            continue
+        rel_sl, out_sl = sel
+        chunk_sl = tuple(
+            slice(cs.start + rs.start, cs.start + rs.stop, rs.step)
+            for cs, rs in zip(inter.chunk_slices, rel_sl)
+        )
+        full = inter.full and all(
+            rs.step == 1 and rs.start == 0 and rs.stop == c
+            for rs, c in zip(rel_sl, chunk_shape)
+        )
+        visits.append(Visit(int(addrs[i]), chunk_sl, out_sl, full))
+    return IOPlan(visits, chunk_nbytes)

@@ -158,8 +158,11 @@ class MemExtendibleArray:
         # therefore its chunk addresses) match this array exactly
         f.meta.eci = self.meta.eci.copy()
         f.meta.element_bounds = self.shape
-        for q, chunk in enumerate(self._chunks):
-            f._data.write(q * f.meta.chunk_nbytes, chunk.tobytes())
+        if self._chunks:
+            nbytes = f.meta.chunk_nbytes
+            f._data.writev([(0, nbytes * len(self._chunks))],
+                           b"".join(chunk.tobytes()
+                                    for chunk in self._chunks))
         f._persist_meta()
         return f
 
@@ -171,10 +174,13 @@ class MemExtendibleArray:
         arr.meta = drxfile.meta.replicate()
         nbytes = arr.meta.chunk_nbytes
         arr._chunks = []
-        for q in range(arr.meta.num_chunks):
-            raw = drxfile._data.read(q * nbytes, nbytes)
-            arr._chunks.append(
-                np.frombuffer(bytearray(raw), dtype=arr.meta.dtype)
-                .reshape(arr.meta.chunk_shape)
-            )
+        if arr.meta.num_chunks:
+            blob = memoryview(
+                drxfile._data.readv([(0, nbytes * arr.meta.num_chunks)]))
+            for q in range(arr.meta.num_chunks):
+                raw = blob[q * nbytes:(q + 1) * nbytes]
+                arr._chunks.append(
+                    np.frombuffer(bytearray(raw), dtype=arr.meta.dtype)
+                    .reshape(arr.meta.chunk_shape)
+                )
         return arr

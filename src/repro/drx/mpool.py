@@ -8,23 +8,31 @@ The pool caches fixed-size *pages* (one page = one chunk of the array
 file) with the classic Mpool discipline:
 
 * ``get(pageno)`` pins a page, faulting it in from the store on a miss;
+* ``get_many(pagenos)`` pins a batch, faulting every miss with a single
+  vectored store call over the coalesced contiguous runs;
 * ``put(pageno, dirty=...)`` unpins it, optionally marking it dirty;
 * clean/unpinned pages are evicted LRU; dirty pages are written back on
-  eviction and on ``flush``;
+  eviction — together with any dirty unpinned neighbours at consecutive
+  page numbers, so one eviction drains a whole contiguous run — and on
+  ``flush``, which writes the dirty set sorted by page number in
+  coalesced runs (a sequential pass over the file, not LRU order);
 * pinned pages are never evicted; exhausting the pool with pins raises.
 
 Hit/miss/eviction/write-back counters feed experiment E7 (cache size vs
-locality sweeps).
+locality sweeps); the ``syscalls``/``coalesced_runs`` counters quantify
+how much run coalescing compresses the pool's store traffic.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..core.errors import DRXError
+from .ioplan import coalesce_addresses
 from .storage import ByteStore
 
 __all__ = ["Mpool", "MpoolStats"]
@@ -38,6 +46,12 @@ class MpoolStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    #: physical store transfers the pool issued (faults + write-backs)
+    syscalls: int = 0
+    #: contiguous runs moved through vectored (batched) transfers
+    coalesced_runs: int = 0
+    bytes_faulted: int = 0
+    bytes_written: int = 0
 
     @property
     def accesses(self) -> int:
@@ -46,6 +60,12 @@ class MpoolStats:
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def bytes_per_call(self) -> float:
+        """Mean bytes per store transfer (0 when no I/O happened)."""
+        total = self.bytes_faulted + self.bytes_written
+        return total / self.syscalls if self.syscalls else 0.0
 
 
 class _Page:
@@ -88,12 +108,80 @@ class Mpool:
             self._pages.move_to_end(pageno)
         else:
             self.stats.misses += 1
-            self._make_room()
+            self._make_room(1)
             raw = self.store.read(pageno * self.page_size, self.page_size)
+            self.stats.syscalls += 1
+            self.stats.bytes_faulted += self.page_size
             page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
             self._pages[pageno] = page
         page.pins += 1
         return page.buf
+
+    def get_many(self, pagenos: Sequence[int]) -> list[np.ndarray]:
+        """Pin a batch of pages, faulting all misses with one vectored
+        store call over the coalesced contiguous runs.
+
+        Returns the page buffers aligned with ``pagenos`` (duplicates are
+        pinned once per occurrence).  The batch may not exceed the pool
+        capacity — callers split larger requests (or stream around the
+        pool entirely, as ``DRXFile`` does).
+        """
+        nos = [int(p) for p in pagenos]
+        if any(p < 0 for p in nos):
+            raise DRXError(f"negative page number in batch {nos!r}")
+        distinct = sorted(set(nos))
+        if len(distinct) > self.max_pages:
+            raise DRXError(
+                f"batch of {len(distinct)} pages exceeds pool capacity "
+                f"{self.max_pages}"
+            )
+        resident: list[int] = []
+        missing: list[int] = []
+        for p in distinct:
+            page = self._pages.get(p)
+            if page is None:
+                missing.append(p)
+            else:
+                page.pins += 1          # protect from eviction below
+                self._pages.move_to_end(p)
+                resident.append(p)
+        self.stats.hits += len(resident)
+        self.stats.misses += len(missing)
+        if missing:
+            try:
+                self._fault_many(missing)
+            except BaseException:
+                for p in resident:
+                    self._pages[p].pins -= 1
+                raise
+        # duplicates in the request pin once per occurrence, like get();
+        # every distinct page (resident or just faulted) holds one
+        # protective pin at this point, dropped after the real pins land
+        for p in nos:
+            self._pages[p].pins += 1
+        for p in distinct:
+            self._pages[p].pins -= 1
+        return [self._pages[p].buf for p in nos]
+
+    def _fault_many(self, missing: list[int]) -> None:
+        """Fault the (sorted, absent) pages in with one vectored read."""
+        self._make_room(len(missing))
+        ps = self.page_size
+        starts, counts = coalesce_addresses(
+            np.asarray(missing, dtype=np.int64))
+        extents = [(int(s) * ps, int(c) * ps)
+                   for s, c in zip(starts, counts)]
+        blob = self.store.readv(extents)
+        self.stats.syscalls += len(extents)
+        self.stats.coalesced_runs += len(extents)
+        self.stats.bytes_faulted += len(blob)
+        mv = memoryview(blob)
+        for i, p in enumerate(missing):
+            buf = np.frombuffer(bytearray(mv[i * ps:(i + 1) * ps]),
+                                dtype=np.uint8)
+            page = _Page(buf)
+            page.pins = 1               # protective pin, see get_many
+            self._pages[p] = page
 
     def put(self, pageno: int, dirty: bool = False) -> None:
         """Unpin page ``pageno``, optionally marking it dirty."""
@@ -103,8 +191,14 @@ class Mpool:
         page.dirty = page.dirty or dirty
         page.pins -= 1
 
-    def _make_room(self) -> None:
-        while len(self._pages) >= self.max_pages:
+    def put_many(self, pagenos: Sequence[int], dirty: bool = False) -> None:
+        """Unpin every page of a batch (the inverse of :meth:`get_many`)."""
+        for p in pagenos:
+            self.put(int(p), dirty=dirty)
+
+    def _make_room(self, needed: int) -> None:
+        """Evict LRU unpinned pages until ``needed`` slots are free."""
+        while len(self._pages) + needed > self.max_pages:
             victim = None
             for pageno, page in self._pages.items():   # LRU order
                 if page.pins == 0:
@@ -115,32 +209,102 @@ class Mpool:
                     f"buffer pool exhausted: all {self.max_pages} pages "
                     f"pinned"
                 )
-            page = self._pages.pop(victim)
+            vpage = self._pages[victim]
             self.stats.evictions += 1
-            if page.dirty:
-                self._writeback(victim, page)
+            if vpage.dirty:
+                self._writeback_cluster(victim, vpage)
+            del self._pages[victim]
+
+    def _writeback_cluster(self, pageno: int, page: _Page) -> None:
+        """Write back ``pageno`` plus any dirty unpinned pages at
+        consecutive page numbers — one contiguous run, one store call.
+
+        The neighbours stay cached (now clean); clustering turns the
+        LRU's scattered single-page write-backs into sequential runs.
+        """
+        members = [(pageno, page)]
+        lo = pageno - 1
+        while (nb := self._pages.get(lo)) is not None \
+                and nb.dirty and nb.pins == 0:
+            members.insert(0, (lo, nb))
+            lo -= 1
+        hi = pageno + 1
+        while (nb := self._pages.get(hi)) is not None \
+                and nb.dirty and nb.pins == 0:
+            members.append((hi, nb))
+            hi += 1
+        self._writeback_batch(members)
 
     def _writeback(self, pageno: int, page: _Page) -> None:
-        self.store.write(pageno * self.page_size, page.buf.tobytes())
+        """Write back one page, passing its buffer zero-copy."""
+        self.store.write(pageno * self.page_size, page.buf.data)
         self.stats.writebacks += 1
+        self.stats.syscalls += 1
+        self.stats.bytes_written += self.page_size
         page.dirty = False
+
+    def _writeback_batch(self, members: list[tuple[int, _Page]]) -> None:
+        """Write back a set of dirty pages as sorted coalesced runs."""
+        if not members:
+            return
+        if len(members) == 1:
+            self._writeback(*members[0])
+            return
+        members = sorted(members, key=lambda m: m[0])
+        ps = self.page_size
+        starts, counts = coalesce_addresses(
+            np.asarray([p for p, _pg in members], dtype=np.int64))
+        extents = [(int(s) * ps, int(c) * ps)
+                   for s, c in zip(starts, counts)]
+        payload = b"".join(pg.buf.data for _p, pg in members)
+        self.store.writev(extents, payload)
+        self.stats.writebacks += len(members)
+        self.stats.syscalls += len(extents)
+        self.stats.coalesced_runs += len(extents)
+        self.stats.bytes_written += len(payload)
+        for _p, pg in members:
+            pg.dirty = False
+
+    # ------------------------------------------------------------------
+    # coherence hooks for streaming I/O that bypasses the pool
+    # ------------------------------------------------------------------
+    def peek_dirty(self, pageno: int) -> np.ndarray | None:
+        """The cached buffer of ``pageno`` if it is resident *and* dirty,
+        else ``None``.  No pin, no LRU touch, no counters — used by
+        streaming reads to stay coherent with unflushed writes."""
+        page = self._pages.get(pageno)
+        if page is not None and page.dirty:
+            return page.buf
+        return None
+
+    def refresh(self, pageno: int, data) -> None:
+        """Overwrite the cached copy of ``pageno`` (if resident) with the
+        bytes just written to the store, clearing its dirty bit — used by
+        streaming writes so stale cached pages cannot resurface."""
+        page = self._pages.get(pageno)
+        if page is not None:
+            page.buf[:] = np.frombuffer(data, dtype=np.uint8)
+            page.dirty = False
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Write back every dirty page (pages stay cached)."""
-        for pageno, page in self._pages.items():
-            if page.dirty:
-                self._writeback(pageno, page)
+        """Write back every dirty page in page-number order, coalescing
+        consecutive pages into single vectored runs (pages stay cached)."""
+        dirty = [(p, pg) for p, pg in self._pages.items() if pg.dirty]
+        self._writeback_batch(dirty)
         self.store.flush()
 
     def invalidate(self) -> None:
-        """Drop every unpinned page (dirty ones are written back first)."""
+        """Drop every unpinned page (dirty ones are written back first,
+        in sorted coalesced runs)."""
+        self._writeback_batch(
+            [(p, pg) for p, pg in self._pages.items()
+             if pg.dirty and pg.pins == 0]
+        )
         keep: "OrderedDict[int, _Page]" = OrderedDict()
         for pageno, page in self._pages.items():
             if page.pins > 0:
                 keep[pageno] = page
-            elif page.dirty:
-                self._writeback(pageno, page)
         self._pages = keep
 
     @property

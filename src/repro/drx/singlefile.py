@@ -61,14 +61,25 @@ class _OffsetByteStore(ByteStore):
     """
 
     def __init__(self, inner: ByteStore, base: int) -> None:
+        super().__init__()
         self._inner = inner
         self._base = base
+        # one accounting surface per physical file
+        self.stats = inner.stats
 
     def read(self, offset: int, length: int) -> bytes:
         return self._inner.read(self._base + offset, length)
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data) -> None:
         self._inner.write(self._base + offset, data)
+
+    def readv(self, extents) -> bytes:
+        return self._inner.readv(
+            [(self._base + off, length) for off, length in extents])
+
+    def writev(self, extents, data) -> None:
+        self._inner.writev(
+            [(self._base + off, length) for off, length in extents], data)
 
     @property
     def size(self) -> int:
@@ -248,6 +259,12 @@ class DRXSingleFile:
     def write(self, lo, values) -> None:
         self._inner.write(lo, values)
 
+    def read_slab(self, start, stride, count, order: str = "C") -> np.ndarray:
+        return self._inner.read_slab(start, stride, count, order)
+
+    def write_slab(self, start, stride, values) -> None:
+        self._inner.write_slab(start, stride, values)
+
     def read_all(self, order: str = "C") -> np.ndarray:
         return self._inner.read_all(order)
 
@@ -273,10 +290,10 @@ class DRXSingleFile:
                          header_reserve=header_reserve)
         out._inner.meta.eci = pair.meta.eci.copy()
         out._inner.meta.element_bounds = pair.meta.element_bounds
-        nbytes = pair.meta.chunk_nbytes
-        for q in range(pair.meta.num_chunks):
-            out._inner._data.write(q * nbytes, pair._data.read(q * nbytes,
-                                                               nbytes))
+        total = pair.meta.num_chunks * pair.meta.chunk_nbytes
+        if total:
+            blob = pair._data.readv([(0, total)])
+            out._inner._data.writev([(0, total)], blob)
         out._persist_meta()
         return out
 
@@ -289,9 +306,9 @@ class DRXSingleFile:
         out.meta.eci = self.meta.eci.copy()
         out.meta.element_bounds = self.meta.element_bounds
         out.meta.extra.pop("container", None)
-        nbytes = self.meta.chunk_nbytes
-        for q in range(self.meta.num_chunks):
-            out._data.write(q * nbytes,
-                            self._inner._data.read(q * nbytes, nbytes))
+        total = self.meta.num_chunks * self.meta.chunk_nbytes
+        if total:
+            blob = self._inner._data.readv([(0, total)])
+            out._data.writev([(0, total)], blob)
         out._persist_meta()
         return out

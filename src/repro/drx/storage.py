@@ -9,28 +9,137 @@ read through either library — tested in the integration suite).
 
 All stores expose the same tiny interface: ``read``, ``write``, ``size``,
 ``truncate``, ``flush``, ``close``; reads past the end return zeros
-(sparse semantics, which lazy segment materialization relies on).
+(sparse semantics, which lazy segment materialization relies on).  On top
+of the scalar calls sit the vectored forms ``readv``/``writev`` taking a
+list of contiguous byte extents — the transfer primitive of the run
+coalescing I/O planner (:mod:`repro.drx.ioplan`).  The base class runs
+them as one scalar call per extent; :class:`PosixByteStore` issues one
+positioned read/write per run, and :class:`PFSByteStore` forwards the
+whole extent list to the striped file's native vectored path so a single
+call fans out over the I/O servers.
+
+Every store carries a :class:`StoreStats` counter block: ``syscalls`` is
+the number of physical transfer operations issued (one per scalar call,
+one per extent of a vectored call), ``coalesced_runs`` counts the extents
+moved through the vectored entry points, and ``bytes_per_call`` is the
+resulting mean transfer size — the quantity run coalescing exists to
+maximize.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 from ..core.errors import DRXFileError
 from ..pfs.pfile import PFSFile
 
-__all__ = ["ByteStore", "PosixByteStore", "MemoryByteStore", "PFSByteStore"]
+__all__ = ["ByteStore", "StoreStats", "PosixByteStore", "MemoryByteStore",
+           "PFSByteStore"]
+
+#: A half-open byte extent ``(offset, length)``.
+Extent = tuple[int, int]
+
+
+@dataclass
+class StoreStats:
+    """Cumulative transfer counters for one byte store."""
+
+    reads: int = 0            #: physical read transfers issued
+    writes: int = 0           #: physical write transfers issued
+    readv_calls: int = 0      #: vectored read invocations
+    writev_calls: int = 0     #: vectored write invocations
+    coalesced_runs: int = 0   #: contiguous runs moved through readv/writev
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def syscalls(self) -> int:
+        """Physical transfer operations issued to the backing medium."""
+        return self.reads + self.writes
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def bytes_per_call(self) -> float:
+        """Mean bytes moved per physical transfer (0 when idle)."""
+        return self.bytes_moved / self.syscalls if self.syscalls else 0.0
+
+    def note_read(self, nbytes: int) -> None:
+        self.reads += 1
+        self.bytes_read += nbytes
+
+    def note_write(self, nbytes: int) -> None:
+        self.writes += 1
+        self.bytes_written += nbytes
+
+    def snapshot(self) -> "StoreStats":
+        return replace(self)
+
+    def delta(self, earlier: "StoreStats") -> "StoreStats":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return StoreStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            readv_calls=self.readv_calls - earlier.readv_calls,
+            writev_calls=self.writev_calls - earlier.writev_calls,
+            coalesced_runs=self.coalesced_runs - earlier.coalesced_runs,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+        )
+
+    def reset(self) -> None:
+        self.reads = self.writes = 0
+        self.readv_calls = self.writev_calls = 0
+        self.coalesced_runs = 0
+        self.bytes_read = self.bytes_written = 0
 
 
 class ByteStore:
     """Abstract byte store interface (see module docstring)."""
 
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+
     def read(self, offset: int, length: int) -> bytes:
         raise NotImplementedError
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data) -> None:
         raise NotImplementedError
+
+    def readv(self, extents: Sequence[Extent]) -> bytes:
+        """Read the given extents, concatenated in request order.
+
+        Fallback: one scalar :meth:`read` per extent (which does its own
+        accounting).  Backends with a cheaper vectored path override this.
+        """
+        self.stats.readv_calls += 1
+        self.stats.coalesced_runs += len(extents)
+        return b"".join(self.read(off, length) for off, length in extents)
+
+    def writev(self, extents: Sequence[Extent], data) -> None:
+        """Write ``data`` (one buffer covering every extent, in order)
+        into the given extents.
+
+        Fallback: one scalar :meth:`write` per extent with a zero-copy
+        ``memoryview`` slice of ``data``.
+        """
+        self.stats.writev_calls += 1
+        self.stats.coalesced_runs += len(extents)
+        mv = memoryview(data)
+        total = sum(length for _off, length in extents)
+        if total != len(mv):
+            raise DRXFileError(
+                f"writev: extents cover {total} bytes, data has {len(mv)}"
+            )
+        pos = 0
+        for off, length in extents:
+            self.write(off, mv[pos:pos + length])
+            pos += length
 
     @property
     def size(self) -> int:
@@ -50,6 +159,7 @@ class PosixByteStore(ByteStore):
     """A real file accessed with ``os.pread``/``os.pwrite``."""
 
     def __init__(self, path: str | pathlib.Path, mode: str = "r+") -> None:
+        super().__init__()
         self.path = pathlib.Path(path)
         if mode == "r":
             flags = os.O_RDONLY
@@ -69,15 +179,21 @@ class PosixByteStore(ByteStore):
         self._closed = False
 
     def read(self, offset: int, length: int) -> bytes:
+        self.stats.note_read(length)
         data = os.pread(self._fd, length, offset)
         if len(data) < length:
             data += b"\x00" * (length - len(data))
         return data
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data) -> None:
         if not self._writable:
             raise DRXFileError(f"{self.path} opened read-only")
+        self.stats.note_write(len(data))
         os.pwrite(self._fd, data, offset)
+
+    # the inherited readv/writev already issue exactly one positioned
+    # read/write per extent — one seek+transfer per coalesced run — so no
+    # override is needed; there is no POSIX scatter-offset vector call.
 
     @property
     def size(self) -> int:
@@ -102,14 +218,17 @@ class MemoryByteStore(ByteStore):
     """An in-memory byte store (unit tests, scratch arrays)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._data = bytearray()
 
     def read(self, offset: int, length: int) -> bytes:
+        self.stats.note_read(length)
         end = offset + length
         chunk = bytes(self._data[offset:min(end, len(self._data))])
         return chunk + b"\x00" * (length - len(chunk))
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data) -> None:
+        self.stats.note_write(len(data))
         end = offset + len(data)
         if end > len(self._data):
             self._data.extend(b"\x00" * (end - len(self._data)))
@@ -127,16 +246,40 @@ class MemoryByteStore(ByteStore):
 
 
 class PFSByteStore(ByteStore):
-    """Adapter exposing a simulated-PFS file as a byte store."""
+    """Adapter exposing a simulated-PFS file as a byte store.
+
+    The vectored forms forward the whole extent list to
+    :meth:`PFSFile.readv`/:meth:`PFSFile.writev`, so one store call
+    becomes one striped request batch per I/O server — the path where run
+    coalescing pays twice (fewer requests *and* full-stripe transfers).
+    """
 
     def __init__(self, pfile: PFSFile) -> None:
+        super().__init__()
         self._pfile = pfile
 
     def read(self, offset: int, length: int) -> bytes:
+        self.stats.note_read(length)
         return self._pfile.read(offset, length)
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data) -> None:
+        self.stats.note_write(len(data))
         self._pfile.write(offset, data)
+
+    def readv(self, extents: Sequence[Extent]) -> bytes:
+        self.stats.readv_calls += 1
+        self.stats.coalesced_runs += len(extents)
+        for _off, length in extents:
+            self.stats.note_read(length)
+        data, _t = self._pfile.readv(list(extents))
+        return data
+
+    def writev(self, extents: Sequence[Extent], data) -> None:
+        self.stats.writev_calls += 1
+        self.stats.coalesced_runs += len(extents)
+        for _off, length in extents:
+            self.stats.note_write(length)
+        self._pfile.writev(list(extents), data)
 
     @property
     def size(self) -> int:

@@ -236,8 +236,21 @@ class TestCache:
         a = DRXFile.create(tmp_path / "c", (8, 8), (2, 2), cache_pages=1)
         a.write((0, 0), ref)
         assert np.allclose(a.read(), ref)
-        assert a.cache_stats.evictions > 0
+        # requests larger than the pool stream through vectored I/O
+        # instead of churning the single-page cache
+        assert a._data.stats.readv_calls > 0
         a.close()
         b = DRXFile.open(tmp_path / "c", cache_pages=1)
         assert np.allclose(b.read(), ref)
         b.close()
+
+    def test_tiny_cache_per_chunk_path(self, tmp_path, rng):
+        # with coalescing off, every chunk still round-trips through the
+        # one-page pool, so the cache churns exactly as before
+        ref = rng.random((8, 8))
+        a = DRXFile.create(tmp_path / "c", (8, 8), (2, 2), cache_pages=1,
+                           coalesce=False)
+        a.write((0, 0), ref)
+        assert np.allclose(a.read(), ref)
+        assert a.cache_stats.evictions > 0
+        a.close()
