@@ -20,6 +20,8 @@ __all__ = [
     "DRXClosedError",
     "DRXTypeError",
     "DRXDistributionError",
+    "ChecksumError",
+    "CrashError",
     "MPIError",
     "MPIAbort",
     "MPICommError",
@@ -76,6 +78,26 @@ class DRXTypeError(DRXError, TypeError):
 
 class DRXDistributionError(DRXError, ValueError):
     """An invalid zone partitioning / data distribution request."""
+
+
+class ChecksumError(DRXFormatError):
+    """A chunk's stored CRC32 does not match the bytes read back.
+
+    Raised on pool fault-in, streamed reads and ``scrub()`` when per-chunk
+    checksums are enabled — the data was torn or corrupted at rest.
+    """
+
+
+class CrashError(DRXError):
+    """A simulated process crash injected at a named crash point.
+
+    Raised by the fault-injection machinery (:mod:`repro.drx.resilience`)
+    to model the process dying at an arbitrary instant: nothing after the
+    crash point executes, and tests then reopen the on-disk state.  Never
+    classified as transient — retry layers always propagate it.
+    """
+
+    transient = False
 
 
 # ---------------------------------------------------------------------------

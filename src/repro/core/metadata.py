@@ -27,10 +27,19 @@ from .chunking import chunk_bounds_for
 from .errors import DRXFormatError, DRXTypeError
 from .extendible import ExtendibleChunkIndex
 
-__all__ = ["DRXType", "DRXMeta", "Attributes", "MAGIC", "FORMAT_VERSION"]
+__all__ = ["DRXType", "DRXMeta", "Attributes", "MAGIC", "FORMAT_VERSION",
+           "SUPPORTED_FORMAT_VERSIONS"]
 
 MAGIC = b"DRXM"
-FORMAT_VERSION = 1
+#: Current on-disk document version.  Version history:
+#:   1 — original document (rank, dtype, chunking, bounds, axial index).
+#:   2 — adds the optional ``chunk_crcs`` table (per-chunk CRC32
+#:       checksums, keyed by linear chunk address).  Version-1 documents
+#:       remain readable; version-2 documents without checksums are
+#:       structurally identical to version 1 apart from the number.
+FORMAT_VERSION = 2
+#: Document versions :meth:`DRXMeta.from_bytes` accepts.
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
 
 #: The element types the paper supports: "integer, double and complex.
 #: These correspond to the basic data types that can be defined and
@@ -112,6 +121,11 @@ class DRXMeta:
     eci: ExtendibleChunkIndex
     memory_order: str = "C"
     extra: dict = field(default_factory=dict)
+    #: Per-chunk CRC32 table (linear address -> checksum), or ``None``
+    #: when integrity checking is disabled for this array.  Committed
+    #: with the rest of the document, so the checksums describe the last
+    #: *flushed* state of each chunk.
+    chunk_crcs: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -231,6 +245,10 @@ class DRXMeta:
             "index": self.eci.to_dict(),
             "extra": self.extra,
         }
+        if self.chunk_crcs is not None:
+            # JSON object keys must be strings; addresses round-trip below
+            doc["chunk_crcs"] = {str(a): int(c)
+                                 for a, c in self.chunk_crcs.items()}
         return MAGIC + json.dumps(doc, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -241,10 +259,11 @@ class DRXMeta:
             doc = json.loads(raw[len(MAGIC):])
         except json.JSONDecodeError as exc:
             raise DRXFormatError(f"corrupt meta-data: {exc}") from exc
-        if doc.get("format_version") != FORMAT_VERSION:
+        if doc.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
             raise DRXFormatError(
                 f"unsupported format version {doc.get('format_version')}"
             )
+        crcs_doc = doc.get("chunk_crcs")
         try:
             meta = cls(
                 dtype_name=str(doc["dtype"]),
@@ -253,6 +272,8 @@ class DRXMeta:
                 eci=ExtendibleChunkIndex.from_dict(doc["index"]),
                 memory_order=str(doc.get("memory_order", "C")),
                 extra=dict(doc.get("extra", {})),
+                chunk_crcs=None if crcs_doc is None else
+                {int(a): int(c) for a, c in crcs_doc.items()},
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise DRXFormatError(f"malformed meta-data document") from exc

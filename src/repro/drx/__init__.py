@@ -6,10 +6,20 @@ keeps the same chunked axial-vector layout in core.
 """
 
 from .drxfile import DRXFile
+from .faultpoints import CRASH_SITES, crash_point
 from .inspect import describe, load_meta, verify
 from .ioplan import IOPlan, Run, Visit, coalesce_addresses, plan_box, plan_slab
 from .memarray import MemExtendibleArray
 from .mpool import Mpool, MpoolStats
+from .resilience import (
+    ChecksumGuard,
+    FaultInjector,
+    FaultPlan,
+    RetryingByteStore,
+    ScrubReport,
+    chunk_crc,
+    is_transient,
+)
 from .singlefile import DRXSingleFile
 from .storage import (
     ByteStore,
@@ -39,4 +49,13 @@ __all__ = [
     "coalesce_addresses",
     "plan_box",
     "plan_slab",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryingByteStore",
+    "ChecksumGuard",
+    "ScrubReport",
+    "chunk_crc",
+    "is_transient",
+    "crash_point",
+    "CRASH_SITES",
 ]

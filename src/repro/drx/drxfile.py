@@ -30,7 +30,7 @@ the coalescing benchmark).
 from __future__ import annotations
 
 import pathlib
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -44,11 +44,19 @@ from ..core.errors import (
 )
 from ..core.hyperslab import Hyperslab
 from ..core.metadata import DRXMeta, DRXType
+from .faultpoints import crash_point
 from .ioplan import IOPlan, coalesce_addresses, plan_box, plan_slab
 from .mpool import Mpool
+from .resilience import ChecksumGuard, ScrubReport, chunk_crc
 from .storage import ByteStore, MemoryByteStore, PosixByteStore
 
 __all__ = ["DRXFile"]
+
+#: Hook wrapping each backing store at create/open time — receives the
+#: store and its role (``"data"`` or ``"meta"``), returns the store to
+#: use.  The fault-injection and retry decorators of
+#: :mod:`repro.drx.resilience` plug in here.
+StoreWrapper = Callable[[ByteStore, str], ByteStore]
 
 
 class DRXFile:
@@ -72,8 +80,14 @@ class DRXFile:
         self._data = data_store
         self._meta_store = meta_store
         self._writable = writable
+        # checksums are on iff the meta-data carries a CRC table; the
+        # guard is shared by the pool (fault-in / write-back) and the
+        # streaming paths below.
+        self._guard = None if meta.chunk_crcs is None \
+            else ChecksumGuard(meta.chunk_crcs)
         self._pool = Mpool(data_store, meta.chunk_nbytes,
-                           max_pages=max(1, cache_pages))
+                           max_pages=max(1, cache_pages),
+                           guard=self._guard)
         self._coalesce = coalesce
         self._closed = False
 
@@ -86,14 +100,21 @@ class DRXFile:
                dtype: str | np.dtype | type = DRXType.DOUBLE,
                overwrite: bool = False, cache_pages: int = 64,
                fill: float | int | complex = 0,
-               coalesce: bool = True) -> "DRXFile":
+               coalesce: bool = True, checksums: bool = False,
+               store_wrapper: StoreWrapper | None = None) -> "DRXFile":
         """Create a new extendible array file.
 
         ``path`` is the array name without suffix (``None`` creates a
         purely in-memory array for scratch use).  ``bounds`` are the
         initial element bounds, ``chunk_shape`` the chunk shape.
+        ``checksums=True`` maintains per-chunk CRC32 checksums in the
+        meta-data, verified on every fault-in and streamed read (and by
+        :meth:`scrub`).  ``store_wrapper`` decorates the backing stores
+        (fault injection, retries) before any byte moves.
         """
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        if checksums:
+            meta.chunk_crcs = {}
         if path is None:
             data: ByteStore = MemoryByteStore()
             meta_store: ByteStore | None = None
@@ -105,6 +126,10 @@ class DRXFile:
                 raise DRXFileExistsError(f"array {path} already exists")
             meta_store = PosixByteStore(xmd, "w+")
             data = PosixByteStore(xta, "w+")
+        if store_wrapper is not None:
+            data = store_wrapper(data, "data")
+            if meta_store is not None:
+                meta_store = store_wrapper(meta_store, "meta")
         obj = cls(meta, data, meta_store, writable=True,
                   cache_pages=cache_pages, coalesce=coalesce)
         if fill != 0:
@@ -114,10 +139,14 @@ class DRXFile:
 
     @classmethod
     def open(cls, path: str | pathlib.Path, mode: str = "r",
-             cache_pages: int = 64, coalesce: bool = True) -> "DRXFile":
+             cache_pages: int = 64, coalesce: bool = True,
+             store_wrapper: StoreWrapper | None = None) -> "DRXFile":
         """Open an existing array file (``mode`` is ``"r"`` or ``"r+"``).
 
         The paper: "The file must exist otherwise it returns an error."
+        Checksumming resumes automatically when the meta-data carries a
+        CRC table; ``store_wrapper`` decorates the backing stores as in
+        :meth:`create`.
         """
         if mode not in ("r", "r+"):
             raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
@@ -129,6 +158,9 @@ class DRXFile:
         meta = DRXMeta.from_bytes(xmd.read_bytes())
         meta_store = PosixByteStore(xmd, mode if mode == "r" else "r+")
         data = PosixByteStore(xta, mode)
+        if store_wrapper is not None:
+            data = store_wrapper(data, "data")
+            meta_store = store_wrapper(meta_store, "meta")
         return cls(meta, data, meta_store, writable=(mode == "r+"),
                    cache_pages=cache_pages, coalesce=coalesce)
 
@@ -151,12 +183,19 @@ class DRXFile:
             self._persist_meta()
 
     def _persist_meta(self) -> None:
+        """Commit the meta-data crash-consistently.
+
+        The whole document (axial vectors, bounds, checksum table) goes
+        through the store's atomic ``replace`` — for a POSIX file that
+        is temp-file + fsync + rename, so a crash at any instant leaves
+        either the previous or the new ``.xmd``, never a torn one.
+        """
         if self._meta_store is None:
             return
+        crash_point("xmd.commit.begin")
         blob = self.meta.to_bytes()
-        self._meta_store.truncate(0)
-        self._meta_store.write(0, blob)
-        self._meta_store.flush()
+        self._meta_store.replace(blob)
+        crash_point("xmd.commit.end")
 
     def __enter__(self) -> "DRXFile":
         return self
@@ -240,6 +279,9 @@ class DRXFile:
         extents = [(int(s) * nb, int(c) * nb)
                    for s, c in zip(starts, counts)]
         self._data.writev(extents, payload * len(addrs))
+        if self._guard is not None:
+            for q in addrs:
+                self._guard.record(int(q), payload)
 
     # ------------------------------------------------------------------
     # element access
@@ -362,6 +404,51 @@ class DRXFile:
         self._execute_write(plan, values)
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    @property
+    def checksums_enabled(self) -> bool:
+        """Whether per-chunk CRC32 checksums are maintained."""
+        return self._guard is not None
+
+    def scrub(self, batch_chunks: int = 256) -> ScrubReport:
+        """Scan the whole container and verify every chunk's checksum.
+
+        Reads the chunk region in coalesced batches (``batch_chunks``
+        chunks per vectored call) and compares each chunk against the
+        CRC table committed in the meta-data.  Chunks without a stored
+        CRC (never written, or written before checksums were enabled)
+        are counted as unverified.  Dirty cached pages are flushed first
+        on writable handles so the scan sees the committed state.
+
+        Returns a :class:`~repro.drx.resilience.ScrubReport` whose
+        ``corrupt`` list pinpoints torn or bit-rotted chunks by linear
+        address; it never raises on a mismatch.
+        """
+        self._require_open()
+        if self._writable:
+            self.flush()
+        crcs = self.meta.chunk_crcs or {}
+        nb = self.meta.chunk_nbytes
+        total = self.num_chunks
+        corrupt: list[int] = []
+        checked = unverified = 0
+        for start in range(0, total, max(1, batch_chunks)):
+            count = min(batch_chunks, total - start)
+            blob = memoryview(self._data.readv([(start * nb, count * nb)]))
+            for i in range(count):
+                addr = start + i
+                want = crcs.get(addr)
+                if want is None:
+                    unverified += 1
+                    continue
+                checked += 1
+                if chunk_crc(blob[i * nb:(i + 1) * nb]) != want:
+                    corrupt.append(addr)
+        return ScrubReport(total_chunks=total, checked=checked,
+                           corrupt=corrupt, unverified=unverified)
+
+    # ------------------------------------------------------------------
     # plan execution (per-chunk, pool-batched, or streaming)
     # ------------------------------------------------------------------
     def _execute_read(self, plan: IOPlan, out: np.ndarray) -> None:
@@ -404,6 +491,8 @@ class DRXFile:
             if cached is not None:
                 arr = cached.view(self.dtype).reshape(cs)
             else:
+                if self._guard is not None:
+                    self._guard.check(v.address, blob[pos:pos + nb])
                 arr = np.frombuffer(blob[pos:pos + nb],
                                     dtype=self.dtype).reshape(cs)
             out[v.box_slices] = arr[v.chunk_slices]
@@ -455,6 +544,12 @@ class DRXFile:
                 self._pool.refresh(v.address, raw)
                 payload += raw
             self._data.writev(extents, payload)
+            if self._guard is not None:
+                pos = 0
+                nbv = memoryview(payload)
+                for v in full:
+                    self._guard.record(v.address, nbv[pos:pos + nb])
+                    pos += nb
         for i in range(0, len(partial), self._pool.max_pages):
             batch = partial[i:i + self._pool.max_pages]
             addrs = [v.address for v in batch]

@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.errors import DRXError
+from .faultpoints import crash_point
 from .ioplan import coalesce_addresses
 from .storage import ByteStore
 
@@ -81,7 +82,7 @@ class Mpool:
     """A pinned-page LRU buffer pool over a byte store."""
 
     def __init__(self, store: ByteStore, page_size: int,
-                 max_pages: int = 64) -> None:
+                 max_pages: int = 64, guard=None) -> None:
         if page_size < 1:
             raise DRXError(f"page size must be >= 1, got {page_size}")
         if max_pages < 1:
@@ -89,6 +90,11 @@ class Mpool:
         self.store = store
         self.page_size = page_size
         self.max_pages = max_pages
+        #: optional integrity hook (``repro.drx.resilience.ChecksumGuard``):
+        #: ``check(pageno, bytes)`` on every fault-in, ``record(pageno,
+        #: bytes)`` on every write-back — the pool is where chunk bytes
+        #: cross the store boundary, so checksums are enforced here.
+        self.guard = guard
         self.stats = MpoolStats()
         #: pageno -> page, in LRU order (oldest first)
         self._pages: "OrderedDict[int, _Page]" = OrderedDict()
@@ -112,6 +118,8 @@ class Mpool:
             raw = self.store.read(pageno * self.page_size, self.page_size)
             self.stats.syscalls += 1
             self.stats.bytes_faulted += self.page_size
+            if self.guard is not None:
+                self.guard.check(pageno, raw)
             page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
             self._pages[pageno] = page
         page.pins += 1
@@ -176,6 +184,9 @@ class Mpool:
         self.stats.coalesced_runs += len(extents)
         self.stats.bytes_faulted += len(blob)
         mv = memoryview(blob)
+        if self.guard is not None:
+            for i, p in enumerate(missing):
+                self.guard.check(p, mv[i * ps:(i + 1) * ps])
         for i, p in enumerate(missing):
             buf = np.frombuffer(bytearray(mv[i * ps:(i + 1) * ps]),
                                 dtype=np.uint8)
@@ -238,6 +249,8 @@ class Mpool:
     def _writeback(self, pageno: int, page: _Page) -> None:
         """Write back one page, passing its buffer zero-copy."""
         self.store.write(pageno * self.page_size, page.buf.data)
+        if self.guard is not None:
+            self.guard.record(pageno, page.buf.data)
         self.stats.writebacks += 1
         self.stats.syscalls += 1
         self.stats.bytes_written += self.page_size
@@ -258,6 +271,9 @@ class Mpool:
                    for s, c in zip(starts, counts)]
         payload = b"".join(pg.buf.data for _p, pg in members)
         self.store.writev(extents, payload)
+        if self.guard is not None:
+            for p, pg in members:
+                self.guard.record(p, pg.buf.data)
         self.stats.writebacks += len(members)
         self.stats.syscalls += len(extents)
         self.stats.coalesced_runs += len(extents)
@@ -290,8 +306,10 @@ class Mpool:
     def flush(self) -> None:
         """Write back every dirty page in page-number order, coalescing
         consecutive pages into single vectored runs (pages stay cached)."""
+        crash_point("mpool.flush.begin")
         dirty = [(p, pg) for p, pg in self._pages.items() if pg.dirty]
         self._writeback_batch(dirty)
+        crash_point("mpool.flush.after_writeback")
         self.store.flush()
 
     def invalidate(self) -> None:

@@ -5,23 +5,36 @@ principal array file as a single file in which the meta-data information
 is kept as the header content of the DRXMP file but this is left for
 future work."  This module implements that future work.
 
-Layout of a ``.drx`` single file::
+Layout of a version-2 ``.drx`` single file::
 
-    [ 0..8   )  magic  b"DRXSF\\x01\\x00\\x00"
-    [ 8..16  )  u64 LE: byte offset of the current meta-data blob
-    [16..24  )  u64 LE: byte length of the current meta-data blob
-    [24..R   )  header reserve (meta-data lives here while it fits)
+    [ 0.. 8  )  magic  b"DRXSF\\x02\\x00\\x00"
+    [ 8..40  )  header slot 0   <u64 generation, u64 meta offset,
+    [40..72  )  header slot 1    u64 meta length, u32 meta CRC32,
+                                 u32 slot CRC32>
+    [72..R   )  meta-data blob regions (double-buffered while they fit)
     [ R..    )  chunk payloads: chunk q at R + q * chunk_nbytes
 
+Commits are crash-consistent: each flush writes the new meta-data blob
+into the *shadow* blob region (the one the current header does not point
+at), makes it durable, then flips the generation-stamped, CRC-guarded
+header slot ``generation % 2``.  A crash at any byte of the sequence
+leaves at least one slot whose CRC validates and whose blob's CRC
+validates — the reader picks the highest valid generation, so it sees
+either the old or the new committed state, never garbage.
+
 ``R`` (``header_reserve``, default 64 KiB) fixes where chunks start, so
-the array stays append-only.  The meta-data grows with every extension
-(axial records accumulate); while it fits the reserve it is rewritten in
-place, and once it outgrows the reserve it *relocates to the tail* of the
-file — past the chunk region — with the header pointer updated (the
-HDF5-superblock trick).  Chunk appends then overwrite the stale tail
-copy, and the next flush writes a fresh tail; the header pointer is only
-advanced after the new copy is durable, so a reader always finds a valid
-blob.
+the array stays append-only.  While the blob fits half the reserve the
+two regions alternate inside it; once it outgrows the reserve it
+*relocates to the tail* of the file — past the chunk region — with the
+slot pointer updated (the HDF5-superblock trick), the new tail copy
+staggered past the previous one so the commit never tears the blob it is
+replacing.  Chunk appends then overwrite stale tail copies, and the next
+flush writes a fresh one.
+
+Version-1 files (``b"DRXSF\\x01"`` magic, single unguarded offset/length
+pointer at byte 8) are still read; the first writable commit upgrades
+them in place to version 2 (that one-time migration is the only commit
+that is *not* crash-atomic).
 
 :class:`DRXSingleFile` wraps :class:`~repro.drx.drxfile.DRXFile` — same
 API, same chunk bytes, different container.
@@ -31,10 +44,13 @@ from __future__ import annotations
 
 import pathlib
 import struct
+import zlib
+from math import prod
 from typing import Sequence
 
 import numpy as np
 
+from ..core.chunking import chunk_bounds_for
 from ..core.errors import (
     DRXFileExistsError,
     DRXFileError,
@@ -42,15 +58,41 @@ from ..core.errors import (
     DRXFormatError,
 )
 from ..core.metadata import DRXMeta, DRXType
-from .drxfile import DRXFile
+from .drxfile import DRXFile, StoreWrapper
+from .faultpoints import crash_point
 from .storage import ByteStore, MemoryByteStore, PosixByteStore
 
-__all__ = ["DRXSingleFile", "SINGLE_MAGIC", "DEFAULT_HEADER_RESERVE"]
+__all__ = ["DRXSingleFile", "SINGLE_MAGIC", "SINGLE_MAGIC_V1",
+           "DEFAULT_HEADER_RESERVE"]
 
-SINGLE_MAGIC = b"DRXSF\x01\x00\x00"
-_HEADER_FMT = "<QQ"          # meta offset, meta length
-_HEADER_END = len(SINGLE_MAGIC) + struct.calcsize(_HEADER_FMT)
+SINGLE_MAGIC = b"DRXSF\x02\x00\x00"
+SINGLE_MAGIC_V1 = b"DRXSF\x01\x00\x00"
+#: One header slot: generation, meta offset, meta length, meta CRC32 —
+#: followed by the CRC32 of those four fields (the slot's own guard).
+_SLOT_BODY_FMT = "<QQQI"
+_SLOT_BODY_SIZE = struct.calcsize(_SLOT_BODY_FMT)
+_SLOT_SIZE = _SLOT_BODY_SIZE + 4
+_SLOT0_OFF = len(SINGLE_MAGIC)
+_HEADER_END = _SLOT0_OFF + 2 * _SLOT_SIZE
+# legacy v1 header: magic + <QQ> offset/length pointer
+_HEADER_FMT_V1 = "<QQ"
+_HEADER_END_V1 = len(SINGLE_MAGIC_V1) + struct.calcsize(_HEADER_FMT_V1)
 DEFAULT_HEADER_RESERVE = 64 * 1024
+
+
+def _pack_slot(generation: int, offset: int, length: int,
+               meta_crc: int) -> bytes:
+    body = struct.pack(_SLOT_BODY_FMT, generation, offset, length, meta_crc)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def _unpack_slot(raw: bytes) -> tuple[int, int, int, int] | None:
+    """Decode one header slot; ``None`` when its guard CRC fails."""
+    body, (guard,) = raw[:_SLOT_BODY_SIZE], struct.unpack(
+        "<I", raw[_SLOT_BODY_SIZE:_SLOT_SIZE])
+    if zlib.crc32(body) & 0xFFFFFFFF != guard:
+        return None
+    return struct.unpack(_SLOT_BODY_FMT, body)
 
 
 class _OffsetByteStore(ByteStore):
@@ -102,7 +144,10 @@ class DRXSingleFile:
     SUFFIX = ".drx"
 
     def __init__(self, meta: DRXMeta, raw: ByteStore, writable: bool,
-                 header_reserve: int, cache_pages: int = 64) -> None:
+                 header_reserve: int, cache_pages: int = 64,
+                 generation: int = 0,
+                 blob_span: tuple[int, int] | None = None,
+                 header_version: int = 2) -> None:
         if header_reserve < _HEADER_END + 64:
             raise DRXFileError(
                 f"header reserve {header_reserve} too small "
@@ -111,6 +156,18 @@ class DRXSingleFile:
         self._raw = raw
         self._reserve = header_reserve
         self._writable = writable
+        #: generation of the last committed header slot (0 = none yet)
+        self._generation = generation
+        #: (offset, length) of the committed meta blob, for overlap
+        #: avoidance when commits relocate to the tail
+        self._blob_span = blob_span
+        #: 1 for a legacy file whose first commit must migrate the header
+        self._header_version = header_version
+        #: lower bound (relative to the chunk region) for tail-resident
+        #: blob placement; raised during extend() so the committed copy
+        #: is recommitted past the *projected* chunk-region end before
+        #: new chunk payloads can clobber it
+        self._tail_floor = 0
         chunk_region = _OffsetByteStore(raw, header_reserve)
         # The inner DRXFile manages chunks + cache; meta persistence is
         # overridden to land in this container's header/tail.
@@ -127,9 +184,13 @@ class DRXSingleFile:
                dtype: str | np.dtype | type = DRXType.DOUBLE,
                overwrite: bool = False,
                header_reserve: int = DEFAULT_HEADER_RESERVE,
-               cache_pages: int = 64) -> "DRXSingleFile":
+               cache_pages: int = 64, checksums: bool = False,
+               store_wrapper: StoreWrapper | None = None
+               ) -> "DRXSingleFile":
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
         meta.extra["container"] = "single-file"
+        if checksums:
+            meta.chunk_crcs = {}
         if path is None:
             raw: ByteStore = MemoryByteStore()
         else:
@@ -137,6 +198,11 @@ class DRXSingleFile:
             if path.exists() and not overwrite:
                 raise DRXFileExistsError(f"array {path} already exists")
             raw = PosixByteStore(path, "w+")
+        if store_wrapper is not None:
+            raw = store_wrapper(raw, "data")
+        # magic + zeroed (hence invalid-CRC) slots, so a crash before the
+        # first commit is recognizable as an uncommitted file
+        raw.write(0, SINGLE_MAGIC + bytes(2 * _SLOT_SIZE))
         obj = cls(meta, raw, writable=True, header_reserve=header_reserve,
                   cache_pages=cache_pages)
         obj._persist_meta()
@@ -144,16 +210,20 @@ class DRXSingleFile:
 
     @classmethod
     def open(cls, path: str | pathlib.Path, mode: str = "r",
-             cache_pages: int = 64) -> "DRXSingleFile":
+             cache_pages: int = 64,
+             store_wrapper: StoreWrapper | None = None) -> "DRXSingleFile":
         if mode not in ("r", "r+"):
             raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
         path = cls._with_suffix(path)
         if not path.exists():
             raise DRXFileNotFoundError(f"no array named {path}")
-        raw = PosixByteStore(path, mode)
-        meta, reserve = cls._read_header(raw)
+        raw: ByteStore = PosixByteStore(path, mode)
+        if store_wrapper is not None:
+            raw = store_wrapper(raw, "data")
+        meta, reserve, gen, span, version = cls._read_header(raw)
         return cls(meta, raw, writable=(mode == "r+"),
-                   header_reserve=reserve, cache_pages=cache_pages)
+                   header_reserve=reserve, cache_pages=cache_pages,
+                   generation=gen, blob_span=span, header_version=version)
 
     @classmethod
     def _with_suffix(cls, path: str | pathlib.Path) -> pathlib.Path:
@@ -163,18 +233,59 @@ class DRXSingleFile:
         return path
 
     @classmethod
-    def _read_header(cls, raw: ByteStore) -> tuple[DRXMeta, int]:
+    def _read_header(cls, raw: ByteStore
+                     ) -> tuple[DRXMeta, int, int, tuple[int, int], int]:
+        """Decode the header: ``(meta, reserve, generation, blob span,
+        header version)``.
+
+        A version-2 header is recovered from whichever slot holds the
+        highest generation that validates end to end (slot CRC *and*
+        blob CRC *and* a parseable document) — a torn commit therefore
+        falls back to the previous generation instead of failing.
+        """
         head = raw.read(0, _HEADER_END)
-        if head[:len(SINGLE_MAGIC)] != SINGLE_MAGIC:
+        magic = head[:len(SINGLE_MAGIC)]
+        if magic == SINGLE_MAGIC_V1:
+            return cls._read_header_v1(raw, head)
+        if magic != SINGLE_MAGIC:
             raise DRXFormatError("not a single-file DRX array (bad magic)")
-        off, length = struct.unpack_from(_HEADER_FMT, head,
-                                         len(SINGLE_MAGIC))
-        if length == 0 or off < _HEADER_END:
+        candidates = []
+        for i in range(2):
+            base = _SLOT0_OFF + i * _SLOT_SIZE
+            slot = _unpack_slot(head[base:base + _SLOT_SIZE])
+            if slot is not None and slot[0] > 0:
+                candidates.append(slot)
+        candidates.sort(key=lambda s: s[0], reverse=True)
+        for gen, off, length, crc in candidates:
+            if length == 0 or off < _HEADER_END:
+                continue
+            blob = raw.read(off, length)
+            if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+                continue
+            try:
+                meta = DRXMeta.from_bytes(blob)
+            except DRXFormatError:
+                continue
+            reserve = int(meta.extra.get("header_reserve",
+                                         DEFAULT_HEADER_RESERVE))
+            return meta, reserve, gen, (off, length), 2
+        raise DRXFormatError(
+            "corrupt single-file header (no slot commits a valid "
+            "meta-data blob)"
+        )
+
+    @classmethod
+    def _read_header_v1(cls, raw: ByteStore, head: bytes
+                        ) -> tuple[DRXMeta, int, int, tuple[int, int], int]:
+        """Legacy single-pointer header (format version 1)."""
+        off, length = struct.unpack_from(_HEADER_FMT_V1, head,
+                                         len(SINGLE_MAGIC_V1))
+        if length == 0 or off < _HEADER_END_V1:
             raise DRXFormatError("corrupt single-file header")
         meta = DRXMeta.from_bytes(raw.read(off, length))
         reserve = int(meta.extra.get("header_reserve",
                                      DEFAULT_HEADER_RESERVE))
-        return meta, reserve
+        return meta, reserve, 0, (off, length), 1
 
     def close(self) -> None:
         if self._inner._closed:
@@ -192,8 +303,30 @@ class DRXSingleFile:
         self.close()
 
     # ------------------------------------------------------------------
-    # meta persistence (header while it fits, tail once it doesn't)
+    # meta persistence (shadow-slot commit; reserve while it fits, tail
+    # once it doesn't)
     # ------------------------------------------------------------------
+    def _blob_offset(self, generation: int, blob_len: int,
+                     data_nbytes: int) -> int:
+        """Where generation ``generation``'s meta blob goes.
+
+        Inside the reserve the two generations alternate between the two
+        halves, so a commit never writes over the blob the live header
+        slot points at.  In the tail the new copy starts at the
+        chunk-region end (or ``_tail_floor`` if an extension is in
+        flight) and is staggered past the previous committed copy when
+        the two would overlap.
+        """
+        half = (self._reserve - _HEADER_END) // 2
+        if blob_len <= half:
+            return _HEADER_END + (generation % 2) * half
+        offset = self._reserve + max(data_nbytes, self._tail_floor)
+        if self._blob_span is not None:
+            prev_off, prev_len = self._blob_span
+            if prev_off < offset + blob_len and offset < prev_off + prev_len:
+                offset = prev_off + prev_len
+        return offset
+
     def _persist_meta(self) -> None:
         if not self._writable:
             return
@@ -201,15 +334,35 @@ class DRXSingleFile:
         meta.extra["container"] = "single-file"
         meta.extra["header_reserve"] = self._reserve
         blob = meta.to_bytes()
-        if _HEADER_END + len(blob) <= self._reserve:
-            offset = _HEADER_END
+        blob_crc = zlib.crc32(blob) & 0xFFFFFFFF
+        gen = self._generation + 1
+        offset = self._blob_offset(gen, len(blob), meta.data_nbytes)
+        if self._header_version == 1:
+            # One-time in-place migration of a legacy header.  The v1
+            # blob may occupy the very bytes the slot table needs, so
+            # this single commit is NOT crash-atomic (documented); every
+            # subsequent commit is.
+            self._raw.write(offset, blob)
+            self._raw.flush()
+            header = bytearray(SINGLE_MAGIC + bytes(2 * _SLOT_SIZE))
+            base = _SLOT0_OFF + (gen % 2) * _SLOT_SIZE
+            header[base:base + _SLOT_SIZE] = _pack_slot(
+                gen, offset, len(blob), blob_crc)
+            self._raw.write(0, bytes(header))
+            self._raw.flush()
+            self._header_version = 2
         else:
-            # relocate past the chunk region (append-only tail copy)
-            offset = self._reserve + meta.data_nbytes
-        self._raw.write(offset, blob)
-        header = SINGLE_MAGIC + struct.pack(_HEADER_FMT, offset, len(blob))
-        self._raw.write(0, header)
-        self._raw.flush()
+            crash_point("sf.meta.before_blob")
+            self._raw.write(offset, blob)
+            crash_point("sf.meta.after_blob")
+            self._raw.flush()        # blob durable before the slot flips
+            slot = _pack_slot(gen, offset, len(blob), blob_crc)
+            crash_point("sf.header.before_slot")
+            self._raw.write(_SLOT0_OFF + (gen % 2) * _SLOT_SIZE, slot)
+            crash_point("sf.header.after_slot")
+            self._raw.flush()
+        self._generation = gen
+        self._blob_span = (offset, len(blob))
 
     # ------------------------------------------------------------------
     # delegation: same API as DRXFile
@@ -247,6 +400,15 @@ class DRXSingleFile:
         """User attributes (persisted in the header on flush/close)."""
         return self._inner.meta.attrs
 
+    @property
+    def checksums_enabled(self) -> bool:
+        return self._inner.checksums_enabled
+
+    def scrub(self, batch_chunks: int = 256):
+        """Verify every committed chunk against its stored CRC32 (see
+        :meth:`repro.drx.drxfile.DRXFile.scrub`)."""
+        return self._inner.scrub(batch_chunks)
+
     def get(self, index):
         return self._inner.get(index)
 
@@ -269,6 +431,25 @@ class DRXSingleFile:
         return self._inner.read_all(order)
 
     def extend(self, dim: int, by: int) -> None:
+        if self._writable and self._blob_span is not None \
+                and self._blob_span[0] >= self._reserve:
+            # The committed blob lives in the tail, where the extension
+            # is about to materialize chunk payloads.  Recommit it past
+            # the *projected* chunk-region end first, so a crash during
+            # the extension still leaves a readable file.
+            meta = self._inner.meta
+            bounds = list(meta.element_bounds)
+            bounds[dim] += by
+            new_chunks = prod(chunk_bounds_for(bounds, meta.chunk_shape))
+            new_end = new_chunks * meta.chunk_nbytes
+            try:
+                if self._blob_span[0] < self._reserve + new_end:
+                    self._tail_floor = new_end
+                    self._persist_meta()
+                self._inner.extend(dim, by)
+            finally:
+                self._tail_floor = 0
+            return
         self._inner.extend(dim, by)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,7 +23,16 @@ the number of physical transfer operations issued (one per scalar call,
 one per extent of a vectored call), ``coalesced_runs`` counts the extents
 moved through the vectored entry points, and ``bytes_per_call`` is the
 resulting mean transfer size — the quantity run coalescing exists to
-maximize.
+maximize.  The fault-model counters ``short_reads``, ``retries`` and
+``giveups`` are filled in by the stores themselves (partial ``pread``
+recovery) and by the :class:`~repro.drx.resilience.RetryingByteStore`
+decorator.
+
+Stores also expose ``replace(data)`` — replace the *entire* contents in
+one crash-consistent step.  :class:`PosixByteStore` implements it as the
+classic temp-file + fsync + atomic-rename sequence (with named crash
+points for the crash-consistency tests); the in-memory default is a
+plain rewrite.  The meta-data commit protocols build on it.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from typing import Sequence
 
 from ..core.errors import DRXFileError
 from ..pfs.pfile import PFSFile
+from .faultpoints import crash_point
 
 __all__ = ["ByteStore", "StoreStats", "PosixByteStore", "MemoryByteStore",
            "PFSByteStore"]
@@ -54,6 +64,9 @@ class StoreStats:
     coalesced_runs: int = 0   #: contiguous runs moved through readv/writev
     bytes_read: int = 0
     bytes_written: int = 0
+    short_reads: int = 0      #: partial transfers recovered by re-reading
+    retries: int = 0          #: operations re-issued after transient faults
+    giveups: int = 0          #: operations abandoned (permanent / exhausted)
 
     @property
     def syscalls(self) -> int:
@@ -90,6 +103,9 @@ class StoreStats:
             coalesced_runs=self.coalesced_runs - earlier.coalesced_runs,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
+            short_reads=self.short_reads - earlier.short_reads,
+            retries=self.retries - earlier.retries,
+            giveups=self.giveups - earlier.giveups,
         )
 
     def reset(self) -> None:
@@ -97,6 +113,7 @@ class StoreStats:
         self.readv_calls = self.writev_calls = 0
         self.coalesced_runs = 0
         self.bytes_read = self.bytes_written = 0
+        self.short_reads = self.retries = self.giveups = 0
 
 
 class ByteStore:
@@ -141,6 +158,19 @@ class ByteStore:
             self.write(off, mv[pos:pos + length])
             pos += length
 
+    def replace(self, data) -> None:
+        """Replace the store's entire contents with ``data``.
+
+        Commit protocols use this for whole-object rewrites that must
+        never be observed half-done.  The generic fallback is a plain
+        truncate + write + flush (adequate for in-memory stores, where
+        crash atomicity is moot); :class:`PosixByteStore` overrides it
+        with the temp-file + fsync + atomic-rename sequence.
+        """
+        self.truncate(len(data))
+        self.write(0, data)
+        self.flush()
+
     @property
     def size(self) -> int:
         raise NotImplementedError
@@ -179,11 +209,31 @@ class PosixByteStore(ByteStore):
         self._closed = False
 
     def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes, looping on partial ``pread``.
+
+        POSIX allows a ``pread`` to transfer fewer bytes than requested
+        mid-file (signals, NFS, pipes under the hood); only a genuine
+        end-of-file return stops the loop, so zeros are filled in for
+        bytes actually past EOF (sparse semantics), never for bytes the
+        kernel simply hadn't delivered yet.  Each recovered partial
+        transfer counts in ``stats.short_reads``.
+        """
         self.stats.note_read(length)
         data = os.pread(self._fd, length, offset)
-        if len(data) < length:
-            data += b"\x00" * (length - len(data))
-        return data
+        if len(data) == length:                     # common case, no copy
+            return data
+        parts = [data] if data else []
+        got = len(data)
+        while got < length:
+            piece = os.pread(self._fd, length - got, offset + got)
+            if not piece:
+                break                               # true EOF: zero-fill
+            self.stats.short_reads += 1             # previous pread was short
+            parts.append(piece)
+            got += len(piece)
+        if got < length:
+            parts.append(b"\x00" * (length - got))
+        return b"".join(parts)
 
     def write(self, offset: int, data) -> None:
         if not self._writable:
@@ -194,6 +244,41 @@ class PosixByteStore(ByteStore):
     # the inherited readv/writev already issue exactly one positioned
     # read/write per extent — one seek+transfer per coalesced run — so no
     # override is needed; there is no POSIX scatter-offset vector call.
+
+    def replace(self, data) -> None:
+        """Atomically replace the file's contents (temp + fsync + rename).
+
+        A crash at any instant leaves either the complete old file or the
+        complete new one — the rename is the commit point.  The open file
+        descriptor is re-pointed at the new inode afterwards, and the
+        directory is fsynced so the rename itself is durable.
+        """
+        if not self._writable:
+            raise DRXFileError(f"{self.path} opened read-only")
+        self.stats.note_write(len(data))
+        tmp = self.path.with_name(self.path.name + ".commit")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            crash_point("posix.replace.opened")
+            view = memoryview(data) if not isinstance(data, memoryview) \
+                else data
+            pos = 0
+            while pos < len(view):
+                pos += os.write(fd, view[pos:])
+            crash_point("posix.replace.written")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        crash_point("posix.replace.synced")
+        os.replace(tmp, self.path)
+        crash_point("posix.replace.renamed")
+        os.close(self._fd)
+        self._fd = os.open(self.path, os.O_RDWR)
+        dirfd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
 
     @property
     def size(self) -> int:

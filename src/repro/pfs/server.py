@@ -22,10 +22,15 @@ class IOServer:
     """A single I/O server: object store + counters + time model."""
 
     def __init__(self, server_id: int,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 fault_plan=None) -> None:
         self.server_id = server_id
         self.cost_model = cost_model
         self.stats = IOStats()
+        #: optional fault source (duck-typed so pfs stays import-free of
+        #: the drx layer): any object with ``check(op)`` that raises when
+        #: a fault is due — e.g. ``repro.drx.resilience.FaultPlan``.
+        self.fault_plan = fault_plan
         self._objects: dict[str, bytearray] = {}
         #: last byte position + 1 touched per object, for seek accounting
         self._head: dict[str, int] = {}
@@ -59,6 +64,8 @@ class IOServer:
         Returns the data pieces and the simulated service time of the
         batch on this server.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.check("server.read")
         store = self._require(name)
         out: list[bytes] = []
         elapsed = 0.0
@@ -85,6 +92,8 @@ class IOServer:
     def write_batch(self, name: str,
                     requests: list[tuple[int, bytes]]) -> float:
         """Service an ordered batch of ``(offset, data)`` writes."""
+        if self.fault_plan is not None:
+            self.fault_plan.check("server.write")
         store = self._require(name)
         elapsed = 0.0
         head = self._head[name]

@@ -1,0 +1,150 @@
+"""Crash consistency: die at every named commit site, reopen, verify.
+
+The commit protocols (temp-file + fsync + rename for ``.xmd``,
+generation-stamped CRC-guarded shadow slots for the ``.drx`` header)
+promise that a crash at *any* instant leaves a reopenable array in
+either the old or the new committed state — never garbage.  These tests
+sweep every site in :data:`repro.drx.faultpoints.CRASH_SITES`, simulate
+dying there, abandon the handle, and reopen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CrashError
+from repro.drx import CRASH_SITES, DRXFile, DRXSingleFile, FaultPlan
+from repro.workloads import pattern_array, random_growth
+
+XMD_SITES = [s for s in CRASH_SITES
+             if s.startswith(("xmd.", "posix."))]
+SF_SITES = [s for s in CRASH_SITES if s.startswith("sf.")]
+MPOOL_SITES = [s for s in CRASH_SITES if s.startswith("mpool.")]
+
+
+def test_site_inventory_is_partitioned():
+    """Every registered site belongs to exactly one sweep below."""
+    assert sorted(XMD_SITES + SF_SITES + MPOOL_SITES) == sorted(CRASH_SITES)
+
+
+class TestXMDCommitCrashes:
+    """The two-file (.xmd) meta-data commit."""
+
+    @pytest.mark.parametrize("site", XMD_SITES)
+    def test_crash_leaves_old_or_new_state(self, tmp_path, site):
+        a = DRXFile.create(tmp_path / "a", (4, 4), (2, 2))
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()                              # state A: shape (4, 4)
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.extend(0, 2)                 # dies committing state B
+        # the process "died": abandon the handle, reopen from disk
+        with DRXFile.open(tmp_path / "a") as b:
+            assert b.shape in ((4, 4), (6, 4))
+            assert np.array_equal(b.read((0, 0), (4, 4)),
+                                  pattern_array((4, 4)))
+
+    @pytest.mark.parametrize("site", XMD_SITES)
+    def test_no_leftover_temp_breaks_the_next_commit(self, tmp_path, site):
+        """A stale ``.commit`` temp file from a crash must not poison
+        the next successful commit."""
+        a = DRXFile.create(tmp_path / "a", (4, 4), (2, 2))
+        a.write((0, 0), pattern_array((4, 4)))
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        with DRXFile.open(tmp_path / "a", mode="r+") as b:
+            b.extend(0, 2)                     # full commit cycle
+        assert DRXFile.open(tmp_path / "a").shape == (6, 4)
+
+
+class TestSingleFileHeaderCrashes:
+    """The shadow-slot header commit of the ``.drx`` container."""
+
+    @pytest.mark.parametrize("site", SF_SITES)
+    def test_crash_leaves_old_or_new_generation(self, tmp_path, site):
+        a = DRXSingleFile.create(tmp_path / "s", (4, 4), (2, 2))
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()                              # generation N commits A
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.extend(0, 2)                 # dies committing gen N+1
+        with DRXSingleFile.open(tmp_path / "s") as b:
+            assert b.shape in ((4, 4), (6, 4))
+            assert np.array_equal(b.read((0, 0), (4, 4)),
+                                  pattern_array((4, 4)))
+
+    @pytest.mark.parametrize("site", SF_SITES)
+    def test_crash_with_tail_resident_meta(self, tmp_path, site):
+        """Same sweep with the meta blob relocated to the file tail (a
+        tiny reserve), where extensions must pre-relocate the committed
+        copy before chunk payloads can overwrite it."""
+        a = DRXSingleFile.create(tmp_path / "t", (2, 2), (1, 1),
+                                 header_reserve=200)
+        a.write((0, 0), pattern_array((2, 2)))
+        for dim, by in random_growth(2, 10, seed=3, max_by=1):
+            a.extend(dim, by)                  # meta now far beyond 200b
+        a.flush()
+        shape_a = a.shape
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.extend(0, 1)
+        with DRXSingleFile.open(tmp_path / "t") as b:
+            grown = list(shape_a)
+            grown[0] += 1
+            assert b.shape in (shape_a, tuple(grown))
+            assert np.array_equal(b.read((0, 0), (2, 2)),
+                                  pattern_array((2, 2)))
+
+    def test_repeated_crashes_then_recovery(self, tmp_path):
+        """Crash every commit three times in a row; the array survives
+        each one, and a clean commit still works afterwards."""
+        a = DRXSingleFile.create(tmp_path / "r", (4, 4), (2, 2))
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()
+        for attempt in range(3):
+            with FaultPlan().crash("sf.header.before_slot"):
+                with pytest.raises(CrashError):
+                    a.flush()
+            with DRXSingleFile.open(tmp_path / "r") as b:
+                assert np.array_equal(b.read((0, 0), (4, 4)),
+                                      pattern_array((4, 4)))
+        a.flush()                              # clean commit heals all
+        with DRXSingleFile.open(tmp_path / "r") as b:
+            assert np.array_equal(b.read((0, 0), (4, 4)),
+                                  pattern_array((4, 4)))
+
+
+class TestMpoolFlushCrashes:
+    @pytest.mark.parametrize("site", MPOOL_SITES)
+    def test_crash_mid_flush_keeps_array_valid(self, tmp_path, site):
+        before = pattern_array((4, 4))
+        after = before + 1
+        a = DRXFile.create(tmp_path / "m", (4, 4), (2, 2))
+        a.write((0, 0), before)
+        a.flush()                              # state A on disk
+        a.write((0, 0), after)                 # dirty pages: state B
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        with DRXFile.open(tmp_path / "m") as b:
+            got = b.read()
+            assert np.array_equal(got, before) or np.array_equal(got, after)
+
+
+class TestSiteCoverage:
+    def test_every_site_fires_in_a_normal_lifecycle(self, tmp_path):
+        """The inventory in CRASH_SITES is live: a plain create/write/
+        extend/close cycle of both containers visits every named site
+        (so a sweep over CRASH_SITES is a sweep over reality)."""
+        plan = FaultPlan()                     # no rules: observe only
+        with plan:
+            with DRXFile.create(tmp_path / "a", (4, 4), (2, 2)) as a:
+                a.write((0, 0), pattern_array((4, 4)))
+                a.extend(0, 2)
+            with DRXSingleFile.create(tmp_path / "s", (4, 4), (2, 2)) as s:
+                s.write((0, 0), pattern_array((4, 4)))
+                s.extend(0, 2)
+        missed = set(CRASH_SITES) - set(plan.hits)
+        assert not missed, f"crash sites never visited: {sorted(missed)}"

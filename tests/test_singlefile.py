@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pathlib
 import struct
+import zlib
 
 import numpy as np
 import pytest
@@ -15,8 +16,28 @@ from repro.core.errors import (
     DRXFormatError,
 )
 from repro.drx import DRXFile, DRXSingleFile
-from repro.drx.singlefile import _HEADER_END, SINGLE_MAGIC
+from repro.drx.singlefile import (
+    _HEADER_END,
+    _SLOT0_OFF,
+    _SLOT_SIZE,
+    _unpack_slot,
+    SINGLE_MAGIC,
+    SINGLE_MAGIC_V1,
+)
 from repro.workloads import pattern_array, random_growth
+
+
+def committed_slot(raw: bytes) -> tuple[int, int, int, int]:
+    """Decode the live (highest valid generation) header slot of a v2
+    single file: ``(generation, offset, length, meta_crc)``."""
+    slots = []
+    for i in range(2):
+        base = _SLOT0_OFF + i * _SLOT_SIZE
+        s = _unpack_slot(raw[base:base + _SLOT_SIZE])
+        if s is not None and s[0] > 0:
+            slots.append(s)
+    assert slots, "no valid header slot"
+    return max(slots, key=lambda s: s[0])
 
 
 class TestLifecycle:
@@ -35,8 +56,10 @@ class TestLifecycle:
         DRXSingleFile.create(tmp_path / "a", (4, 4), (2, 2)).close()
         raw = (tmp_path / "a.drx").read_bytes()
         assert raw.startswith(SINGLE_MAGIC)
-        off, length = struct.unpack_from("<QQ", raw, len(SINGLE_MAGIC))
-        assert off == _HEADER_END and length > 0
+        gen, off, length, crc = committed_slot(raw)
+        assert gen > 0 and length > 0
+        assert _HEADER_END <= off < 64 * 1024
+        assert zlib.crc32(raw[off:off + length]) & 0xFFFFFFFF == crc
 
     def test_create_refuses_existing(self, tmp_path):
         DRXSingleFile.create(tmp_path / "a", (4,), (2,)).close()
@@ -100,13 +123,35 @@ class TestGrowth:
         for dim, by in random_growth(2, 30, seed=4, max_by=1):
             a.extend(dim, by)
         raw = (tmp_path / "r.drx").read_bytes()
-        off, length = struct.unpack_from("<QQ", raw, len(SINGLE_MAGIC))
-        assert off > 700, "meta should have relocated to the tail"
+        _gen, off, length, _crc = committed_slot(raw)
+        assert off >= 700, "meta should have relocated to the tail"
         a.close()
         b = DRXSingleFile.open(tmp_path / "r")
         assert np.array_equal(b.read((0, 0), (2, 2)), pattern_array((2, 2)))
         assert b.meta.eci.num_records > 10
         b.close()
+
+    def test_legacy_v1_header_opens_and_upgrades(self, tmp_path, rng):
+        """A version-1 file (single unguarded pointer) still opens; the
+        first writable commit migrates it to the v2 slot table."""
+        ref = rng.random((4, 4))
+        DRXSingleFile.create(tmp_path / "v1", (4, 4), (2, 2)).close()
+        p = tmp_path / "v1.drx"
+        raw = bytearray(p.read_bytes())
+        gen, off, length, _crc = committed_slot(bytes(raw))
+        # rewrite the header in the v1 layout: the blob keeps its place
+        # (v2 offsets are legal v1 offsets), the slot table goes away
+        head = SINGLE_MAGIC_V1 + struct.pack("<QQ", off, length)
+        raw[:_HEADER_END] = head + bytes(_HEADER_END - len(head))
+        p.write_bytes(bytes(raw))
+
+        with DRXSingleFile.open(tmp_path / "v1", mode="r+") as a:
+            assert a.shape == (4, 4)
+            a.write((0, 0), ref)
+        raw2 = p.read_bytes()
+        assert raw2.startswith(SINGLE_MAGIC), "upgrade should stamp v2"
+        with DRXSingleFile.open(tmp_path / "v1") as b:
+            assert np.allclose(b.read(), ref)
 
     def test_chunk_bytes_never_move(self, tmp_path):
         a = DRXSingleFile.create(tmp_path / "s", (4, 4), (2, 2),
