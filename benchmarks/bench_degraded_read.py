@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Degraded-mode I/O: what server failure costs under chained declustering.
+
+With replication r, every stripe has copies on r consecutive servers
+(stripe s: servers s % n .. (s+r-1) % n).  Three regimes are measured
+against the fault-free baseline, per replication factor:
+
+* **fan-out write** — a write must land on every replica, so the
+  simulated transfer volume grows r-fold;
+* **degraded read**  — with one server down, its share of the stripes
+  fails over to the next server in the chain, which now serves roughly
+  a double load (the max-of-servers elapsed time grows accordingly);
+* **rebuild-concurrent read** — reads issued while ``rebuild_steps``
+  batches copy the dead server's objects back from their partners.
+
+Simulated time comes from the PFS cost model (seek + per-byte transfer),
+so the numbers are deterministic.  Run as a script this writes
+``BENCH_degraded_read.json`` next to the repo root copy committed with
+the change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench import Table, format_bytes, speedup
+from repro.core.errors import ServerDownError
+from repro.pfs import ParallelFileSystem
+
+NSERVERS = 4
+STRIPE = 16 * 1024
+FILE_BYTES = 1 << 20            # 64 stripes, 16 per server
+READ_CHUNK = 128 * 1024         # 8 extents per full-file read
+VICTIM = 0
+REPLICATIONS = (1, 2, 3)
+
+
+def payload() -> bytes:
+    return bytes((i * 17 + 3) % 256 for i in range(FILE_BYTES))
+
+
+def extents():
+    return [(off, READ_CHUNK) for off in range(0, FILE_BYTES, READ_CHUNK)]
+
+
+def full_read(f) -> float:
+    data, elapsed = f.readv(extents())
+    assert data == payload()
+    return elapsed
+
+
+def measure(replication: int) -> dict:
+    fs = ParallelFileSystem(nservers=NSERVERS, stripe_size=STRIPE,
+                            replication=replication)
+    f = fs.create("bench")
+    row: dict = {"replication": replication}
+
+    write_time = f.writev([(0, FILE_BYTES)], payload())
+    row["write_time"] = write_time
+    row["write_bytes"] = fs.total_stats().bytes_written
+
+    row["fault_free_read_time"] = full_read(f)
+
+    fs.kill_server(VICTIM)
+    try:
+        row["degraded_read_time"] = full_read(f)
+    except ServerDownError:
+        row["degraded_read_time"] = None    # replication 1: data is gone
+
+    if replication > 1:
+        fs.revive_server(VICTIM)
+        # deterministic interleave: one rebuild batch, one full read
+        rebuild_time = 0.0
+        concurrent_read_time = 0.0
+        nreads = 0
+        for step in f.rebuild_steps(VICTIM, batch_bytes=256 * 1024):
+            rebuild_time += step
+            concurrent_read_time += full_read(f)
+            nreads += 1
+        fs.servers[VICTIM].mark_rebuilt()
+        assert f.verify_replicas() == []
+        row["rebuild_time"] = rebuild_time
+        row["rebuild_bytes"] = fs.replica_stats().rebuild_bytes
+        row["rebuild_concurrent_read_time"] = concurrent_read_time / nreads
+    else:
+        row["rebuild_time"] = None
+        row["rebuild_bytes"] = 0
+        row["rebuild_concurrent_read_time"] = None
+    return row
+
+
+def run_experiment() -> tuple[Table, list[dict]]:
+    table = Table(
+        f"degraded-mode I/O on {NSERVERS} servers, "
+        f"{format_bytes(FILE_BYTES)} file, {format_bytes(STRIPE)} stripes "
+        f"(simulated time, one server killed)",
+        ["r", "write", "write bytes", "read ok", "read degraded",
+         "read@rebuild", "rebuild", "degraded slowdown"],
+    )
+    rows = []
+    for r in REPLICATIONS:
+        row = measure(r)
+        rows.append(row)
+
+        def ms(v):
+            return "-" if v is None else f"{v * 1e3:.1f} ms"
+
+        table.add(r, ms(row["write_time"]),
+                  format_bytes(row["write_bytes"]),
+                  ms(row["fault_free_read_time"]),
+                  ms(row["degraded_read_time"]),
+                  ms(row["rebuild_concurrent_read_time"]),
+                  ms(row["rebuild_time"]),
+                  "-" if row["degraded_read_time"] is None else
+                  speedup(row["degraded_read_time"],
+                          row["fault_free_read_time"]))
+    table.note("replication 1 loses the file with the server; with "
+               "chained declustering the dead server's load falls on one "
+               "neighbour, so degraded reads run at roughly half the "
+               "aggregate bandwidth while writes pay an r-fold fan-out")
+    return table, rows
+
+
+def result_document(rows: list[dict]) -> dict:
+    return {
+        "benchmark": "bench_degraded_read",
+        "config": {
+            "nservers": NSERVERS,
+            "stripe_size": STRIPE,
+            "file_bytes": FILE_BYTES,
+            "read_extent": READ_CHUNK,
+            "killed_server": VICTIM,
+            "time_unit": "simulated seconds (PFS cost model)",
+        },
+        "results": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# shape tests (run under pytest benchmarks/)
+# ---------------------------------------------------------------------------
+
+def test_shape_fanout_write_scales_with_replication():
+    rows = {r: measure(r) for r in (1, 2)}
+    assert rows[2]["write_bytes"] == 2 * rows[1]["write_bytes"]
+    assert rows[2]["write_time"] >= rows[1]["write_time"]
+
+
+def test_shape_degraded_read_costs_more_but_works():
+    row = measure(2)
+    assert row["degraded_read_time"] is not None
+    assert row["degraded_read_time"] >= row["fault_free_read_time"]
+    assert row["rebuild_time"] > 0
+
+
+def test_shape_replication_one_loses_data():
+    row = measure(1)
+    assert row["degraded_read_time"] is None
+
+
+def test_result_document_round_trips():
+    doc = result_document([measure(2)])
+    assert json.loads(json.dumps(doc)) == doc
+
+
+if __name__ == "__main__":
+    table, rows = run_experiment()
+    table.show()
+    out = pathlib.Path(__file__).resolve().parent.parent \
+        / "BENCH_degraded_read.json"
+    out.write_text(json.dumps(result_document(rows), indent=2) + "\n")
+    print(f"\nwrote {out}")

@@ -29,6 +29,7 @@ __all__ = [
     "MPIFileError",
     "MPIWinError",
     "PFSError",
+    "ServerDownError",
 ]
 
 
@@ -136,3 +137,17 @@ class MPIWinError(MPIError):
 
 class PFSError(DRXError, OSError):
     """Failure inside the simulated parallel file system."""
+
+
+class ServerDownError(PFSError):
+    """An operation was routed to an I/O server that is down.
+
+    Raised by :class:`~repro.pfs.server.IOServer` when a request reaches
+    a killed server, and by :class:`~repro.pfs.pfile.PFSFile` when every
+    replica of a stripe is unreachable.  Unlike generic
+    :class:`PFSError`\\ s it is *not* transient: the replicated read
+    path has already exhausted failover by the time it escapes, so retry
+    layers surface it instead of spinning.
+    """
+
+    transient = False

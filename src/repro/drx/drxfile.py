@@ -48,7 +48,7 @@ from .faultpoints import crash_point
 from .ioplan import IOPlan, coalesce_addresses, plan_box, plan_slab
 from .mpool import Mpool
 from .resilience import ChecksumGuard, ScrubReport, chunk_crc
-from .storage import ByteStore, MemoryByteStore, PosixByteStore
+from .storage import ByteStore, MemoryByteStore, PFSByteStore, PosixByteStore
 
 __all__ = ["DRXFile"]
 
@@ -158,6 +158,54 @@ class DRXFile:
         meta = DRXMeta.from_bytes(xmd.read_bytes())
         meta_store = PosixByteStore(xmd, mode if mode == "r" else "r+")
         data = PosixByteStore(xta, mode)
+        if store_wrapper is not None:
+            data = store_wrapper(data, "data")
+            meta_store = store_wrapper(meta_store, "meta")
+        return cls(meta, data, meta_store, writable=(mode == "r+"),
+                   cache_pages=cache_pages, coalesce=coalesce)
+
+    @classmethod
+    def create_pfs(cls, fs, name: str,
+                   bounds: Sequence[int], chunk_shape: Sequence[int],
+                   dtype: str | np.dtype | type = DRXType.DOUBLE,
+                   cache_pages: int = 64, fill: float | int | complex = 0,
+                   coalesce: bool = True, checksums: bool = False,
+                   store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+        """Create an array backed by a simulated parallel file system.
+
+        The ``.xmd`` / ``.xta`` pair becomes two striped PFS files in
+        ``fs``'s namespace.  On a replicated file system the array
+        survives single-server failures: data reads fail over between
+        replicas, and with ``checksums=True`` the CRC table additionally
+        arbitrates between diverging copies after a torn fan-out.
+        """
+        meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        if checksums:
+            meta.chunk_crcs = {}
+        meta_store: ByteStore = PFSByteStore(
+            fs.create(name + cls.XMD_SUFFIX))
+        data: ByteStore = PFSByteStore(fs.create(name + cls.XTA_SUFFIX))
+        if store_wrapper is not None:
+            data = store_wrapper(data, "data")
+            meta_store = store_wrapper(meta_store, "meta")
+        obj = cls(meta, data, meta_store, writable=True,
+                  cache_pages=cache_pages, coalesce=coalesce)
+        if fill != 0:
+            obj._fill_chunks(range(meta.num_chunks), fill)
+        obj._persist_meta()
+        return obj
+
+    @classmethod
+    def open_pfs(cls, fs, name: str, mode: str = "r",
+                 cache_pages: int = 64, coalesce: bool = True,
+                 store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+        """Open a PFS-backed array created by :meth:`create_pfs`."""
+        if mode not in ("r", "r+"):
+            raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
+        xmd = fs.open(name + cls.XMD_SUFFIX)
+        meta = DRXMeta.from_bytes(xmd.read(0, xmd.size))
+        meta_store: ByteStore = PFSByteStore(xmd)
+        data: ByteStore = PFSByteStore(fs.open(name + cls.XTA_SUFFIX))
         if store_wrapper is not None:
             data = store_wrapper(data, "data")
             meta_store = store_wrapper(meta_store, "meta")
@@ -491,10 +539,13 @@ class DRXFile:
             if cached is not None:
                 arr = cached.view(self.dtype).reshape(cs)
             else:
+                raw = blob[pos:pos + nb]
                 if self._guard is not None:
-                    self._guard.check(v.address, blob[pos:pos + nb])
-                arr = np.frombuffer(blob[pos:pos + nb],
-                                    dtype=self.dtype).reshape(cs)
+                    # a CRC mismatch arbitrates among replica copies of
+                    # the chunk (no-op alternates on unreplicated stores)
+                    raw = self._guard.check_or_arbitrate(
+                        v.address, raw, self._data, v.address * nb, nb)
+                arr = np.frombuffer(raw, dtype=self.dtype).reshape(cs)
             out[v.box_slices] = arr[v.chunk_slices]
             pos += nb
 

@@ -1,92 +1,22 @@
-"""Named crash points inside the storage stack's commit protocols.
+"""Named fault sites inside the storage stack (compatibility shim).
 
-A *crash point* is a named location in a commit sequence (meta-data
-rewrite, header flip, pool flush) where a process death would leave the
-on-disk state in a specific intermediate shape.  Production code calls
-:func:`crash_point` at each such location; the call is a no-op unless a
-fault plan (:class:`repro.drx.resilience.FaultPlan`) is *active*, in
-which case the plan may raise :class:`~repro.core.errors.CrashError` to
-simulate dying right there.  Crash-consistency tests sweep every site in
-:data:`CRASH_SITES` and assert the array reopens to a valid old-or-new
-state from each one.
-
-The registry is deliberately tiny and dependency-free so every storage
-module can import it without cycles.
+The registry and dispatcher moved to :mod:`repro.core.faultsites` so the
+``pfs`` layer can announce server-kill sites without importing the
+``drx`` package (which itself imports ``pfs`` — a cycle otherwise).
+This module keeps the historical import path alive; see
+:mod:`repro.core.faultsites` for the documentation.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from ..core.faultsites import (
+    ALL_SITES,
+    CRASH_SITES,
+    KILL_SITES,
+    activate,
+    crash_point,
+    deactivate,
+)
 
-__all__ = ["crash_point", "activate", "deactivate", "CRASH_SITES"]
-
-
-#: Every named crash site, with the on-disk state a crash there leaves.
-#: Tests assert this inventory is live (each site fires during a normal
-#: commit cycle) and sweep it for crash consistency.
-CRASH_SITES: dict[str, str] = {
-    # two-file (.xmd) meta-data commit -------------------------------------
-    "xmd.commit.begin":
-        "before anything is written: old meta-data fully intact",
-    "posix.replace.opened":
-        "temp file created but empty: target file untouched",
-    "posix.replace.written":
-        "temp file holds the new bytes, not yet fsynced",
-    "posix.replace.synced":
-        "temp file durable, rename not yet issued: target still old",
-    "posix.replace.renamed":
-        "rename issued, directory not yet fsynced: target old or new",
-    "xmd.commit.end":
-        "new meta-data fully committed",
-    # single-file (.drx) shadow-slot header commit -------------------------
-    "sf.meta.before_blob":
-        "nothing written: both header slots and blobs intact",
-    "sf.meta.after_blob":
-        "new meta blob written to the shadow region, header still points "
-        "at the old blob",
-    "sf.header.before_slot":
-        "new blob durable, slot not yet flipped: readers see the old "
-        "generation",
-    "sf.header.after_slot":
-        "new slot written (possibly not yet durable): readers see old or "
-        "new generation, both valid",
-    # buffer-pool flush ----------------------------------------------------
-    "mpool.flush.begin":
-        "no dirty page written back yet",
-    "mpool.flush.after_writeback":
-        "dirty chunks written to the store, store flush not yet issued",
-}
-
-
-class _Plan(Protocol):  # pragma: no cover - typing aid only
-    def note_site(self, site: str) -> None: ...
-
-
-#: Currently active fault plans (usually zero or one; nesting composes).
-_ACTIVE: list[_Plan] = []
-
-
-def crash_point(site: str) -> None:
-    """Announce reaching crash site ``site``.
-
-    No-op with no active plan; otherwise every active plan observes the
-    site and may raise :class:`~repro.core.errors.CrashError`.
-    """
-    if not _ACTIVE:
-        return
-    for plan in list(_ACTIVE):
-        plan.note_site(site)
-
-
-def activate(plan: _Plan) -> None:
-    """Register ``plan`` to observe crash points (idempotent)."""
-    if plan not in _ACTIVE:
-        _ACTIVE.append(plan)
-
-
-def deactivate(plan: _Plan) -> None:
-    """Stop ``plan`` observing crash points (idempotent)."""
-    try:
-        _ACTIVE.remove(plan)
-    except ValueError:
-        pass
+__all__ = ["crash_point", "activate", "deactivate", "CRASH_SITES",
+           "KILL_SITES", "ALL_SITES"]

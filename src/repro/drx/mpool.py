@@ -118,8 +118,7 @@ class Mpool:
             raw = self.store.read(pageno * self.page_size, self.page_size)
             self.stats.syscalls += 1
             self.stats.bytes_faulted += self.page_size
-            if self.guard is not None:
-                self.guard.check(pageno, raw)
+            raw = self._verify(pageno, raw, pageno * self.page_size)
             page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
             self._pages[pageno] = page
         page.pins += 1
@@ -184,15 +183,29 @@ class Mpool:
         self.stats.coalesced_runs += len(extents)
         self.stats.bytes_faulted += len(blob)
         mv = memoryview(blob)
-        if self.guard is not None:
-            for i, p in enumerate(missing):
-                self.guard.check(p, mv[i * ps:(i + 1) * ps])
         for i, p in enumerate(missing):
-            buf = np.frombuffer(bytearray(mv[i * ps:(i + 1) * ps]),
-                                dtype=np.uint8)
+            raw = self._verify(p, mv[i * ps:(i + 1) * ps], p * ps)
+            buf = np.frombuffer(bytearray(raw), dtype=np.uint8)
             page = _Page(buf)
             page.pins = 1               # protective pin, see get_many
             self._pages[p] = page
+
+    def _verify(self, pageno: int, raw, offset: int):
+        """Run the integrity guard over a faulted-in page.
+
+        Guards that can arbitrate (``check_or_arbitrate``) get the store
+        handle so a CRC mismatch can be resolved from a replica copy —
+        the returned bytes are then the arbitrated version; plain guards
+        just verify in place.
+        """
+        if self.guard is None:
+            return raw
+        arbitrate = getattr(self.guard, "check_or_arbitrate", None)
+        if arbitrate is not None:
+            return arbitrate(pageno, raw, self.store, offset,
+                             self.page_size)
+        self.guard.check(pageno, raw)
+        return raw
 
     def put(self, pageno: int, dirty: bool = False) -> None:
         """Unpin page ``pageno``, optionally marking it dirty."""

@@ -54,7 +54,7 @@ from typing import Callable, Sequence
 
 from ..core.errors import ChecksumError, CrashError, DRXError, DRXFileError, PFSError
 from . import faultpoints
-from .faultpoints import CRASH_SITES, crash_point
+from .faultpoints import ALL_SITES, CRASH_SITES, KILL_SITES, crash_point
 from .storage import ByteStore, Extent
 
 __all__ = [
@@ -68,6 +68,8 @@ __all__ = [
     "chunk_crc",
     "crash_point",
     "CRASH_SITES",
+    "KILL_SITES",
+    "ALL_SITES",
 ]
 
 #: Store operations a :class:`FaultInjector` intercepts ("*" matches all).
@@ -115,13 +117,14 @@ def chunk_crc(data) -> int:
 class FaultRule:
     """One scripted fault (see :class:`FaultPlan` factory methods)."""
 
-    op: str                    #: store op, "*", or a named crash site
-    kind: str                  #: "error" | "short_read" | "torn_write" | "crash"
+    op: str                    #: store op, "*", or a named fault site
+    kind: str                  #: "error" | "short_read" | "torn_write" | "crash" | "hook"
     after: int = 0             #: matching calls to let through first
     times: int | None = 1      #: firings before the rule disarms (None = ∞)
     p: float = 1.0             #: firing probability once eligible
     keep: float = 0.5          #: fraction applied for short/torn transfers
     error: Callable[[str], BaseException] | None = None
+    action: Callable[[], None] | None = None   #: for kind="hook"
     seen: int = 0              #: matching calls observed
     fired: int = 0             #: faults actually injected
 
@@ -200,6 +203,27 @@ class FaultPlan:
                                     times=1))
         return self
 
+    def hook(self, site: str, action: Callable[[], None], after: int = 0,
+             times: int | None = 1) -> "FaultPlan":
+        """Run ``action`` when fault site ``site`` is reached (without
+        raising).  The chaos primitive: hooks at the ``server.kill.*``
+        sites of :data:`KILL_SITES` take whole I/O servers down at a
+        precise instant mid-operation.
+        """
+        if site not in ALL_SITES:
+            raise DRXError(f"unknown fault site {site!r}; known sites: "
+                           f"{sorted(ALL_SITES)}")
+        self.rules.append(FaultRule(op=site, kind="hook", after=after,
+                                    times=times, action=action))
+        return self
+
+    def kill_server(self, fs, sid: int, site: str, after: int = 0,
+                    wipe: bool = False) -> "FaultPlan":
+        """Convenience: kill server ``sid`` of file system ``fs`` when
+        ``site`` is reached for the ``after``-th time."""
+        return self.hook(site, lambda: fs.kill_server(sid, wipe=wipe),
+                         after=after)
+
     # -- consultation ------------------------------------------------------
     def _match(self, name: str, kinds: tuple[str, ...],
                wildcard: bool) -> FaultRule | None:
@@ -247,14 +271,19 @@ class FaultPlan:
             raise rule.make_error(op)
 
     def note_site(self, site: str) -> None:
-        """Crash-point callback (the plan must be active to receive it)."""
-        if site not in CRASH_SITES:
-            raise DRXError(f"unknown crash site {site!r}; known sites: "
-                           f"{sorted(CRASH_SITES)}")
+        """Fault-point callback (the plan must be active to receive it)."""
+        if site not in ALL_SITES:
+            raise DRXError(f"unknown fault site {site!r}; known sites: "
+                           f"{sorted(ALL_SITES)}")
         self.hits[site] = self.hits.get(site, 0) + 1
-        rule = self._match(site, ("crash", "error"), wildcard=False)
-        if rule is not None:
-            raise rule.make_error(f"at crash point {site!r}")
+        rule = self._match(site, ("crash", "error", "hook"), wildcard=False)
+        if rule is None:
+            return
+        if rule.kind == "hook":
+            if rule.action is not None:
+                rule.action()
+            return
+        raise rule.make_error(f"at crash point {site!r}")
 
     # -- activation (arms crash sites) -------------------------------------
     def __enter__(self) -> "FaultPlan":
@@ -369,6 +398,11 @@ class FaultInjector(ByteStore):
             raise rule.make_error("flush()")
         self._inner.flush()
 
+    def read_alternates(self, offset: int, length: int) -> list[bytes]:
+        # arbitration reads are out of band: they exist to recover from
+        # faults, so the plan is not consulted
+        return self._inner.read_alternates(offset, length)
+
     @property
     def size(self) -> int:
         return self._inner.size
@@ -475,6 +509,10 @@ class RetryingByteStore(ByteStore):
     def flush(self) -> None:
         self._run("flush", lambda: self._inner.flush())
 
+    def read_alternates(self, offset: int, length: int) -> list[bytes]:
+        # best-effort by definition — no retry semantics to add
+        return self._inner.read_alternates(offset, length)
+
     @property
     def size(self) -> int:
         return self._inner.size
@@ -502,6 +540,7 @@ class ChecksumGuard:
         self.crcs = crcs
         self.checked = 0       #: verifications performed
         self.failures = 0      #: mismatches detected
+        self.arbitrated = 0    #: mismatches resolved from a replica copy
 
     def record(self, address: int, data) -> None:
         """Update the stored CRC after writing chunk ``address``."""
@@ -521,6 +560,43 @@ class ChecksumGuard:
                 f"(stored {want:#010x}, read {got:#010x}) — torn or "
                 f"corrupted chunk"
             )
+
+    def check_or_arbitrate(self, address: int, data, store=None,
+                           offset: int | None = None,
+                           length: int | None = None):
+        """Verify chunk ``address``; on a CRC mismatch, *arbitrate*
+        among the store's replica copies.
+
+        A torn replica fan-out (or at-rest corruption of one copy)
+        leaves the copies diverging; the recorded CRC identifies the
+        committed version.  Each alternate the store can still reach
+        (:meth:`~repro.drx.storage.ByteStore.read_alternates`) is
+        checked against the stored CRC; the first match is returned —
+        and written back over the bad copy on a best-effort basis, so
+        a later rebuild or scrub sees converged replicas.  With no
+        matching alternate the original :class:`ChecksumError`
+        propagates.
+
+        Returns the verified bytes (``data`` itself when it checked
+        out, the arbitrated copy otherwise).
+        """
+        try:
+            self.check(address, data)
+            return data
+        except ChecksumError:
+            if store is None or offset is None or length is None:
+                raise
+            want = self.crcs.get(int(address))
+            for alt in store.read_alternates(offset, length):
+                if chunk_crc(alt) != want:
+                    continue
+                self.arbitrated += 1
+                try:                     # heal the divergent copy
+                    store.write(offset, alt)
+                except Exception:
+                    pass                 # degraded but readable is fine
+                return alt
+            raise
 
 
 @dataclass

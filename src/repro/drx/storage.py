@@ -42,7 +42,7 @@ import pathlib
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from ..core.errors import DRXFileError
+from ..core.errors import DRXFileError, PFSError
 from ..pfs.pfile import PFSFile
 from .faultpoints import crash_point
 
@@ -170,6 +170,19 @@ class ByteStore:
         self.truncate(len(data))
         self.write(0, data)
         self.flush()
+
+    def read_alternates(self, offset: int, length: int) -> list[bytes]:
+        """Independent alternate versions of a byte range, one per
+        physical replica that can serve it.
+
+        Single-copy stores have none (the default).  Replicated stores
+        (:class:`PFSByteStore` over a replication > 1 layout) return one
+        buffer per reachable replica copy; the checksum guard uses them
+        to *arbitrate* when the regular read fails its CRC — a torn
+        replica fan-out leaves copies diverging, and the copy matching
+        the recorded checksum is the committed one.
+        """
+        return []
 
     @property
     def size(self) -> int:
@@ -365,6 +378,21 @@ class PFSByteStore(ByteStore):
         for _off, length in extents:
             self.stats.note_write(length)
         self._pfile.writev(list(extents), data)
+
+    def read_alternates(self, offset: int, length: int) -> list[bytes]:
+        """One buffer per reachable replica copy of the range (empty on
+        an unreplicated layout).  Unreachable copies are skipped — the
+        arbitration caller only needs the versions that still exist."""
+        if self._pfile.replication < 2:
+            return []
+        out: list[bytes] = []
+        for copy in range(self._pfile.replication):
+            try:
+                data, _t = self._pfile.readv_copy([(offset, length)], copy)
+            except PFSError:
+                continue
+            out.append(data)
+        return out
 
     @property
     def size(self) -> int:

@@ -176,6 +176,11 @@ class World:
         }
         self._registry_lock = threading.Lock()
         self.abort_reason: str | None = None
+        #: (comm_id, rank) -> collective name, for every rank currently
+        #: inside a collective exchange.  The runner's watchdog snapshots
+        #: this to name the hung collective and its waiting ranks.
+        self.in_collective: dict[tuple, str] = {}
+        self.in_collective_lock = threading.Lock()
 
     def shared_for(self, comm_id: tuple, size: int) -> _CommShared:
         """Get-or-create the shared struct of a derived communicator.
@@ -198,6 +203,12 @@ class World:
     def abort(self, reason: str = "MPI_Abort") -> None:
         self.abort_reason = self.abort_reason or reason
         self.abort_event.set()
+
+    def blocked_collectives(self) -> dict[tuple, str]:
+        """Snapshot of every rank currently inside a collective:
+        ``(comm_id, rank) -> collective name`` (watchdog diagnostics)."""
+        with self.in_collective_lock:
+            return dict(self.in_collective)
 
 
 # ---------------------------------------------------------------------------
@@ -370,49 +381,60 @@ class Intracomm:
     # ------------------------------------------------------------------
     # the collective exchange primitive
     # ------------------------------------------------------------------
-    def _exchange(self, value: Any) -> list[Any]:
+    def _exchange(self, value: Any, name: str = "collective") -> list[Any]:
         """All-to-all bulletin-board exchange (the collective workhorse).
 
         Deposits ``value``, waits for everyone, reads all contributions,
         waits again (so nobody reads a board being torn down), and lets
-        rank 0 garbage-collect the slot.
+        rank 0 garbage-collect the slot.  While blocked, the rank is
+        registered in :attr:`World.in_collective` under ``name`` so the
+        runner's watchdog can report *which* collective hung and who was
+        waiting in it.
         """
         self._check_abort()
         sh = self._shared
         seq = self._coll_seq
         self._coll_seq += 1
-        with sh.board_lock:
-            sh.board.setdefault(seq, {})[self._rank] = value
-        sh.barrier.wait()
-        with sh.board_lock:
-            slot = sh.board[seq]
-            result = [slot[r] for r in range(self.size)]
-        sh.barrier.wait()
-        if self._rank == 0:
+        key = (sh.comm_id, self._rank)
+        with self.world.in_collective_lock:
+            self.world.in_collective[key] = name
+        try:
             with sh.board_lock:
-                sh.board.pop(seq, None)
-        return result
+                sh.board.setdefault(seq, {})[self._rank] = value
+            sh.barrier.wait()
+            with sh.board_lock:
+                slot = sh.board[seq]
+                result = [slot[r] for r in range(self.size)]
+            sh.barrier.wait()
+            if self._rank == 0:
+                with sh.board_lock:
+                    sh.board.pop(seq, None)
+            return result
+        finally:
+            with self.world.in_collective_lock:
+                self.world.in_collective.pop(key, None)
 
     # ------------------------------------------------------------------
     # collectives: pickled objects
     # ------------------------------------------------------------------
     def barrier(self) -> None:
-        self._exchange(None)
+        self._exchange(None, "barrier")
 
     Barrier = barrier
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_peer(root, "root")
-        vals = self._exchange(obj if self._rank == root else None)
+        vals = self._exchange(obj if self._rank == root else None,
+                              "bcast")
         return pickle.loads(pickle.dumps(vals[root]))
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self._check_peer(root, "root")
-        vals = self._exchange(obj)
+        vals = self._exchange(obj, "gather")
         return vals if self._rank == root else None
 
     def allgather(self, obj: Any) -> list[Any]:
-        return self._exchange(obj)
+        return self._exchange(obj, "allgather")
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         self._check_peer(root, "root")
@@ -422,7 +444,8 @@ class Intracomm:
                     f"scatter needs {self.size} items at root, got "
                     f"{None if objs is None else len(objs)}"
                 )
-        vals = self._exchange(list(objs) if self._rank == root else None)
+        vals = self._exchange(list(objs) if self._rank == root else None,
+                              "scatter")
         return vals[root][self._rank]
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
@@ -430,12 +453,12 @@ class Intracomm:
             raise MPICommError(
                 f"alltoall needs {self.size} items, got {len(objs)}"
             )
-        mat = self._exchange(list(objs))
+        mat = self._exchange(list(objs), "alltoall")
         return [mat[src][self._rank] for src in range(self.size)]
 
     def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
         self._check_peer(root, "root")
-        vals = self._exchange(obj)
+        vals = self._exchange(obj, "reduce")
         if self._rank != root:
             return None
         acc = vals[0]
@@ -444,14 +467,14 @@ class Intracomm:
         return acc
 
     def allreduce(self, obj: Any, op: Op = SUM) -> Any:
-        vals = self._exchange(obj)
+        vals = self._exchange(obj, "allreduce")
         acc = vals[0]
         for v in vals[1:]:
             acc = op(acc, v)
         return acc
 
     def scan(self, obj: Any, op: Op = SUM) -> Any:
-        vals = self._exchange(obj)
+        vals = self._exchange(obj, "scan")
         acc = vals[0]
         for v in vals[1:self._rank + 1]:
             acc = op(acc, v)
@@ -463,21 +486,21 @@ class Intracomm:
     def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
         self._check_peer(root, "root")
         data = _pack_buf(buf) if self._rank == root else None
-        vals = self._exchange(data)
+        vals = self._exchange(data, "Bcast")
         if self._rank != root:
             _unpack_buf(buf, vals[root])
 
     def Gather(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                root: int = 0) -> None:
         self._check_peer(root, "root")
-        vals = self._exchange(_pack_buf(sendbuf))
+        vals = self._exchange(_pack_buf(sendbuf), "Gather")
         if self._rank == root:
             if recvbuf is None:
                 raise MPICommError("root must supply recvbuf")
             _unpack_buf(recvbuf, b"".join(vals))
 
     def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
-        vals = self._exchange(_pack_buf(sendbuf))
+        vals = self._exchange(_pack_buf(sendbuf), "Allgather")
         _unpack_buf(recvbuf, b"".join(vals))
 
     def Scatter(self, sendbuf: np.ndarray | None, recvbuf: np.ndarray,
@@ -491,7 +514,7 @@ class Intracomm:
             parts = [data[i * n:(i + 1) * n] for i in range(self.size)]
         else:
             parts = None
-        vals = self._exchange(parts)
+        vals = self._exchange(parts, "Scatter")
         _unpack_buf(recvbuf, vals[root][self._rank])
 
     def Scatterv(self, sendspec, recvbuf: np.ndarray,
@@ -514,14 +537,14 @@ class Intracomm:
                 for c, d in zip(counts, displs)]
         else:
             parts = None
-        vals = self._exchange(parts)
+        vals = self._exchange(parts, "Scatterv")
         _unpack_buf(recvbuf, vals[root][self._rank])
 
     def Gatherv(self, sendbuf: np.ndarray, recvspec,
                 root: int = 0) -> None:
         """Vector gather: ``recvspec = [buf, counts, displs, None]``."""
         self._check_peer(root, "root")
-        vals = self._exchange(_pack_buf(sendbuf))
+        vals = self._exchange(_pack_buf(sendbuf), "Gatherv")
         if self._rank == root:
             if recvspec is None:
                 raise MPICommError("root must supply the recv spec")
@@ -545,7 +568,7 @@ class Intracomm:
 
     def Allgatherv(self, sendbuf: np.ndarray, recvspec) -> None:
         """Vector allgather: ``recvspec = [buf, counts, displs, None]``."""
-        vals = self._exchange(_pack_buf(sendbuf))
+        vals = self._exchange(_pack_buf(sendbuf), "Allgatherv")
         buf, counts, displs = recvspec[0], recvspec[1], recvspec[2]
         arr = buf.reshape(-1)
         if not arr.flags["C_CONTIGUOUS"]:
@@ -565,14 +588,14 @@ class Intracomm:
         data = _pack_buf(sendbuf)
         n = len(data) // self.size
         parts = [data[i * n:(i + 1) * n] for i in range(self.size)]
-        mat = self._exchange(parts)
+        mat = self._exchange(parts, "Alltoall")
         _unpack_buf(recvbuf, b"".join(mat[src][self._rank]
                                       for src in range(self.size)))
 
     def Reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None,
                op: Op = SUM, root: int = 0) -> None:
         self._check_peer(root, "root")
-        vals = self._exchange(_np_copy(sendbuf))
+        vals = self._exchange(_np_copy(sendbuf), "Reduce")
         if self._rank == root:
             if recvbuf is None:
                 raise MPICommError("root must supply recvbuf")
@@ -583,7 +606,7 @@ class Intracomm:
 
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                   op: Op = SUM) -> None:
-        vals = self._exchange(_np_copy(sendbuf))
+        vals = self._exchange(_np_copy(sendbuf), "Allreduce")
         acc = vals[0]
         for v in vals[1:]:
             acc = op(acc, v)
@@ -591,7 +614,7 @@ class Intracomm:
 
     def Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
              op: Op = SUM) -> None:
-        vals = self._exchange(_np_copy(sendbuf))
+        vals = self._exchange(_np_copy(sendbuf), "Scan")
         acc = vals[0]
         for v in vals[1:self._rank + 1]:
             acc = op(acc, v)
@@ -608,7 +631,7 @@ class Intracomm:
         """
         seq = self._split_seq
         self._split_seq += 1
-        triples = self._exchange((color, key, self._rank))
+        triples = self._exchange((color, key, self._rank), "Split")
         if color < 0:
             return None
         members = sorted(

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.errors import MPIFileError
+from ..core.faultsites import crash_point
 from ..pfs.filesystem import ParallelFileSystem
 from ..pfs.pfile import PFSFile
 from ..pfs.striping import Extent
@@ -289,10 +290,12 @@ class File:
             self._view.extents(offset * self._view.etype.size, nbytes),
             self._pfile.size,
         )
+        crash_point("server.kill.collective.entry")
         all_extents = self.comm.allgather(extents)
         # Rank 0 performs the aggregated access; results are shared by
         # reference through the board.
         if self.comm.rank == 0:
+            crash_point("server.kill.collective.read")
             per_rank, _t = self._pfile.collective_readv(all_extents)
         else:
             per_rank = None
@@ -315,8 +318,10 @@ class File:
         self._require_writable()
         data = _pack_buf(buf)
         extents = self._view.extents(offset * self._view.etype.size, len(data))
+        crash_point("server.kill.collective.entry")
         gathered = self.comm.allgather((extents, data))
         if self.comm.rank == 0:
+            crash_point("server.kill.collective.write")
             self._pfile.collective_writev(
                 [g[0] for g in gathered], [g[1] for g in gathered]
             )

@@ -8,11 +8,14 @@ Failure semantics: the first exception in any rank aborts the world
 (waking every blocked rank), and is re-raised to the caller annotated
 with its rank.  A watchdog converts deadlocks (mismatched collectives,
 missing sends) into a diagnostic :class:`MPIError` after ``timeout``
-seconds instead of hanging the test suite.
+seconds instead of hanging the test suite; the default comes from the
+``DRX_MPI_TIMEOUT`` environment variable (seconds, fallback 120), and
+the error names every collective the hung ranks were blocked in.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from typing import Any, Callable
@@ -20,7 +23,10 @@ from typing import Any, Callable
 from ..core.errors import MPIAbort, MPIError
 from .comm import Intracomm, World
 
-__all__ = ["mpiexec", "SPMDFailure"]
+__all__ = ["mpiexec", "SPMDFailure", "DEFAULT_TIMEOUT_ENV"]
+
+#: environment variable holding the default watchdog timeout in seconds
+DEFAULT_TIMEOUT_ENV = "DRX_MPI_TIMEOUT"
 
 
 class SPMDFailure(MPIError):
@@ -41,8 +47,34 @@ class SPMDFailure(MPIError):
         )
 
 
+def _default_timeout() -> float:
+    raw = os.environ.get(DEFAULT_TIMEOUT_ENV, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return 120.0
+    return value if value > 0 else 120.0
+
+
+def _describe_blocked(blocked: dict[tuple, str]) -> str:
+    """Group a ``(comm_id, rank) -> collective`` snapshot into readable
+    ``name@comm[ranks]`` clauses for the watchdog diagnostic."""
+    if not blocked:
+        return "no rank was inside a collective (point-to-point wait?)"
+    groups: dict[tuple[tuple, str], list[int]] = {}
+    for (comm_id, rank), name in blocked.items():
+        groups.setdefault((comm_id, name), []).append(rank)
+    clauses = []
+    for (comm_id, name), ranks in sorted(groups.items(),
+                                         key=lambda kv: str(kv[0])):
+        comm = "/".join(str(p) for p in comm_id)
+        clauses.append(f"{name} on comm {comm} "
+                       f"(ranks {sorted(ranks)})")
+    return "hung collective(s): " + "; ".join(clauses)
+
+
 def mpiexec(nprocs: int, fn: Callable[..., Any], *args: Any,
-            timeout: float = 120.0, **kwargs: Any) -> list[Any]:
+            timeout: float | None = None, **kwargs: Any) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` thread ranks.
 
     Returns ``[result_of_rank_0, ..., result_of_rank_{n-1}]``.
@@ -52,8 +84,12 @@ def mpiexec(nprocs: int, fn: Callable[..., Any], *args: Any,
     timeout:
         Watchdog limit in seconds.  If any rank is still alive after
         this long the world is aborted and :class:`MPIError` raised —
-        a deadlock diagnostic, not a performance knob.
+        a deadlock diagnostic, not a performance knob.  ``None`` (the
+        default) reads ``DRX_MPI_TIMEOUT`` from the environment,
+        falling back to 120 s.
     """
+    if timeout is None:
+        timeout = _default_timeout()
     world = World(nprocs)
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
@@ -87,12 +123,14 @@ def mpiexec(nprocs: int, fn: Callable[..., Any], *args: Any,
         t.join(timeout)
     stuck = [t.name for t in threads if t.is_alive()]
     if stuck:
+        # snapshot who was blocked in what BEFORE the abort wakes them
+        blocked = world.blocked_collectives()
         world.abort("watchdog timeout")
         for t in threads:
             t.join(5.0)
         raise MPIError(
             f"deadlock suspected: ranks still blocked after {timeout}s: "
-            f"{', '.join(stuck)}"
+            f"{', '.join(stuck)}; {_describe_blocked(blocked)}"
         )
 
     real = {r: e for r, e in failures.items() if not isinstance(e, MPIAbort)}

@@ -3,14 +3,17 @@
 Striped I/O servers with request/seek/byte counters and an analytic time
 model.  See DESIGN.md §2 for the substitution rationale: the paper's
 performance properties are properties of *access patterns*, which this
-simulator measures deterministically.
+simulator measures deterministically.  The replication tier
+(:mod:`repro.pfs.replication`) adds chained-declustered replicas,
+degraded reads and online rebuild on top — see DESIGN.md §5c.
 """
 
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .filesystem import ParallelFileSystem
 from .pfile import PFSFile
+from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
-from .stats import IOStats
+from .stats import IOStats, ReplicaStats
 from .striping import Extent, StripeLayout, coalesce_extents
 
 __all__ = [
@@ -18,7 +21,10 @@ __all__ = [
     "PFSFile",
     "IOServer",
     "IOStats",
+    "ReplicaStats",
     "StripeLayout",
+    "ReplicaLayout",
+    "replica_object_name",
     "Extent",
     "coalesce_extents",
     "CostModel",

@@ -6,6 +6,14 @@
 with create/open/delete semantics.  It is the stand-in for the paper's
 PVFS2 mount point (``/mnt/pvfs2/...``).
 
+With ``replication > 1`` the layout becomes a chained-declustering
+:class:`~repro.pfs.replication.ReplicaLayout` and the file system gains
+a failure API: ``kill_server()`` / ``revive_server()`` take one I/O
+server down and back (``wipe=True`` models a disk-losing replacement),
+and ``rebuild_server()`` runs the online re-replication of every file's
+objects before clearing the server's *stale* flag, restoring full
+redundancy without ever taking a file offline.
+
 The file system can optionally *persist* to a host directory: ``dump()``
 writes every logical file as one flat POSIX file plus nothing else, and
 ``load()`` re-imports it.  That keeps the simulator's counters intact
@@ -17,11 +25,12 @@ from __future__ import annotations
 import pathlib
 import threading
 
-from ..core.errors import PFSError
+from ..core.errors import PFSError, ServerDownError
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .pfile import PFSFile
+from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
-from .stats import IOStats
+from .stats import IOStats, ReplicaStats
 from .striping import StripeLayout
 
 __all__ = ["ParallelFileSystem"]
@@ -31,10 +40,19 @@ class ParallelFileSystem:
     """A simulated PVFS2-like striped file system."""
 
     def __init__(self, nservers: int = 4, stripe_size: int = 64 * 1024,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
-        self.layout = StripeLayout(nservers=nservers, stripe_size=stripe_size)
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 replication: int = 1, fault_plan=None) -> None:
+        if replication == 1:
+            self.layout: StripeLayout = StripeLayout(
+                nservers=nservers, stripe_size=stripe_size)
+        else:
+            self.layout = ReplicaLayout(
+                nservers=nservers, stripe_size=stripe_size,
+                replication=replication)
+        self.replication = replication
         self.cost_model = cost_model
-        self.servers = [IOServer(i, cost_model) for i in range(nservers)]
+        self.servers = [IOServer(i, cost_model, fault_plan=fault_plan)
+                        for i in range(nservers)]
         self._files: dict[str, PFSFile] = {}
         self._lock = threading.RLock()
 
@@ -68,11 +86,66 @@ class ParallelFileSystem:
             f = self._files.pop(name, None)
             if f is None:
                 raise PFSError(f"no such file: {name!r}")
-            for s in self.servers:
-                s.delete_object(name)
+            for copy in range(self.replication):
+                obj = replica_object_name(name, copy)
+                for s in self.servers:
+                    try:
+                        s.delete_object(obj)
+                    except ServerDownError:
+                        # a dead server's orphan objects are dropped by
+                        # rebuild_server when it comes back
+                        continue
 
     def listdir(self) -> list[str]:
         return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # failure API
+    # ------------------------------------------------------------------
+    def kill_server(self, sid: int, wipe: bool = False) -> None:
+        """Take I/O server ``sid`` down.  With ``wipe`` its objects are
+        lost too (a replacement server rather than a reboot)."""
+        self._server(sid).kill(wipe=wipe)
+
+    def revive_server(self, sid: int) -> None:
+        """Bring a killed server back *stale*: it serves nothing until
+        :meth:`rebuild_server` re-replicates its objects."""
+        self._server(sid).revive()
+
+    def rebuild_server(self, sid: int,
+                       batch_bytes: int | None = None) -> float:
+        """Online rebuild: re-replicate every file's objects on server
+        ``sid`` from their partner copies, drop objects belonging to
+        since-deleted files, then clear the server's stale flag.
+        Returns the total simulated copy time.  Files stay readable and
+        writable throughout (the per-file lock is held only per copy
+        batch)."""
+        srv = self._server(sid)
+        if not srv.alive:
+            raise ServerDownError(
+                f"cannot rebuild server {sid}: it is down (revive first)")
+        total = 0.0
+        with self._lock:
+            files = list(self._files.values())
+            live_objects = {
+                replica_object_name(name, copy)
+                for name in self._files
+                for copy in range(self.replication)
+            }
+        for f in files:
+            if batch_bytes is None:
+                total += f.rebuild(sid)
+            else:
+                total += f.rebuild(sid, batch_bytes)
+        for obj in [o for o in list(srv._objects) if o not in live_objects]:
+            srv.delete_object(obj)
+        srv.mark_rebuilt()
+        return total
+
+    def _server(self, sid: int) -> IOServer:
+        if not 0 <= sid < len(self.servers):
+            raise PFSError(f"no such server: {sid}")
+        return self.servers[sid]
 
     # ------------------------------------------------------------------
     # statistics
@@ -95,11 +168,20 @@ class ParallelFileSystem:
     def per_server_stats(self) -> list[IOStats]:
         return [s.stats.snapshot() for s in self.servers]
 
+    def replica_stats(self) -> ReplicaStats:
+        """Aggregate replication / failure counters over all files."""
+        total = ReplicaStats()
+        with self._lock:
+            for f in self._files.values():
+                total.add(f.rstats)
+        return total
+
     def reset_stats(self) -> None:
         for s in self.servers:
             s.stats.reset()
         for f in self._files.values():
             f.io_time = 0.0
+            f.rstats.reset()
 
     # ------------------------------------------------------------------
     # persistence (optional convenience)

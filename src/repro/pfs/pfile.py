@@ -9,6 +9,21 @@ redistributed to the requesting processes.  The difference between the
 independent and collective paths is precisely what experiment E3
 measures.
 
+When the layout is a :class:`~repro.pfs.replication.ReplicaLayout` with
+``replication > 1`` the file becomes server-failure tolerant:
+
+* writes fan out to every replica copy (skipping down/stale servers and
+  recording the redundancy debt in :class:`~repro.pfs.stats.ReplicaStats`),
+* reads prefer the primary copy but *fail over* per stripe to the next
+  live replica when a server is down, suspect, or errors mid-call,
+* an online :meth:`rebuild` re-replicates a revived or replacement
+  server's objects in coalesced batches, holding the file lock only per
+  batch so reads and writes interleave freely.
+
+With ``replication == 1`` every operation takes the exact historical
+code path — identical bytes, identical stats — so the default
+configuration pays nothing for the failure tier.
+
 All operations return the simulated elapsed time of the slowest server
 touched (servers work in parallel), and the file keeps a cumulative
 ``io_time`` so callers can charge entire workloads.
@@ -18,11 +33,17 @@ from __future__ import annotations
 
 import threading
 
-from ..core.errors import PFSError
+from ..core.errors import PFSError, ServerDownError
+from ..core.faultsites import crash_point
+from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
+from .stats import ReplicaStats
 from .striping import Extent, StripeLayout, coalesce_extents
 
 __all__ = ["PFSFile"]
+
+#: default coalesced-copy batch for online rebuild (bytes)
+REBUILD_BATCH = 1 << 20
 
 
 class PFSFile:
@@ -37,12 +58,21 @@ class PFSFile:
         self.name = name
         self.servers = servers
         self.layout = layout
+        self.replication = getattr(layout, "replication", 1)
+        self.rstats = ReplicaStats()
         self._size = 0
         self._lock = threading.RLock()
         self.io_time = 0.0
-        for s in servers:
-            if not s.has_object(name):
-                s.create_object(name)
+        for copy in range(self.replication):
+            obj = replica_object_name(name, copy)
+            for s in servers:
+                try:
+                    if not s.has_object(obj):
+                        s.create_object(obj)
+                except ServerDownError:
+                    # a dead server at creation time gets its objects
+                    # when it is rebuilt
+                    continue
 
     # ------------------------------------------------------------------
     @property
@@ -63,66 +93,280 @@ class PFSFile:
     def readv(self, extents: list[Extent]) -> tuple[bytes, float]:
         """Read the given byte extents, concatenated in request order.
 
-        Holes (extents past EOF) read as zeros.
+        Holes (extents past EOF) read as zeros.  Replicated layouts fail
+        over per stripe to the next live replica; when every replica of
+        a needed stripe is unreachable a :class:`ServerDownError`
+        escapes.
         """
         with self._lock:
-            per_server = self.layout.split_extents(extents)
+            if self.replication == 1:
+                return self._readv_plain(extents)
+            return self._readv_replicated(extents)
+
+    def _readv_plain(self, extents: list[Extent]) -> tuple[bytes, float]:
+        """The historical unreplicated read path (kept verbatim so the
+        default configuration's bytes and stats are unchanged)."""
+        per_server = self.layout.split_extents(extents)
+        pieces: dict[int, bytes] = {}
+        elapsed = 0.0
+        for sid, reqs in enumerate(per_server):
+            if not reqs:
+                continue
+            data, t = self.servers[sid].read_batch(
+                self.name, [(srv_off, ln) for srv_off, _lo, ln in reqs]
+            )
+            elapsed = max(elapsed, t)
+            for (_srv_off, log_off, _ln), piece in zip(reqs, data):
+                pieces[log_off] = piece
+        out = self._assemble(extents, pieces)
+        self.io_time += elapsed
+        return out, elapsed
+
+    def _readv_replicated(self, extents: list[Extent]
+                          ) -> tuple[bytes, float]:
+        """Replica-aware read: route each stripe piece to its preferred
+        live copy, re-routing on server errors until data arrives or no
+        replica remains."""
+        crash_point("server.kill.readv.begin")
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        failed: set[int] = set()
+        pieces: dict[int, bytes] = {}
+        elapsed_by_server: dict[int, float] = {}
+
+        # plan: route every stripe piece to a copy
+        batches: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for off, length in extents:
+            for _srv, srv_off, log_off, take in layout.split_extent(off,
+                                                                    length):
+                stripe = log_off // layout.stripe_size
+                choice = self._choose_copy(stripe, failed)
+                if choice is None:
+                    raise ServerDownError(
+                        f"file {self.name!r}: no live replica for stripe "
+                        f"{stripe}")
+                copy, sid = choice
+                if copy:
+                    self.rstats.degraded_reads += 1
+                batches.setdefault((sid, copy), []).append(
+                    (srv_off, log_off, take))
+
+        queue = sorted(batches.items())
+        while queue:
+            (sid, copy), reqs = queue.pop(0)
+            crash_point("server.kill.readv.batch")
+            obj = replica_object_name(self.name, copy)
+            try:
+                data, t = self.servers[sid].read_batch(
+                    obj, [(srv_off, ln) for srv_off, _lo, ln in reqs])
+            except PFSError as exc:
+                # the server answered with an error (or a chaos hook just
+                # killed it): exclude it and re-route its pieces
+                failed.add(sid)
+                self.rstats.failovers += 1
+                rerouted: dict[tuple[int, int],
+                               list[tuple[int, int, int]]] = {}
+                for srv_off, log_off, ln in reqs:
+                    stripe = log_off // layout.stripe_size
+                    choice = self._choose_copy(stripe, failed)
+                    if choice is None:
+                        raise ServerDownError(
+                            f"file {self.name!r}: no live replica left for "
+                            f"stripe {stripe}") from exc
+                    copy2, sid2 = choice
+                    if copy2:
+                        self.rstats.degraded_reads += 1
+                    rerouted.setdefault((sid2, copy2), []).append(
+                        (srv_off, log_off, ln))
+                queue.extend(sorted(rerouted.items()))
+                continue
+            elapsed_by_server[sid] = elapsed_by_server.get(sid, 0.0) + t
+            for (_srv_off, log_off, _ln), piece in zip(reqs, data):
+                pieces[log_off] = piece
+
+        elapsed = max(elapsed_by_server.values(), default=0.0)
+        out = self._assemble(extents, pieces)
+        self.io_time += elapsed
+        return out, elapsed
+
+    def readv_copy(self, extents: list[Extent], copy: int
+                   ) -> tuple[bytes, float]:
+        """Read the extents purely from replica copy ``copy`` — no
+        failover.  The CRC-arbitration hook: when checksums disagree,
+        the DRX layer asks each copy for its version of the bytes.
+        Raises if any server holding the copy is unreachable.
+        """
+        if not 0 <= copy < self.replication:
+            raise PFSError(
+                f"copy {copy} outside replication factor {self.replication}")
+        with self._lock:
+            if copy == 0:
+                return self._readv_plain(extents)
+            layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+            per_server = layout.split_extents_copy(extents, copy)
+            obj = replica_object_name(self.name, copy)
             pieces: dict[int, bytes] = {}
             elapsed = 0.0
             for sid, reqs in enumerate(per_server):
                 if not reqs:
                     continue
-                data, t = self.servers[sid].read_batch(
-                    self.name, [(srv_off, ln) for srv_off, _lo, ln in reqs]
-                )
+                srv = self.servers[sid]
+                if not srv.available:
+                    raise ServerDownError(
+                        f"file {self.name!r}: copy {copy} unreachable, "
+                        f"server {sid} unavailable")
+                data, t = srv.read_batch(
+                    obj, [(srv_off, ln) for srv_off, _lo, ln in reqs])
                 elapsed = max(elapsed, t)
                 for (_srv_off, log_off, _ln), piece in zip(reqs, data):
                     pieces[log_off] = piece
-            out = bytearray()
-            for off, length in extents:
-                pos = off
-                end = off + length
-                while pos < end:
-                    piece = pieces[pos]
-                    out += piece
-                    pos += len(piece)
+            out = self._assemble(extents, pieces)
             self.io_time += elapsed
-            return bytes(out), elapsed
+            return out, elapsed
 
     def writev(self, extents: list[Extent], data: bytes) -> float:
-        """Write ``data`` into the given byte extents, in order."""
+        """Write ``data`` into the given byte extents, in order.
+
+        Replicated layouts fan the write out to every copy; down or
+        stale servers are skipped (and counted as ``missed_writes`` —
+        the debt a later rebuild repays), but every piece must land on
+        at least one copy or :class:`ServerDownError` is raised.
+        """
         total = sum(n for _o, n in extents)
         if total != len(data):
             raise PFSError(
                 f"writev: extents cover {total} bytes, data has {len(data)}"
             )
         with self._lock:
-            per_server = self.layout.split_extents(extents)
-            # Slice the flat data buffer according to logical offsets.
-            slices: dict[int, tuple[int, int]] = {}
-            pos = 0
-            for off, length in extents:
-                cursor = off
-                end = off + length
-                # record where each logical offset's bytes sit in `data`
-                slices[off] = (pos, length)
-                pos += length
-                del cursor, end
-            elapsed = 0.0
+            if self.replication == 1:
+                return self._writev_plain(extents, data)
+            return self._writev_replicated(extents, data)
+
+    def _writev_plain(self, extents: list[Extent], data: bytes) -> float:
+        """The historical unreplicated write path (kept verbatim)."""
+        per_server = self.layout.split_extents(extents)
+        slices = self._slices(extents)
+        elapsed = 0.0
+        for sid, reqs in enumerate(per_server):
+            if not reqs:
+                continue
+            batch: list[tuple[int, bytes]] = []
+            for srv_off, log_off, ln in reqs:
+                src = self._locate(slices, log_off)
+                start = src[0] + (log_off - src[2])
+                batch.append((srv_off, bytes(data[start:start + ln])))
+            t = self.servers[sid].write_batch(self.name, batch)
+            elapsed = max(elapsed, t)
+        self._size = max(self._size,
+                         max((o + n for o, n in extents), default=0))
+        self.io_time += elapsed
+        return elapsed
+
+    def _writev_replicated(self, extents: list[Extent],
+                           data: bytes) -> float:
+        """Fan the write out to every replica copy."""
+        crash_point("server.kill.writev.begin")
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        slices = self._slices(extents)
+        elapsed_by_server: dict[int, float] = {}
+        #: landed copies per piece, keyed by logical offset
+        landed: dict[int, int] = {}
+        for copy in range(self.replication):
+            per_server = layout.split_extents_copy(extents, copy)
+            obj = replica_object_name(self.name, copy)
             for sid, reqs in enumerate(per_server):
                 if not reqs:
                     continue
+                crash_point("server.kill.writev.batch")
+                srv = self.servers[sid]
+                for _srv_off, log_off, _ln in reqs:
+                    landed.setdefault(log_off, 0)
+                if not srv.available:
+                    self.rstats.missed_writes += len(reqs)
+                    continue
                 batch: list[tuple[int, bytes]] = []
+                nbytes = 0
                 for srv_off, log_off, ln in reqs:
                     src = self._locate(slices, log_off)
                     start = src[0] + (log_off - src[2])
                     batch.append((srv_off, bytes(data[start:start + ln])))
-                t = self.servers[sid].write_batch(self.name, batch)
-                elapsed = max(elapsed, t)
-            self._size = max(self._size,
-                             max((o + n for o, n in extents), default=0))
-            self.io_time += elapsed
-            return elapsed
+                    nbytes += ln
+                try:
+                    t = srv.write_batch(obj, batch)
+                except ServerDownError:
+                    # killed between the availability check and the batch
+                    # (e.g. by a chaos hook at the crash point above)
+                    self.rstats.missed_writes += len(reqs)
+                    continue
+                # any other PFSError propagates: a reachable server that
+                # refuses a write is a transient fault the retry layers
+                # must re-issue (the fan-out is idempotent), not a
+                # silently tolerable replica skip
+                elapsed_by_server[sid] = elapsed_by_server.get(sid, 0.0) + t
+                for _srv_off, log_off, _ln in reqs:
+                    landed[log_off] += 1
+                if copy:
+                    self.rstats.replica_bytes += nbytes
+        orphans = [off for off, n in landed.items() if n == 0]
+        if orphans:
+            raise ServerDownError(
+                f"file {self.name!r}: write lost — no live replica for "
+                f"pieces at offsets {sorted(orphans)[:4]}"
+                f"{'...' if len(orphans) > 4 else ''}")
+        elapsed = max(elapsed_by_server.values(), default=0.0)
+        self._size = max(self._size,
+                         max((o + n for o, n in extents), default=0))
+        self.io_time += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # replica routing helpers
+    # ------------------------------------------------------------------
+    def _choose_copy(self, stripe: int,
+                     excluded: set[int]) -> tuple[int, int] | None:
+        """Pick the replica copy to read stripe ``stripe`` from.
+
+        Preference order: the lowest copy index whose server is
+        available, not suspect and not excluded; then (degraded further)
+        any available non-excluded server even if suspect.  ``None``
+        when no replica is reachable.
+        """
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        fallback: tuple[int, int] | None = None
+        for copy in range(self.replication):
+            sid = layout.replica_server(stripe, copy)
+            srv = self.servers[sid]
+            if sid in excluded or not srv.available:
+                continue
+            if not srv.suspect:
+                return copy, sid
+            if fallback is None:
+                fallback = (copy, sid)
+        return fallback
+
+    @staticmethod
+    def _slices(extents: list[Extent]) -> dict[int, tuple[int, int]]:
+        """Map each extent's logical offset to its slice of the flat
+        data buffer."""
+        slices: dict[int, tuple[int, int]] = {}
+        pos = 0
+        for off, length in extents:
+            slices[off] = (pos, length)
+            pos += length
+        return slices
+
+    @staticmethod
+    def _assemble(extents: list[Extent],
+                  pieces: dict[int, bytes]) -> bytes:
+        """Concatenate stripe pieces back into request order."""
+        out = bytearray()
+        for off, length in extents:
+            pos = off
+            end = off + length
+            while pos < end:
+                piece = pieces[pos]
+                out += piece
+                pos += len(piece)
+        return bytes(out)
 
     @staticmethod
     def _locate(slices: dict[int, tuple[int, int]], log_off: int
@@ -136,6 +380,118 @@ class PFSFile:
             if ext_off <= log_off < ext_off + length:
                 return buf_start, length, ext_off
         raise PFSError(f"internal: no slice covers offset {log_off}")
+
+    # ------------------------------------------------------------------
+    # online rebuild / verification
+    # ------------------------------------------------------------------
+    def rebuild(self, sid: int, batch_bytes: int = REBUILD_BATCH) -> float:
+        """Re-replicate this file's objects on server ``sid`` from their
+        partner copies.  Returns the total simulated copy time.  The
+        file lock is held only per batch, so reads and writes interleave
+        with the rebuild (see :meth:`rebuild_steps`)."""
+        total = 0.0
+        for t in self.rebuild_steps(sid, batch_bytes):
+            total += t
+        return total
+
+    def rebuild_steps(self, sid: int, batch_bytes: int = REBUILD_BATCH):
+        """Generator form of :meth:`rebuild`, yielding the simulated
+        time of each coalesced copy batch.  Benchmarks drive this to
+        interleave rebuild traffic with foreground reads
+        deterministically.
+
+        The chained layout makes every copy object a byte-identical
+        mirror of a partner object on another server
+        (:meth:`~repro.pfs.replication.ReplicaLayout.partner_server`),
+        so rebuild is a plain coalesced object copy — no stripe-by-
+        stripe bookkeeping.
+        """
+        if self.replication == 1:
+            # no redundancy to restore; writes during the outage failed
+            # loudly, so the surviving bytes are already authoritative
+            return
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        target = self.servers[sid]
+        if not target.alive:
+            raise ServerDownError(
+                f"cannot rebuild server {sid}: it is down (revive first)")
+        crash_point("server.kill.rebuild.begin")
+        for copy in range(self.replication):
+            obj = replica_object_name(self.name, copy)
+            with self._lock:
+                # drop the (possibly stale, possibly longer) old object so
+                # bytes the source holds implicitly as zeros don't survive
+                if target.has_object(obj):
+                    target.delete_object(obj)
+                target.create_object(obj)
+                extent = layout.object_extent(sid, copy, self._size)
+            self.rstats.rebuilt_objects += 1
+            pos = 0
+            failed: set[int] = {sid}
+            while pos < extent:
+                crash_point("server.kill.rebuild.batch")
+                take = min(batch_bytes, extent - pos)
+                with self._lock:
+                    src = self._rebuild_source(sid, copy, failed)
+                    if src is None:
+                        raise ServerDownError(
+                            f"cannot rebuild {obj!r} on server {sid}: no "
+                            f"live partner copy")
+                    src_copy, src_sid = src
+                    src_obj = replica_object_name(self.name, src_copy)
+                    try:
+                        data, t_r = self.servers[src_sid].read_batch(
+                            src_obj, [(pos, take)])
+                    except PFSError:
+                        failed.add(src_sid)
+                        continue
+                    t_w = target.write_batch(obj, [(pos, data[0])])
+                self.rstats.rebuild_bytes += take
+                pos += take
+                yield t_r + t_w
+
+    def _rebuild_source(self, sid: int, copy: int,
+                        excluded: set[int]) -> tuple[int, int] | None:
+        """Pick a live partner ``(src_copy, src_server)`` mirroring the
+        copy-``copy`` object of server ``sid``."""
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        for src_copy in range(self.replication):
+            if src_copy == copy:
+                continue
+            src_sid = layout.partner_server(sid, copy, src_copy)
+            if src_sid in excluded:
+                continue
+            if self.servers[src_sid].available:
+                return src_copy, src_sid
+        return None
+
+    def verify_replicas(self) -> list[tuple[int, int, int]]:
+        """Byte-compare every copy object against its primary-copy
+        mirror (out of band — no stats, no cost).  Returns the list of
+        divergent ``(server, copy, partner_server)`` triples; an empty
+        list means full redundancy.  Objects on dead servers are
+        reported as divergent (redundancy is lost either way).
+        """
+        if self.replication == 1:
+            return []
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        bad: list[tuple[int, int, int]] = []
+        with self._lock:
+            for copy in range(1, self.replication):
+                obj = replica_object_name(self.name, copy)
+                for sid in range(layout.nservers):
+                    partner = layout.partner_server(sid, copy, 0)
+                    extent = layout.object_extent(sid, copy, self._size)
+                    try:
+                        mine = self.servers[sid].peek(obj, 0, extent)
+                        ref = self.servers[partner].peek(self.name, 0,
+                                                         extent)
+                    except ServerDownError:
+                        bad.append((sid, copy, partner))
+                        continue
+                    if mine != ref:
+                        bad.append((sid, copy, partner))
+        return bad
 
     # ------------------------------------------------------------------
     # collective (two-phase) I/O

@@ -1,0 +1,173 @@
+"""Chained-declustering replica placement (pure arithmetic).
+
+The paper's DRX-MP design replicates the tiny meta-data into every
+process so "each node can determine whether the element is local or
+remote"; the *data* placement below extends the same spirit to server
+failures: every stripe exists on ``r`` servers, placed by **chained
+declustering** [Hsiao & DeWitt 1990], the scheme ViPIOS-style server
+groups build on.  Stripe ``s`` keeps its primary on server ``s % n``
+(exactly the round-robin :class:`~repro.pfs.striping.StripeLayout`
+placement, so replication factor 1 is bit- and stats-identical to the
+unreplicated layout) and copy ``c`` on server ``(s + c) % n`` — each
+server's load spills to its ring successor when it fails, so a single
+failure raises every survivor's load by at most ``1/(n-1)`` instead of
+doubling one mirror partner's.
+
+Copies are materialized as *separate server objects*: copy ``c`` of
+logical file ``name`` lives in object ``name`` (``c = 0``) or
+``name@r{c}`` on each server, at the **same server-local offset** the
+primary layout assigns (``(s // n) * stripe_size + within``).  Within
+one copy-``c`` object on server ``j`` the resident stripes are exactly
+``s ≡ j - c (mod n)``, whose local offsets ``(s // n) * stripe_size``
+are distinct and consecutive — so a copy object is always dense in
+stripe order.  Better, the chained shift makes copy objects **pairwise
+mirrors**: the copy-``c`` object on server ``j`` and the copy-``c'``
+object on server ``(j - c + c') % n`` hold the *same stripes at the
+same offsets* and are therefore byte-identical when healthy.  Online
+rebuild (:meth:`~repro.pfs.pfile.PFSFile.rebuild`) exploits this: a
+lost server's objects are re-replicated by streaming its partner
+objects in a handful of maximal contiguous runs, and replica
+verification is a plain byte-compare of partner objects.
+
+All functions are pure; :class:`ReplicaLayout` is immutable, like the
+:class:`StripeLayout` it extends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.errors import PFSError
+from .striping import Extent, StripeLayout
+
+__all__ = ["ReplicaLayout", "replica_object_name"]
+
+
+def replica_object_name(name: str, copy: int) -> str:
+    """The server-object name holding copy ``copy`` of file ``name``.
+
+    Copy 0 (the primary) uses the plain file name, so an unreplicated
+    layout produces exactly the historical object namespace.
+    """
+    if copy < 0:
+        raise PFSError(f"negative replica copy {copy}")
+    return name if copy == 0 else f"{name}@r{copy}"
+
+
+@dataclass(frozen=True)
+class ReplicaLayout(StripeLayout):
+    """A striped layout whose stripes exist on ``replication`` servers.
+
+    ``replication = 1`` degenerates to :class:`StripeLayout` exactly;
+    ``replication = nservers`` is full mirroring.
+    """
+
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.replication <= self.nservers:
+            raise PFSError(
+                f"replication factor must be in [1, {self.nservers}] "
+                f"(nservers), got {self.replication}"
+            )
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def replica_server(self, stripe: int, copy: int) -> int:
+        """Which server holds copy ``copy`` of stripe ``stripe``."""
+        if not 0 <= copy < self.replication:
+            raise PFSError(
+                f"copy {copy} outside replication factor {self.replication}"
+            )
+        return (stripe + copy) % self.nservers
+
+    def replica_servers(self, stripe: int) -> tuple[int, ...]:
+        """All servers holding stripe ``stripe``, primary first."""
+        return tuple((stripe + c) % self.nservers
+                     for c in range(self.replication))
+
+    def partner_server(self, server: int, copy: int, src_copy: int) -> int:
+        """The server whose copy-``src_copy`` object mirrors server
+        ``server``'s copy-``copy`` object.
+
+        Both objects hold the stripes ``s ≡ server - copy (mod n)`` at
+        identical local offsets, so they are byte-identical when
+        healthy — the property rebuild and verification rest on.
+        """
+        if not 0 <= copy < self.replication:
+            raise PFSError(f"copy {copy} outside replication factor "
+                           f"{self.replication}")
+        if not 0 <= src_copy < self.replication:
+            raise PFSError(f"copy {src_copy} outside replication factor "
+                           f"{self.replication}")
+        return (server - copy + src_copy) % self.nservers
+
+    def split_extent_copy(self, offset: int, length: int, copy: int
+                          ) -> Iterator[tuple[int, int, int, int]]:
+        """Split a logical extent into per-server pieces of copy ``copy``.
+
+        Yields ``(server, server_offset, logical_offset, piece_length)``
+        like :meth:`StripeLayout.split_extent`, but routed to the
+        copy-``copy`` replica of each stripe.  The server-local offset
+        is identical for every copy.
+        """
+        if not 0 <= copy < self.replication:
+            raise PFSError(
+                f"copy {copy} outside replication factor {self.replication}"
+            )
+        for server, srv_off, log_off, take in self.split_extent(offset,
+                                                                length):
+            yield ((server + copy) % self.nservers, srv_off, log_off, take)
+
+    def split_extents_copy(self, extents: Sequence[Extent], copy: int
+                           ) -> list[list[tuple[int, int, int]]]:
+        """Group copy-``copy`` extent pieces per server (request order
+        preserved within each server), like
+        :meth:`StripeLayout.split_extents`."""
+        pieces: list[list[tuple[int, int, int]]] = \
+            [[] for _ in range(self.nservers)]
+        for off, length in extents:
+            for server, srv_off, log_off, take in \
+                    self.split_extent_copy(off, length, copy):
+                pieces[server].append((srv_off, log_off, take))
+        return pieces
+
+    # ------------------------------------------------------------------
+    # rebuild support
+    # ------------------------------------------------------------------
+    def stripes_of_object(self, server: int, copy: int,
+                          nstripes: int) -> range:
+        """Indices (into the copy object's dense stripe order) that
+        exist given ``nstripes`` total stripes.
+
+        The copy-``copy`` object on ``server`` holds stripes
+        ``s = ρ + k·n`` with ``ρ = (server - copy) mod n`` at local
+        offset ``k · stripe_size``; the returned range enumerates the
+        valid ``k``.
+        """
+        rho = (server - copy) % self.nservers
+        if nstripes <= rho:
+            return range(0)
+        return range(0, 1 + (nstripes - rho - 1) // self.nservers)
+
+    def object_extent(self, server: int, copy: int,
+                      file_size: int) -> int:
+        """Bytes of the copy object on ``server`` that can hold live
+        data for a logical file of ``file_size`` bytes (the rebuild
+        copy bound; sparse tails read as zeros on every replica)."""
+        if file_size <= 0:
+            return 0
+        nstripes = -(-file_size // self.stripe_size)
+        ks = self.stripes_of_object(server, copy, nstripes)
+        if not len(ks):
+            return 0
+        last_k = ks[-1]
+        rho = (server - copy) % self.nservers
+        last_stripe = rho + last_k * self.nservers
+        # the last stripe of the file may be partial
+        stripe_start = last_stripe * self.stripe_size
+        last_len = min(self.stripe_size, file_size - stripe_start)
+        return last_k * self.stripe_size + last_len

@@ -7,11 +7,28 @@ bytes and seeks, and accumulates simulated busy time from the cost
 model.  Storage is a plain ``bytearray`` per object; reads past the
 written end return zeros (sparse-file semantics, which the append-only
 DRX data file relies on when a segment is materialized lazily).
+
+Failure model.  A server can be *killed* (``alive = False``): every
+request then raises :class:`~repro.core.errors.ServerDownError` until
+``revive()``.  A revived server is *stale* — its bytes may predate
+writes it missed — and stays excluded from both reads and writes until
+an online rebuild re-replicates its objects and calls
+``mark_rebuilt()``.  Independently, a lightweight failure detector
+counts consecutive errored requests (injected faults included); at
+``suspect_threshold`` the server is marked *suspect*, which replicated
+readers use as an advisory hint to prefer another replica.  One success
+clears the suspicion.
+
+Every externally reachable operation — object lifecycle and request
+batches alike — funnels through the single checked entry point
+``_touch()``, so liveness and the optional fault plan are consulted
+uniformly (earlier revisions only checked the batch paths, letting
+scalar byte-store traffic bypass fault injection).
 """
 
 from __future__ import annotations
 
-from ..core.errors import PFSError
+from ..core.errors import PFSError, ServerDownError
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .stats import IOStats
 
@@ -20,6 +37,9 @@ __all__ = ["IOServer"]
 
 class IOServer:
     """A single I/O server: object store + counters + time model."""
+
+    #: consecutive errored requests before the server is marked suspect
+    suspect_threshold = 3
 
     def __init__(self, server_id: int,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
@@ -31,14 +51,78 @@ class IOServer:
         #: the drx layer): any object with ``check(op)`` that raises when
         #: a fault is due — e.g. ``repro.drx.resilience.FaultPlan``.
         self.fault_plan = fault_plan
+        #: False once killed; every request then raises ServerDownError
+        self.alive = True
+        #: True after revive until rebuild: bytes may miss writes, so the
+        #: server serves nothing until re-replicated
+        self.stale = False
+        #: advisory failure-detector verdict (replicated readers prefer
+        #: another replica; never consulted on the unreplicated path)
+        self.suspect = False
+        self._consecutive_errors = 0
         self._objects: dict[str, bytearray] = {}
         #: last byte position + 1 touched per object, for seek accounting
         self._head: dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def kill(self, wipe: bool = False) -> None:
+        """Take the server down; ``wipe`` additionally loses its disks
+        (models a replacement server rather than a reboot)."""
+        self.alive = False
+        if wipe:
+            self._objects.clear()
+            self._head.clear()
+
+    def revive(self) -> None:
+        """Bring a killed server back, *stale*: it serves nothing until
+        an online rebuild re-replicates its objects."""
+        if self.alive:
+            return
+        self.alive = True
+        self.stale = True
+        self.suspect = False
+        self._consecutive_errors = 0
+
+    def mark_rebuilt(self) -> None:
+        """Clear the stale flag once rebuild restored the objects."""
+        self.stale = False
+        self.suspect = False
+        self._consecutive_errors = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the server may serve reads and writes at all."""
+        return self.alive and not self.stale
+
+    # ------------------------------------------------------------------
+    # checked entry point
+    # ------------------------------------------------------------------
+    def _touch(self, op: str) -> None:
+        """The single gate every operation passes: liveness, then the
+        fault plan.  Injected faults feed the failure detector."""
+        if not self.alive:
+            raise ServerDownError(
+                f"server {self.server_id} is down (op {op})")
+        if self.fault_plan is not None:
+            try:
+                self.fault_plan.check(f"server.{op}")
+            except ServerDownError:
+                raise
+            except PFSError:
+                self._consecutive_errors += 1
+                if self._consecutive_errors >= self.suspect_threshold:
+                    self.suspect = True
+                raise
+        self._consecutive_errors = 0
+        self.suspect = False
+
+    # ------------------------------------------------------------------
     # object lifecycle
     # ------------------------------------------------------------------
     def create_object(self, name: str) -> None:
+        self._touch("create")
         if name in self._objects:
             raise PFSError(f"server {self.server_id}: object {name!r} exists")
         self._objects[name] = bytearray()
@@ -48,10 +132,12 @@ class IOServer:
         return name in self._objects
 
     def delete_object(self, name: str) -> None:
+        self._touch("delete")
         self._objects.pop(name, None)
         self._head.pop(name, None)
 
     def object_size(self, name: str) -> int:
+        self._touch("stat")
         return len(self._objects.get(name, b""))
 
     # ------------------------------------------------------------------
@@ -64,8 +150,7 @@ class IOServer:
         Returns the data pieces and the simulated service time of the
         batch on this server.
         """
-        if self.fault_plan is not None:
-            self.fault_plan.check("server.read")
+        self._touch("read")
         store = self._require(name)
         out: list[bytes] = []
         elapsed = 0.0
@@ -92,8 +177,7 @@ class IOServer:
     def write_batch(self, name: str,
                     requests: list[tuple[int, bytes]]) -> float:
         """Service an ordered batch of ``(offset, data)`` writes."""
-        if self.fault_plan is not None:
-            self.fault_plan.check("server.write")
+        self._touch("write")
         store = self._require(name)
         elapsed = 0.0
         head = self._head[name]
@@ -115,6 +199,33 @@ class IOServer:
         return elapsed
 
     # ------------------------------------------------------------------
+    # out-of-band hooks (verification / chaos tests only)
+    # ------------------------------------------------------------------
+    def peek(self, name: str, offset: int, length: int) -> bytes:
+        """Read object bytes without stats, cost or fault accounting —
+        the replica-verification hook.  Still refuses on a dead server
+        (there is nothing trustworthy to verify)."""
+        if not self.alive:
+            raise ServerDownError(
+                f"server {self.server_id} is down (op peek)")
+        store = self._objects.get(name, b"")
+        end = offset + length
+        avail = bytes(store[offset:min(end, len(store))])
+        return avail + b"\x00" * (length - len(avail))
+
+    def corrupt(self, name: str, offset: int, data: bytes) -> None:
+        """Silently overwrite object bytes (torn-write simulation for
+        CRC-arbitration tests); no stats, no fault plan."""
+        store = self._objects.get(name)
+        if store is None:
+            raise PFSError(
+                f"server {self.server_id}: no object {name!r}")
+        end = offset + len(data)
+        if end > len(store):
+            store.extend(b"\x00" * (end - len(store)))
+        store[offset:end] = data
+
+    # ------------------------------------------------------------------
     def _require(self, name: str) -> bytearray:
         try:
             return self._objects[name]
@@ -124,5 +235,7 @@ class IOServer:
             ) from None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"IOServer(id={self.server_id}, "
+        state = ("up" if self.available else
+                 "stale" if self.alive else "down")
+        return (f"IOServer(id={self.server_id}, {state}, "
                 f"objects={len(self._objects)}, {self.stats})")

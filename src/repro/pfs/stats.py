@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["IOStats"]
+__all__ = ["IOStats", "ReplicaStats"]
 
 
 @dataclass
@@ -79,3 +79,76 @@ class IOStats:
         return (f"reqs={self.requests} (r{self.read_requests}/"
                 f"w{self.write_requests}) bytes={self.bytes_moved} "
                 f"seeks={self.seeks} busy={self.busy_time * 1e3:.3f}ms")
+
+
+@dataclass
+class ReplicaStats:
+    """Replication / failure-handling counters for one file or one
+    aggregated view.
+
+    All counters stay zero on the unreplicated (replication = 1) path —
+    one of the acceptance criteria for the failure-tolerance tier is
+    that the default path is byte- and stats-identical to the
+    pre-replication code.
+    """
+
+    #: pieces served by a non-primary replica (degraded operation)
+    degraded_reads: int = 0
+    #: read batches re-issued to another replica after a server error
+    failovers: int = 0
+    #: replica copies skipped on write because their server was down or
+    #: stale (the redundancy debt ``rebuild()`` repays)
+    missed_writes: int = 0
+    #: bytes written to replica copies beyond the primary (fan-out cost)
+    replica_bytes: int = 0
+    #: bytes copied between servers by online rebuilds
+    rebuild_bytes: int = 0
+    #: server objects re-replicated by online rebuilds
+    rebuilt_objects: int = 0
+
+    def add(self, other: "ReplicaStats") -> "ReplicaStats":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        self.degraded_reads += other.degraded_reads
+        self.failovers += other.failovers
+        self.missed_writes += other.missed_writes
+        self.replica_bytes += other.replica_bytes
+        self.rebuild_bytes += other.rebuild_bytes
+        self.rebuilt_objects += other.rebuilt_objects
+        return self
+
+    def snapshot(self) -> "ReplicaStats":
+        return ReplicaStats(
+            degraded_reads=self.degraded_reads,
+            failovers=self.failovers,
+            missed_writes=self.missed_writes,
+            replica_bytes=self.replica_bytes,
+            rebuild_bytes=self.rebuild_bytes,
+            rebuilt_objects=self.rebuilt_objects,
+        )
+
+    def delta(self, earlier: "ReplicaStats") -> "ReplicaStats":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return ReplicaStats(
+            degraded_reads=self.degraded_reads - earlier.degraded_reads,
+            failovers=self.failovers - earlier.failovers,
+            missed_writes=self.missed_writes - earlier.missed_writes,
+            replica_bytes=self.replica_bytes - earlier.replica_bytes,
+            rebuild_bytes=self.rebuild_bytes - earlier.rebuild_bytes,
+            rebuilt_objects=self.rebuilt_objects - earlier.rebuilt_objects,
+        )
+
+    def reset(self) -> None:
+        self.degraded_reads = 0
+        self.failovers = 0
+        self.missed_writes = 0
+        self.replica_bytes = 0
+        self.rebuild_bytes = 0
+        self.rebuilt_objects = 0
+
+    def __str__(self) -> str:
+        return (f"degraded={self.degraded_reads} "
+                f"failovers={self.failovers} "
+                f"missed_writes={self.missed_writes} "
+                f"replica_bytes={self.replica_bytes} "
+                f"rebuild_bytes={self.rebuild_bytes} "
+                f"rebuilt={self.rebuilt_objects}")

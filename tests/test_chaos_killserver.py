@@ -1,0 +1,232 @@
+"""Seeded chaos suite: kill an I/O server at every phase of an E3-style
+collective read/write and assert bit-identical recovery.
+
+Each scenario builds a fresh replicated file system, writes a known
+array through the DRX-MP collective path, then arms a seeded
+:class:`FaultPlan` hook that takes one server down the instant a chosen
+``server.kill.*`` fault site is reached — mid-collective, between the
+availability check and the batch, or during rebuild.  With replication
+>= 2 every zone read afterwards must be byte-identical to the fault-free
+run, and ``rebuild_server`` must restore full redundancy
+(``verify_replicas() == []``) without taking the file offline.
+
+The sweep is seeded via ``DRX_FAULT_SEED`` (the CI chaos matrix).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.errors import ServerDownError
+from repro.drx.resilience import FaultPlan, KILL_SITES
+from repro.drxmp import DRXMPFile
+from repro.pfs import ParallelFileSystem
+from repro.workloads import pattern_array
+
+SEED = int(os.environ.get("DRX_FAULT_SEED", "0"))
+
+SHAPE = (32, 32)
+CHUNK = (8, 8)
+NSERVERS = 3
+NPROCS = 2
+NAME = "chaos"
+
+READ_SITES = [
+    "server.kill.collective.entry",
+    "server.kill.collective.read",
+    "server.kill.readv.begin",
+    "server.kill.readv.batch",
+]
+WRITE_SITES = [
+    "server.kill.collective.entry",
+    "server.kill.collective.write",
+    "server.kill.writev.begin",
+    "server.kill.writev.batch",
+]
+
+
+def make_fs(replication=2, nservers=NSERVERS):
+    return ParallelFileSystem(nservers=nservers, stripe_size=512,
+                              replication=replication)
+
+
+def build_array(fs, data):
+    def init(comm):
+        a = DRXMPFile.create(comm, fs, NAME, SHAPE, CHUNK)
+        a.write((0, 0), data)
+        a.close()
+        return True
+
+    assert mpi.mpiexec(1, init) == [True]
+
+
+def collective_read(fs):
+    """Read every rank's zone collectively; reassemble the full array."""
+    def body(comm):
+        a = DRXMPFile.open(comm, fs, NAME)
+        mem = a.read_zone(collective=True)
+        lo, hi = mem.zone.element_box(a.chunk_shape, a.shape)
+        a.close()
+        return (lo, hi, mem.array.copy())
+
+    out = np.full(SHAPE, np.nan)
+    for lo, hi, arr in mpi.mpiexec(NPROCS, body):
+        out[lo[0]:hi[0], lo[1]:hi[1]] = arr
+    return out
+
+
+def collective_write(fs, data):
+    """Every rank collectively writes its zone of ``data``."""
+    def body(comm):
+        a = DRXMPFile.open(comm, fs, NAME, mode="r+")
+        mem = a.read_zone(collective=True)
+        lo, hi = mem.zone.element_box(a.chunk_shape, a.shape)
+        mem.array[...] = data[lo[0]:hi[0], lo[1]:hi[1]]
+        a.write_zone(mem, collective=True)
+        a.close()
+        return True
+
+    assert all(mpi.mpiexec(NPROCS, body))
+
+
+def assert_fully_redundant(fs):
+    for suffix in (".xmd", ".xta"):
+        assert fs.open(NAME + suffix).verify_replicas() == []
+
+
+@pytest.mark.parametrize("victim", range(NSERVERS))
+@pytest.mark.parametrize("site", READ_SITES)
+def test_kill_during_collective_read(site, victim):
+    data = pattern_array(SHAPE)
+    fs = make_fs()
+    build_array(fs, data)
+
+    plan = FaultPlan(seed=SEED).kill_server(fs, victim, site)
+    with plan:
+        got = collective_read(fs)
+    assert np.array_equal(got, data), f"degraded read diverged at {site}"
+    assert not fs.servers[victim].alive, f"hook never fired at {site}"
+
+    # online rebuild restores full redundancy, file stays readable
+    fs.revive_server(victim)
+    fs.rebuild_server(victim)
+    assert_fully_redundant(fs)
+    assert np.array_equal(collective_read(fs), data)
+
+
+@pytest.mark.parametrize("victim", range(NSERVERS))
+@pytest.mark.parametrize("site", WRITE_SITES)
+def test_kill_during_collective_write(site, victim):
+    data = pattern_array(SHAPE)
+    data2 = data * 3.0 + 1.0
+    fs = make_fs()
+    build_array(fs, data)
+
+    plan = FaultPlan(seed=SEED).kill_server(fs, victim, site)
+    with plan:
+        collective_write(fs, data2)
+    assert not fs.servers[victim].alive, f"hook never fired at {site}"
+
+    # every byte of the degraded write landed on a surviving replica
+    assert np.array_equal(collective_read(fs), data2), \
+        f"write lost bytes when server {victim} died at {site}"
+
+    fs.revive_server(victim)
+    fs.rebuild_server(victim)
+    assert_fully_redundant(fs)
+    assert np.array_equal(collective_read(fs), data2)
+
+
+def test_kill_with_wipe_then_rebuild():
+    """Killing with ``wipe=True`` loses the server's disks entirely;
+    rebuild regenerates them from the surviving replica chain."""
+    data = pattern_array(SHAPE)
+    fs = make_fs()
+    build_array(fs, data)
+
+    plan = FaultPlan(seed=SEED).kill_server(
+        fs, 1, "server.kill.collective.read", wipe=True)
+    with plan:
+        got = collective_read(fs)
+    assert np.array_equal(got, data)
+
+    fs.revive_server(1)
+    fs.rebuild_server(1)
+    assert_fully_redundant(fs)
+    assert np.array_equal(collective_read(fs), data)
+
+
+def test_source_dies_during_rebuild():
+    """With replication 3 the rebuild re-selects its partner when the
+    first source dies mid-copy."""
+    data = pattern_array(SHAPE)
+    fs = make_fs(replication=3, nservers=4)
+    build_array(fs, data)
+
+    fs.kill_server(0)
+    fs.revive_server(0)
+    plan = FaultPlan(seed=SEED).kill_server(
+        fs, 1, "server.kill.rebuild.batch", after=1)
+    with plan:
+        fs.rebuild_server(0)
+    assert np.array_equal(collective_read(fs), data)
+
+    fs.revive_server(1)
+    fs.rebuild_server(1)
+    assert_fully_redundant(fs)
+
+
+def test_rebuild_fails_cleanly_when_only_source_dies():
+    """With replication 2 there is exactly one source per object; losing
+    it mid-rebuild surfaces ServerDownError and the file stays readable
+    from whatever replicas remain alive."""
+    data = pattern_array(SHAPE)
+    fs = make_fs(replication=2)
+    build_array(fs, data)
+
+    fs.kill_server(0)
+    fs.revive_server(0)
+    victims = [s.server_id for s in fs.servers if s.server_id != 0]
+    plan = FaultPlan(seed=SEED)
+    for v in victims:
+        plan.kill_server(fs, v, "server.kill.rebuild.batch", after=1)
+    with plan:
+        with pytest.raises(ServerDownError):
+            fs.rebuild_server(0)
+
+
+def test_all_kill_sites_visited():
+    """Coverage: one full replicated lifecycle (scalar I/O, collective
+    read+write, rebuild) reaches every ``server.kill.*`` fault site."""
+    fs = make_fs()
+    plan = FaultPlan(seed=SEED)     # observe-only: no rules, just hits
+    with plan:
+        f = fs.create("cov")
+        f.write(0, bytes(range(256)) * 8)
+        f.read(0, 2048)
+        build_array(fs, pattern_array(SHAPE))
+        collective_write(fs, pattern_array(SHAPE) + 1.0)
+        fs.kill_server(0)
+        fs.revive_server(0)
+        fs.rebuild_server(0)
+    missing = sorted(s for s in KILL_SITES if s not in plan.hits)
+    assert missing == [], f"kill sites never reached: {missing}"
+
+
+def test_unreplicated_paths_skip_kill_sites():
+    """With replication 1 the plain fast path must not consult the
+    replicated fault sites (its behavior and stats are pinned by the
+    legacy tests)."""
+    fs = make_fs(replication=1)
+    plan = FaultPlan(seed=SEED)
+    with plan:
+        f = fs.create("plain")
+        f.write(0, bytes(1024))
+        f.read(0, 1024)
+    assert not any(site.startswith("server.kill.readv") or
+                   site.startswith("server.kill.writev")
+                   for site in plan.hits)

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.errors import CrashError
 from repro.drx import CRASH_SITES, DRXFile, DRXSingleFile, FaultPlan
+from repro.pfs import ParallelFileSystem
 from repro.workloads import pattern_array, random_growth
 
 XMD_SITES = [s for s in CRASH_SITES
@@ -129,6 +130,79 @@ class TestMpoolFlushCrashes:
             with pytest.raises(CrashError):
                 a.flush()
         with DRXFile.open(tmp_path / "m") as b:
+            got = b.read()
+            assert np.array_equal(got, before) or np.array_equal(got, after)
+
+
+class TestPFSBackedCrashes:
+    """The same commit-protocol sweep over PFS-backed containers.
+
+    A DRX file whose byte stores live on the simulated parallel file
+    system passes through the identical ``xmd.commit.*`` and
+    ``mpool.flush.*`` sites (the ``posix.replace.*`` sites belong to the
+    real-file store and never fire here), and must give the same
+    old-or-new guarantee — with and without replication.
+    """
+
+    PFS_SITES = ["xmd.commit.begin", "xmd.commit.end",
+                 "mpool.flush.begin", "mpool.flush.after_writeback"]
+
+    def test_pfs_sites_are_registered(self):
+        assert set(self.PFS_SITES) <= set(CRASH_SITES)
+
+    @pytest.mark.parametrize("replication", [1, 2])
+    @pytest.mark.parametrize("site", PFS_SITES)
+    def test_crash_mid_flush_keeps_array_valid(self, site, replication):
+        """A flush with dirty pages passes through all four sites:
+        the mpool write-back pair, then the meta-data commit pair."""
+        before = pattern_array((4, 4))
+        after = before + 1
+        fs = ParallelFileSystem(nservers=3, stripe_size=512,
+                                replication=replication)
+        a = DRXFile.create_pfs(fs, "m", (4, 4), (2, 2))
+        a.write((0, 0), before)
+        a.flush()                              # state A on the PFS
+        a.write((0, 0), after)                 # dirty pages: state B
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        # the process "died": abandon the handle, reopen from PFS bytes
+        with DRXFile.open_pfs(fs, "m") as b:
+            got = b.read()
+            assert np.array_equal(got, before) or np.array_equal(got, after)
+
+    @pytest.mark.parametrize("site", ["xmd.commit.begin", "xmd.commit.end"])
+    def test_crash_during_extend_leaves_old_or_new_shape(self, site):
+        fs = ParallelFileSystem(nservers=3, stripe_size=512,
+                                replication=2)
+        a = DRXFile.create_pfs(fs, "a", (4, 4), (2, 2))
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()                              # state A: shape (4, 4)
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.extend(0, 2)                 # dies committing state B
+        with DRXFile.open_pfs(fs, "a") as b:
+            assert b.shape in ((4, 4), (6, 4))
+            assert np.array_equal(b.read((0, 0), (4, 4)),
+                                  pattern_array((4, 4)))
+
+    @pytest.mark.parametrize("site", PFS_SITES)
+    def test_crash_then_server_loss_still_recovers(self, site):
+        """Crash mid-commit, then lose a server: with replication 2 the
+        surviving replicas must still present a valid old-or-new array."""
+        before = pattern_array((4, 4))
+        after = before + 1
+        fs = ParallelFileSystem(nservers=3, stripe_size=512,
+                                replication=2)
+        a = DRXFile.create_pfs(fs, "a", (4, 4), (2, 2))
+        a.write((0, 0), before)
+        a.flush()
+        a.write((0, 0), after)
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        fs.kill_server(0)
+        with DRXFile.open_pfs(fs, "a") as b:
             got = b.read()
             assert np.array_equal(got, before) or np.array_equal(got, after)
 
