@@ -403,6 +403,10 @@ class FaultInjector(ByteStore):
         # faults, so the plan is not consulted
         return self._inner.read_alternates(offset, length)
 
+    def repair(self, offset: int, data) -> None:
+        # the heal side of arbitration is equally out of band
+        self._inner.repair(offset, data)
+
     @property
     def size(self) -> int:
         return self._inner.size
@@ -513,6 +517,10 @@ class RetryingByteStore(ByteStore):
         # best-effort by definition — no retry semantics to add
         return self._inner.read_alternates(offset, length)
 
+    def repair(self, offset: int, data) -> None:
+        # best-effort by definition — no retry semantics to add
+        self._inner.repair(offset, data)
+
     @property
     def size(self) -> int:
         return self._inner.size
@@ -572,10 +580,13 @@ class ChecksumGuard:
         committed version.  Each alternate the store can still reach
         (:meth:`~repro.drx.storage.ByteStore.read_alternates`) is
         checked against the stored CRC; the first match is returned —
-        and written back over the bad copy on a best-effort basis, so
-        a later rebuild or scrub sees converged replicas.  With no
-        matching alternate the original :class:`ChecksumError`
-        propagates.
+        and written back over the bad copy on a best-effort basis
+        through the store's out-of-band
+        :meth:`~repro.drx.storage.ByteStore.repair` path (no write
+        stats, no fault injection — this is a read, and the simulator's
+        counters must stay faithful), so a later rebuild or scrub sees
+        converged replicas.  With no matching alternate the original
+        :class:`ChecksumError` propagates.
 
         Returns the verified bytes (``data`` itself when it checked
         out, the arbitrated copy otherwise).
@@ -587,12 +598,13 @@ class ChecksumGuard:
             if store is None or offset is None or length is None:
                 raise
             want = self.crcs.get(int(address))
+            heal = getattr(store, "repair", None) or store.write
             for alt in store.read_alternates(offset, length):
                 if chunk_crc(alt) != want:
                     continue
                 self.arbitrated += 1
                 try:                     # heal the divergent copy
-                    store.write(offset, alt)
+                    heal(offset, alt)
                 except Exception:
                     pass                 # degraded but readable is fine
                 return alt

@@ -184,6 +184,20 @@ class ByteStore:
         """
         return []
 
+    def repair(self, offset: int, data) -> None:
+        """Write back arbitrated bytes *out of band* — the heal side of
+        :meth:`read_alternates`.
+
+        Arbitration happens on a logical read, so healing the losing
+        replica must not skew write counters or trip injected write
+        faults; replicated stores override this with a path that
+        bypasses both (:class:`PFSByteStore` patches the server objects
+        directly), and the resilience decorators forward it untouched.
+        The fallback is a plain :meth:`write` — only reachable by
+        direct callers, since single-copy stores never arbitrate.
+        """
+        self.write(offset, data)
+
     @property
     def size(self) -> int:
         raise NotImplementedError
@@ -393,6 +407,12 @@ class PFSByteStore(ByteStore):
                 continue
             out.append(data)
         return out
+
+    def repair(self, offset: int, data) -> None:
+        """Heal a byte range on every reachable replica out of band —
+        no store stats, no server stats, no fault plan (see
+        :meth:`PFSFile.repair <repro.pfs.pfile.PFSFile.repair>`)."""
+        self._pfile.repair(offset, bytes(data))
 
     @property
     def size(self) -> int:

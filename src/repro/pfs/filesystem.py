@@ -83,9 +83,9 @@ class ParallelFileSystem:
 
     def delete(self, name: str) -> None:
         with self._lock:
-            f = self._files.pop(name, None)
-            if f is None:
+            if name not in self._files:
                 raise PFSError(f"no such file: {name!r}")
+            first_error: PFSError | None = None
             for copy in range(self.replication):
                 obj = replica_object_name(name, copy)
                 for s in self.servers:
@@ -95,6 +95,16 @@ class ParallelFileSystem:
                         # a dead server's orphan objects are dropped by
                         # rebuild_server when it comes back
                         continue
+                    except PFSError as exc:
+                        # transient fault: keep sweeping the remaining
+                        # servers, then surface the error with the file
+                        # still in the namespace — a retried delete()
+                        # finishes the job (delete_object is idempotent)
+                        if first_error is None:
+                            first_error = exc
+            if first_error is not None:
+                raise first_error
+            del self._files[name]
 
     def listdir(self) -> list[str]:
         return sorted(self._files)
@@ -119,28 +129,41 @@ class ParallelFileSystem:
         since-deleted files, then clear the server's stale flag.
         Returns the total simulated copy time.  Files stay readable and
         writable throughout (the per-file lock is held only per copy
-        batch)."""
+        batch), and files *created* during the rebuild are picked up in
+        a follow-up pass: the orphan sweep and the stale-flag clear run
+        under the namespace lock only once no unrebuilt file remains,
+        so a freshly created file can neither lose its objects to the
+        sweep nor slip past the rebuild."""
         srv = self._server(sid)
         if not srv.alive:
             raise ServerDownError(
                 f"cannot rebuild server {sid}: it is down (revive first)")
         total = 0.0
-        with self._lock:
-            files = list(self._files.values())
-            live_objects = {
-                replica_object_name(name, copy)
-                for name in self._files
-                for copy in range(self.replication)
-            }
-        for f in files:
-            if batch_bytes is None:
-                total += f.rebuild(sid)
-            else:
-                total += f.rebuild(sid, batch_bytes)
-        for obj in [o for o in list(srv._objects) if o not in live_objects]:
-            srv.delete_object(obj)
-        srv.mark_rebuilt()
-        return total
+        done: dict[int, PFSFile] = {}     # id -> file (ref pins the id)
+        while True:
+            with self._lock:
+                pending = [f for f in self._files.values()
+                           if id(f) not in done]
+                if not pending:
+                    # holding the lock: no create() can add a file
+                    # between this check, the orphan sweep, and the
+                    # stale-flag clear
+                    live_objects = {
+                        replica_object_name(name, copy)
+                        for name in self._files
+                        for copy in range(self.replication)
+                    }
+                    for obj in [o for o in list(srv._objects)
+                                if o not in live_objects]:
+                        srv.delete_object(obj)
+                    srv.mark_rebuilt()
+                    return total
+            for f in pending:
+                done[id(f)] = f
+                if batch_bytes is None:
+                    total += f.rebuild(sid)
+                else:
+                    total += f.rebuild(sid, batch_bytes)
 
     def _server(self, sid: int) -> IOServer:
         if not 0 <= sid < len(self.servers):

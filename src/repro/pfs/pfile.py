@@ -12,13 +12,18 @@ measures.
 When the layout is a :class:`~repro.pfs.replication.ReplicaLayout` with
 ``replication > 1`` the file becomes server-failure tolerant:
 
-* writes fan out to every replica copy (skipping down/stale servers and
-  recording the redundancy debt in :class:`~repro.pfs.stats.ReplicaStats`),
+* writes fan out to every replica copy — *through* to stale servers,
+  skipping only dead ones (and wiped ones whose objects a rebuild has
+  yet to recreate), with the redundancy debt recorded in
+  :class:`~repro.pfs.stats.ReplicaStats`,
 * reads prefer the primary copy but *fail over* per stripe to the next
-  live replica when a server is down, suspect, or errors mid-call,
+  live replica when a server is down, stale, suspect, or errors
+  mid-call,
 * an online :meth:`rebuild` re-replicates a revived or replacement
   server's objects in coalesced batches, holding the file lock only per
-  batch so reads and writes interleave freely.
+  batch so reads and writes interleave freely — safe because concurrent
+  writes reach the stale target directly (write-through) while the
+  rebuild replays everything older from a partner copy.
 
 With ``replication == 1`` every operation takes the exact historical
 code path — identical bytes, identical stats — so the default
@@ -226,10 +231,15 @@ class PFSFile:
     def writev(self, extents: list[Extent], data: bytes) -> float:
         """Write ``data`` into the given byte extents, in order.
 
-        Replicated layouts fan the write out to every copy; down or
-        stale servers are skipped (and counted as ``missed_writes`` —
-        the debt a later rebuild repays), but every piece must land on
-        at least one copy or :class:`ServerDownError` is raised.
+        Replicated layouts fan the write out to every copy.  Dead
+        servers — and wiped-then-revived ones whose objects a rebuild
+        has yet to recreate — are skipped and counted as
+        ``missed_writes`` (the debt a later rebuild repays); merely
+        *stale* servers receive the write too (write-through, counted
+        as ``write_through``), which is what makes writes safe to
+        interleave with an online rebuild.  Every piece must land on at
+        least one *readable* copy or :class:`ServerDownError` is
+        raised.
         """
         total = sum(n for _o, n in extents)
         if total != len(data):
@@ -280,7 +290,9 @@ class PFSFile:
                 srv = self.servers[sid]
                 for _srv_off, log_off, _ln in reqs:
                     landed.setdefault(log_off, 0)
-                if not srv.available:
+                if not srv.alive or (srv.stale and not srv.has_object(obj)):
+                    # dead — or wiped-then-revived with the object still
+                    # missing: rebuild recreates it and repays the debt
                     self.rstats.missed_writes += len(reqs)
                     continue
                 batch: list[tuple[int, bytes]] = []
@@ -293,24 +305,32 @@ class PFSFile:
                 try:
                     t = srv.write_batch(obj, batch)
                 except ServerDownError:
-                    # killed between the availability check and the batch
+                    # killed between the liveness check and the batch
                     # (e.g. by a chaos hook at the crash point above)
                     self.rstats.missed_writes += len(reqs)
                     continue
                 # any other PFSError propagates: a reachable server that
                 # refuses a write is a transient fault the retry layers
                 # must re-issue (the fan-out is idempotent), not a
-                # silently tolerable replica skip
+                # silently tolerable replica skip — stale write-through
+                # included, else a batch lost after its region was
+                # rebuilt would go unnoticed
                 elapsed_by_server[sid] = elapsed_by_server.get(sid, 0.0) + t
-                for _srv_off, log_off, _ln in reqs:
-                    landed[log_off] += 1
+                if srv.available:
+                    for _srv_off, log_off, _ln in reqs:
+                        landed[log_off] += 1
+                else:
+                    # write-through to a stale server: the bytes are
+                    # down, but nobody may read them until rebuild —
+                    # they don't count toward durability
+                    self.rstats.write_through += len(reqs)
                 if copy:
                     self.rstats.replica_bytes += nbytes
         orphans = [off for off, n in landed.items() if n == 0]
         if orphans:
             raise ServerDownError(
-                f"file {self.name!r}: write lost — no live replica for "
-                f"pieces at offsets {sorted(orphans)[:4]}"
+                f"file {self.name!r}: write lost — no readable replica "
+                f"for pieces at offsets {sorted(orphans)[:4]}"
                 f"{'...' if len(orphans) > 4 else ''}")
         elapsed = max(elapsed_by_server.values(), default=0.0)
         self._size = max(self._size,
@@ -405,6 +425,13 @@ class PFSFile:
         (:meth:`~repro.pfs.replication.ReplicaLayout.partner_server`),
         so rebuild is a plain coalesced object copy — no stripe-by-
         stripe bookkeeping.
+
+        Concurrent writes cannot be lost: the fan-out writes *through*
+        to the stale target, and both the partner read and the target
+        write of one batch happen under the file lock.  A write before
+        a region's batch is captured by the partner copy; a write after
+        it lands on the target directly (file extension past the extent
+        captured at pass start included).
         """
         if self.replication == 1:
             # no redundancy to restore; writes during the outage failed
@@ -464,6 +491,41 @@ class PFSFile:
             if self.servers[src_sid].available:
                 return src_copy, src_sid
         return None
+
+    def repair(self, offset: int, data: bytes) -> None:
+        """Overwrite the byte range on every reachable replica copy
+        *out of band* — no stats, no simulated cost, no fault plan
+        (:meth:`IOServer.patch <repro.pfs.server.IOServer.patch>`).
+
+        The CRC-arbitration write-back path: healing a diverging copy
+        happens on a logical *read*, so it must not perturb the write
+        counters or injected-fault schedules the simulator promises to
+        keep faithful.  Unreachable or stale copies are skipped (best
+        effort; a rebuild restores them wholesale).
+        """
+        if not data:
+            return
+        data = bytes(data)
+        extent = [(offset, len(data))]
+        with self._lock:
+            for copy in range(self.replication):
+                obj = replica_object_name(self.name, copy)
+                if self.replication == 1:
+                    per_server = self.layout.split_extents(extent)
+                else:
+                    layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+                    per_server = layout.split_extents_copy(extent, copy)
+                for sid, reqs in enumerate(per_server):
+                    srv = self.servers[sid]
+                    if not reqs or not srv.available:
+                        continue
+                    for srv_off, log_off, ln in reqs:
+                        start = log_off - offset
+                        try:
+                            srv.patch(obj, srv_off,
+                                      data[start:start + ln])
+                        except PFSError:
+                            continue
 
     def verify_replicas(self) -> list[tuple[int, int, int]]:
         """Byte-compare every copy object against its primary-copy

@@ -11,9 +11,13 @@ DRX data file relies on when a segment is materialized lazily).
 Failure model.  A server can be *killed* (``alive = False``): every
 request then raises :class:`~repro.core.errors.ServerDownError` until
 ``revive()``.  A revived server is *stale* — its bytes may predate
-writes it missed — and stays excluded from both reads and writes until
-an online rebuild re-replicates its objects and calls
-``mark_rebuilt()``.  Independently, a lightweight failure detector
+writes it missed — and serves no reads until an online rebuild
+re-replicates its objects and calls ``mark_rebuilt()``.  Writes,
+however, are *written through* to a stale server: replicated writers
+keep fanning out to it so a byte written while the rebuild is in
+flight can never be lost (the rebuild re-copies everything an absent
+server missed, and write-through covers everything newer).
+Independently, a lightweight failure detector
 counts consecutive errored requests (injected faults included); at
 ``suspect_threshold`` the server is marked *suspect*, which replicated
 readers use as an advisory hint to prefer another replica.  One success
@@ -54,7 +58,8 @@ class IOServer:
         #: False once killed; every request then raises ServerDownError
         self.alive = True
         #: True after revive until rebuild: bytes may miss writes, so the
-        #: server serves nothing until re-replicated
+        #: server serves no reads until re-replicated (writes are still
+        #: accepted — the write-through that makes online rebuild safe)
         self.stale = False
         #: advisory failure-detector verdict (replicated readers prefer
         #: another replica; never consulted on the unreplicated path)
@@ -76,8 +81,9 @@ class IOServer:
             self._head.clear()
 
     def revive(self) -> None:
-        """Bring a killed server back, *stale*: it serves nothing until
-        an online rebuild re-replicates its objects."""
+        """Bring a killed server back, *stale*: it serves no reads (but
+        accepts write-through) until an online rebuild re-replicates
+        its objects."""
         if self.alive:
             return
         self.alive = True
@@ -93,7 +99,8 @@ class IOServer:
 
     @property
     def available(self) -> bool:
-        """Whether the server may serve reads and writes at all."""
+        """Whether the server may serve *reads* (alive and not stale).
+        Writes only require ``alive`` — see write-through above."""
         return self.alive and not self.stale
 
     # ------------------------------------------------------------------
@@ -213,9 +220,14 @@ class IOServer:
         avail = bytes(store[offset:min(end, len(store))])
         return avail + b"\x00" * (length - len(avail))
 
-    def corrupt(self, name: str, offset: int, data: bytes) -> None:
-        """Silently overwrite object bytes (torn-write simulation for
-        CRC-arbitration tests); no stats, no fault plan."""
+    def patch(self, name: str, offset: int, data: bytes) -> None:
+        """Overwrite object bytes out of band — no stats, no cost, no
+        fault plan.  The write-side twin of :meth:`peek`: replica
+        arbitration heals a diverging copy through it so a logical
+        *read* never perturbs write counters or injected-fault
+        schedules.  Raises on a missing object (callers pick which
+        copies to touch); stale servers are patchable (a later rebuild
+        overwrites them wholesale anyway)."""
         store = self._objects.get(name)
         if store is None:
             raise PFSError(
@@ -224,6 +236,12 @@ class IOServer:
         if end > len(store):
             store.extend(b"\x00" * (end - len(store)))
         store[offset:end] = data
+
+    def corrupt(self, name: str, offset: int, data: bytes) -> None:
+        """Silently overwrite object bytes (torn-write simulation for
+        CRC-arbitration tests) — :meth:`patch` under its chaos-test
+        name."""
+        self.patch(name, offset, data)
 
     # ------------------------------------------------------------------
     def _require(self, name: str) -> bytearray:

@@ -96,9 +96,14 @@ class ReplicaStats:
     degraded_reads: int = 0
     #: read batches re-issued to another replica after a server error
     failovers: int = 0
-    #: replica copies skipped on write because their server was down or
-    #: stale (the redundancy debt ``rebuild()`` repays)
+    #: replica copies skipped on write because their server was down
+    #: (or wiped and not yet rebuilt) — the redundancy debt
+    #: ``rebuild()`` repays
     missed_writes: int = 0
+    #: replica pieces written through to a stale (revived, not yet
+    #: rebuilt) server — the write-through that lets writes interleave
+    #: with an online rebuild without losing bytes
+    write_through: int = 0
     #: bytes written to replica copies beyond the primary (fan-out cost)
     replica_bytes: int = 0
     #: bytes copied between servers by online rebuilds
@@ -111,6 +116,7 @@ class ReplicaStats:
         self.degraded_reads += other.degraded_reads
         self.failovers += other.failovers
         self.missed_writes += other.missed_writes
+        self.write_through += other.write_through
         self.replica_bytes += other.replica_bytes
         self.rebuild_bytes += other.rebuild_bytes
         self.rebuilt_objects += other.rebuilt_objects
@@ -121,6 +127,7 @@ class ReplicaStats:
             degraded_reads=self.degraded_reads,
             failovers=self.failovers,
             missed_writes=self.missed_writes,
+            write_through=self.write_through,
             replica_bytes=self.replica_bytes,
             rebuild_bytes=self.rebuild_bytes,
             rebuilt_objects=self.rebuilt_objects,
@@ -132,6 +139,7 @@ class ReplicaStats:
             degraded_reads=self.degraded_reads - earlier.degraded_reads,
             failovers=self.failovers - earlier.failovers,
             missed_writes=self.missed_writes - earlier.missed_writes,
+            write_through=self.write_through - earlier.write_through,
             replica_bytes=self.replica_bytes - earlier.replica_bytes,
             rebuild_bytes=self.rebuild_bytes - earlier.rebuild_bytes,
             rebuilt_objects=self.rebuilt_objects - earlier.rebuilt_objects,
@@ -141,6 +149,7 @@ class ReplicaStats:
         self.degraded_reads = 0
         self.failovers = 0
         self.missed_writes = 0
+        self.write_through = 0
         self.replica_bytes = 0
         self.rebuild_bytes = 0
         self.rebuilt_objects = 0
@@ -149,6 +158,7 @@ class ReplicaStats:
         return (f"degraded={self.degraded_reads} "
                 f"failovers={self.failovers} "
                 f"missed_writes={self.missed_writes} "
+                f"write_through={self.write_through} "
                 f"replica_bytes={self.replica_bytes} "
                 f"rebuild_bytes={self.rebuild_bytes} "
                 f"rebuilt={self.rebuilt_objects}")

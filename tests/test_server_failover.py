@@ -301,6 +301,95 @@ class TestRebuild:
         assert not fs.servers[0].has_object(replica_object_name("doomed", 1))
         assert fs.servers[0].has_object("keeper")
 
+    def test_stale_server_accepts_writes(self):
+        # stale = no reads until rebuilt, but writes go through — the
+        # invariant that keeps online rebuild from losing bytes
+        fs = make_fs(replication=2)
+        f = fs.create("a")
+        f.write(0, pattern(300))
+        fs.kill_server(1)
+        fs.revive_server(1)
+        before = fs.replica_stats().missed_writes
+        f.write(0, pattern(300, salt=1))
+        rs = fs.replica_stats()
+        assert rs.missed_writes == before       # nothing was skipped
+        assert rs.write_through > 0             # it landed on the stale one
+        assert not fs.servers[1].available      # reads still excluded
+        assert f.read(0, 300) == pattern(300, salt=1)
+        fs.rebuild_server(1)
+        assert f.verify_replicas() == []
+
+    def test_wiped_stale_server_counts_missed_writes(self):
+        # a wiped replacement has no objects to write through to until
+        # rebuild recreates them: those writes stay missed-write debt
+        fs = make_fs(replication=2)
+        f = fs.create("a")
+        f.write(0, pattern(300))
+        fs.kill_server(1, wipe=True)
+        fs.revive_server(1)
+        before = fs.replica_stats().missed_writes
+        f.write(0, pattern(300, salt=1))
+        assert fs.replica_stats().missed_writes > before
+        fs.rebuild_server(1)
+        assert f.verify_replicas() == []
+        assert f.read(0, 300) == pattern(300, salt=1)
+
+    def test_writes_during_rebuild_reach_target(self):
+        # the lost-write scenarios: a write into a region the rebuild
+        # already copied, and writes extending the file past the extent
+        # captured at pass start — both must be on the target when the
+        # stale flag clears
+        fs = make_fs(replication=2)
+        base = pattern(20 * 64)
+        f = fs.create("a")
+        f.write(0, base)
+        fs.kill_server(1)
+        fs.revive_server(1)
+        expect = bytearray(base)
+        i = 0
+        for _t in f.rebuild_steps(1, batch_bytes=64):
+            f.write(0, pattern(64, salt=3))            # already-copied region
+            expect[0:64] = pattern(64, salt=3)
+            tail = pattern(64, salt=10 + i)            # extension write
+            f.write(len(expect), tail)
+            expect += tail
+            i += 1
+        assert i > 1
+        fs.servers[1].mark_rebuilt()
+        assert f.verify_replicas() == []
+        assert f.read(0, len(expect)) == bytes(expect)
+        # and the rebuilt server really serves those bytes: lose the
+        # other replica of stripe 0 and read degraded
+        fs.kill_server(0)
+        assert f.read(0, len(expect)) == bytes(expect)
+
+    def test_create_during_rebuild_survives_sweep(self):
+        # a file created mid-rebuild must neither lose its objects to
+        # the orphan sweep nor be skipped by the rebuild
+        fs = make_fs(replication=2)
+        f = fs.create("a")
+        f.write(0, pattern(10 * 64))
+        fs.kill_server(1)
+        fs.revive_server(1)
+        created = {}
+
+        def mk():
+            g = fs.create("late")
+            g.write(0, pattern(128, salt=5))
+            created["late"] = g
+
+        plan = FaultPlan(seed=SEED).hook("server.kill.rebuild.batch", mk)
+        with plan:
+            fs.rebuild_server(1, batch_bytes=64)
+        assert fs.servers[1].available
+        g = created["late"]
+        assert fs.servers[1].has_object("late")
+        assert fs.servers[1].has_object(replica_object_name("late", 1))
+        assert g.verify_replicas() == []
+        assert f.verify_replicas() == []
+        g.write(0, pattern(128, salt=6))   # no "no object" on the target
+        assert g.read(0, 128) == pattern(128, salt=6)
+
     def test_replication_three_tolerates_two_failures(self):
         fs = make_fs(nservers=4, replication=3)
         f = fs.create("a")
@@ -314,6 +403,30 @@ class TestRebuild:
         fs.revive_server(3)
         fs.rebuild_server(3)
         assert f.verify_replicas() == []
+
+
+# ---------------------------------------------------------------------------
+# namespace operations under faults
+# ---------------------------------------------------------------------------
+
+class TestNamespaceFaults:
+    def test_delete_fault_keeps_namespace_consistent(self):
+        # an injected fault mid-delete must not strand replica objects
+        # behind an already-removed namespace entry: the file stays in
+        # the namespace and a retried delete finishes the job
+        fs = make_fs(replication=2)
+        fs.create("a").write(0, pattern(300))
+        plan = FaultPlan(seed=SEED).fail("server.delete", times=1)
+        for s in fs.servers:
+            s.fault_plan = plan
+        with pytest.raises(PFSError):
+            fs.delete("a")
+        assert fs.exists("a")
+        fs.delete("a")                    # per-server deletes are idempotent
+        assert not fs.exists("a")
+        for s in fs.servers:
+            assert not s.has_object("a")
+            assert not s.has_object(replica_object_name("a", 1))
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +466,46 @@ class TestArbitration:
         assert bytes(healed) == good
         assert guard.arbitrated == 1
         # the heal wrote the good bytes back over the bad copy
+        assert store.read(0, 64) == good
+        assert f.verify_replicas() == []
+
+    def test_arbitration_heal_is_out_of_band(self):
+        # healing happens on a logical read: it must not move any write
+        # counter, at the store or at the servers
+        fs = make_fs(nservers=3, stripe=64, replication=2)
+        f = fs.create("a")
+        good = pattern(64)
+        f.write(0, good)
+        store = PFSByteStore(f)
+        guard = ChecksumGuard({0: chunk_crc(good)})
+        fs.servers[0].corrupt("a", 0, b"\xff" * 64)
+        bad = store.read(0, 64)
+        srv_writes = [s.stats.write_requests for s in fs.servers]
+        store_writes = store.stats.writes
+        replica_bytes = f.rstats.replica_bytes
+        healed = guard.check_or_arbitrate(0, bad, store, 0, 64)
+        assert bytes(healed) == good
+        assert store.read(0, 64) == good                     # healed
+        assert [s.stats.write_requests for s in fs.servers] == srv_writes
+        assert store.stats.writes == store_writes
+        assert f.rstats.replica_bytes == replica_bytes
+
+    def test_arbitration_heal_skips_fault_injection(self):
+        # an armed write-fault rule must not fire on (or be consumed
+        # by) the heal write-back
+        from repro.drx.resilience import FaultInjector
+        fs = make_fs(nservers=3, stripe=64, replication=2)
+        f = fs.create("a")
+        good = pattern(64)
+        f.write(0, good)
+        plan = FaultPlan(seed=SEED).fail("write", times=None)
+        store = FaultInjector(PFSByteStore(f), plan)
+        guard = ChecksumGuard({0: chunk_crc(good)})
+        fs.servers[0].corrupt("a", 0, b"\xff" * 64)
+        healed = guard.check_or_arbitrate(0, store.read(0, 64),
+                                          store, 0, 64)
+        assert bytes(healed) == good
+        assert plan.injected.get("write", 0) == 0
         assert store.read(0, 64) == good
         assert f.verify_replicas() == []
 
