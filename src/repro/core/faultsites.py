@@ -28,8 +28,8 @@ from __future__ import annotations
 
 from typing import Protocol
 
-__all__ = ["crash_point", "activate", "deactivate", "CRASH_SITES",
-           "KILL_SITES", "ALL_SITES"]
+__all__ = ["crash_point", "activate", "deactivate", "any_active",
+           "CRASH_SITES", "KILL_SITES", "ALL_SITES"]
 
 
 #: Every named crash site, with the on-disk state a crash there leaves.
@@ -120,6 +120,18 @@ def crash_point(site: str) -> None:
         return
     for plan in list(_ACTIVE):
         plan.note_site(site)
+
+
+def any_active() -> bool:
+    """Whether any fault plan is currently observing sites.
+
+    The concurrency layers consult this before going parallel: fault
+    schedules are op-count ordered, so while a plan is armed every wired
+    path (per-server dispatch, read-ahead, write-behind, streaming
+    pipelines) falls back to its serial order to keep injected faults
+    and kill sites firing deterministically.
+    """
+    return bool(_ACTIVE)
 
 
 def activate(plan: _Plan) -> None:

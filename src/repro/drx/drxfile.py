@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core import faultsites
 from ..core.chunking import box_shape, chunk_of, validate_box
 from ..core.errors import (
     DRXClosedError,
@@ -42,6 +43,7 @@ from ..core.errors import (
     DRXFileNotFoundError,
     DRXIndexError,
 )
+from ..core.executor import IOExecutor, resolve_executor
 from ..core.hyperslab import Hyperslab
 from ..core.metadata import DRXMeta, DRXType
 from .faultpoints import crash_point
@@ -75,7 +77,8 @@ class DRXFile:
 
     def __init__(self, meta: DRXMeta, data_store: ByteStore,
                  meta_store: ByteStore | None, writable: bool,
-                 cache_pages: int = 64, coalesce: bool = True) -> None:
+                 cache_pages: int = 64, coalesce: bool = True,
+                 executor: "IOExecutor | None | str" = "auto") -> None:
         self.meta = meta
         self._data = data_store
         self._meta_store = meta_store
@@ -85,9 +88,16 @@ class DRXFile:
         # streaming paths below.
         self._guard = None if meta.chunk_crcs is None \
             else ChecksumGuard(meta.chunk_crcs)
+        # background executor for Mpool read-ahead / write-behind and
+        # the streaming pipelines; ``"auto"`` = the process-wide
+        # ``drx``-tier pool sized by ``DRX_EXECUTOR_THREADS``.  Stores
+        # whose fault schedules depend on exact op order run serial.
+        self._executor = resolve_executor(executor, tier="drx")
+        if getattr(data_store, "deterministic_only", False):
+            self._executor = None
         self._pool = Mpool(data_store, meta.chunk_nbytes,
                            max_pages=max(1, cache_pages),
-                           guard=self._guard)
+                           guard=self._guard, executor=self._executor)
         self._coalesce = coalesce
         self._closed = False
 
@@ -101,7 +111,8 @@ class DRXFile:
                overwrite: bool = False, cache_pages: int = 64,
                fill: float | int | complex = 0,
                coalesce: bool = True, checksums: bool = False,
-               store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+               store_wrapper: StoreWrapper | None = None,
+               executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Create a new extendible array file.
 
         ``path`` is the array name without suffix (``None`` creates a
@@ -131,7 +142,8 @@ class DRXFile:
             if meta_store is not None:
                 meta_store = store_wrapper(meta_store, "meta")
         obj = cls(meta, data, meta_store, writable=True,
-                  cache_pages=cache_pages, coalesce=coalesce)
+                  cache_pages=cache_pages, coalesce=coalesce,
+                  executor=executor)
         if fill != 0:
             obj._fill_chunks(range(meta.num_chunks), fill)
         obj._persist_meta()
@@ -140,7 +152,8 @@ class DRXFile:
     @classmethod
     def open(cls, path: str | pathlib.Path, mode: str = "r",
              cache_pages: int = 64, coalesce: bool = True,
-             store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+             store_wrapper: StoreWrapper | None = None,
+             executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Open an existing array file (``mode`` is ``"r"`` or ``"r+"``).
 
         The paper: "The file must exist otherwise it returns an error."
@@ -162,7 +175,8 @@ class DRXFile:
             data = store_wrapper(data, "data")
             meta_store = store_wrapper(meta_store, "meta")
         return cls(meta, data, meta_store, writable=(mode == "r+"),
-                   cache_pages=cache_pages, coalesce=coalesce)
+                   cache_pages=cache_pages, coalesce=coalesce,
+                   executor=executor)
 
     @classmethod
     def create_pfs(cls, fs, name: str,
@@ -170,7 +184,8 @@ class DRXFile:
                    dtype: str | np.dtype | type = DRXType.DOUBLE,
                    cache_pages: int = 64, fill: float | int | complex = 0,
                    coalesce: bool = True, checksums: bool = False,
-                   store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+                   store_wrapper: StoreWrapper | None = None,
+                   executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Create an array backed by a simulated parallel file system.
 
         The ``.xmd`` / ``.xta`` pair becomes two striped PFS files in
@@ -189,7 +204,8 @@ class DRXFile:
             data = store_wrapper(data, "data")
             meta_store = store_wrapper(meta_store, "meta")
         obj = cls(meta, data, meta_store, writable=True,
-                  cache_pages=cache_pages, coalesce=coalesce)
+                  cache_pages=cache_pages, coalesce=coalesce,
+                  executor=executor)
         if fill != 0:
             obj._fill_chunks(range(meta.num_chunks), fill)
         obj._persist_meta()
@@ -198,7 +214,8 @@ class DRXFile:
     @classmethod
     def open_pfs(cls, fs, name: str, mode: str = "r",
                  cache_pages: int = 64, coalesce: bool = True,
-                 store_wrapper: StoreWrapper | None = None) -> "DRXFile":
+                 store_wrapper: StoreWrapper | None = None,
+                 executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Open a PFS-backed array created by :meth:`create_pfs`."""
         if mode not in ("r", "r+"):
             raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
@@ -210,7 +227,8 @@ class DRXFile:
             data = store_wrapper(data, "data")
             meta_store = store_wrapper(meta_store, "meta")
         return cls(meta, data, meta_store, writable=(mode == "r+"),
-                   cache_pages=cache_pages, coalesce=coalesce)
+                   cache_pages=cache_pages, coalesce=coalesce,
+                   executor=executor)
 
     def close(self) -> None:
         """Flush and close both files (idempotent)."""
@@ -524,17 +542,48 @@ class DRXFile:
                 self._pool.put_many(addrs)
 
     def _read_streaming(self, plan: IOPlan, out: np.ndarray) -> None:
-        """Move whole runs with one vectored read, bypassing the pool.
+        """Move whole runs with vectored reads, bypassing the pool.
 
         Dirty cached pages shadow the file, so their buffers are used in
         place of the freshly read bytes (coherence with unflushed
         writes); clean cached pages are byte-identical to the file.
+        Pending background write-backs are drained first — a streamed
+        read must not observe the store before an already-submitted
+        write-back lands.
+
+        With an executor the runs become a double-buffered pipeline: run
+        ``i+1`` is read in the background while run ``i`` scatters into
+        ``out``.  The serial path (no executor, a single run, or armed
+        fault machinery) keeps the historical one-``readv`` shape.
         """
         cs = self.chunk_shape
         nb = self.meta.chunk_nbytes
-        blob = memoryview(self._data.readv(plan.byte_extents()))
+        self._pool.drain_writebehind()
+        extents = plan.byte_extents()
+        ex = self._executor
+        if ex is None or len(extents) <= 1 or faultsites.any_active():
+            blob = memoryview(self._data.readv(extents))
+            self._scatter_run(plan.visits, blob, out)
+            return
+        visits = plan.visits
+        vpos = 0
+        fut = ex.submit(self._data.readv, [extents[0]])
+        for i, (_off, length) in enumerate(extents):
+            blob = memoryview(ex.result(fut))
+            if i + 1 < len(extents):
+                fut = ex.submit(self._data.readv, [extents[i + 1]])
+            count = length // nb
+            self._scatter_run(visits[vpos:vpos + count], blob, out)
+            vpos += count
+
+    def _scatter_run(self, visits, blob: memoryview,
+                     out: np.ndarray) -> None:
+        """Scatter one streamed blob (``visits`` in blob order) into
+        ``out``, shadowing dirty cached pages and verifying checksums."""
+        cs = self.chunk_shape
+        nb = self.meta.chunk_nbytes
         pos = 0
-        for v in plan.visits:           # visit order == blob order
+        for v in visits:
             cached = self._pool.peek_dirty(v.address)
             if cached is not None:
                 arr = cached.view(self.dtype).reshape(cs)
@@ -579,28 +628,66 @@ class DRXFile:
         Partially covered (edge) chunks still read-modify-write through
         the pool, in capacity-sized batches.  Cached copies of streamed
         chunks are refreshed in place so the pool cannot later resurface
-        (or write back) stale bytes.
+        (or write back) stale bytes; pending background write-backs are
+        drained first (an in-flight write-back must not land *after*
+        this write) and pending read-aheads are invalidated (one could
+        have captured pre-write bytes).
+
+        With an executor the full-chunk runs pipeline: while run ``i``'s
+        ``writev`` is in flight, run ``i+1``'s payload is gathered and
+        its checksums recorded — at most one store write in flight, so
+        write ordering is preserved.
         """
         nb = self.meta.chunk_nbytes
         full = [v for v in plan.visits if v.full]
         partial = [v for v in plan.visits if not v.full]
+        self._pool.drain_writebehind()
+        self._pool.discard_prefetch()
         if full:
             starts, counts = coalesce_addresses(
                 np.asarray([v.address for v in full], dtype=np.int64))
             extents = [(int(s) * nb, int(c) * nb)
                        for s, c in zip(starts, counts)]
-            payload = bytearray()
-            for v in full:
-                raw = np.ascontiguousarray(values[v.box_slices]).tobytes()
-                self._pool.refresh(v.address, raw)
-                payload += raw
-            self._data.writev(extents, payload)
-            if self._guard is not None:
-                pos = 0
-                nbv = memoryview(payload)
+            ex = self._executor
+            if ex is None or len(extents) <= 1 or faultsites.any_active():
+                payload = bytearray()
                 for v in full:
-                    self._guard.record(v.address, nbv[pos:pos + nb])
-                    pos += nb
+                    raw = np.ascontiguousarray(
+                        values[v.box_slices]).tobytes()
+                    self._pool.refresh(v.address, raw)
+                    payload += raw
+                self._data.writev(extents, payload)
+                if self._guard is not None:
+                    pos = 0
+                    nbv = memoryview(payload)
+                    for v in full:
+                        self._guard.record(v.address, nbv[pos:pos + nb])
+                        pos += nb
+            else:
+                vpos = 0
+                pending = None
+                for off, length in extents:
+                    count = length // nb
+                    run = full[vpos:vpos + count]
+                    vpos += count
+                    payload = bytearray()
+                    for v in run:
+                        raw = np.ascontiguousarray(
+                            values[v.box_slices]).tobytes()
+                        self._pool.refresh(v.address, raw)
+                        payload += raw
+                    if self._guard is not None:
+                        pos = 0
+                        nbv = memoryview(payload)
+                        for v in run:
+                            self._guard.record(v.address,
+                                               nbv[pos:pos + nb])
+                            pos += nb
+                    if pending is not None:
+                        ex.result(pending)
+                    pending = ex.submit(self._data.writev,
+                                        [(off, length)], bytes(payload))
+                ex.result(pending)
         for i in range(0, len(partial), self._pool.max_pages):
             batch = partial[i:i + self._pool.max_pages]
             addrs = [v.address for v in batch]

@@ -21,16 +21,46 @@ file) with the classic Mpool discipline:
 Hit/miss/eviction/write-back counters feed experiment E7 (cache size vs
 locality sweeps); the ``syscalls``/``coalesced_runs`` counters quantify
 how much run coalescing compresses the pool's store traffic.
+
+Concurrency (optional, off unless an executor is attached):
+
+* **Thread safety.**  Every public entry point runs under one reentrant
+  lock, so the pool can be shared between the MPI-as-threads ranks and
+  the executor's background tasks.
+* **Read-ahead.**  An access-pattern detector watches ``get`` (scalar
+  stride) and ``get_many`` (repeated batch stride, the shape DRX plan
+  execution produces).  Once a stride repeats, the predicted next pages
+  are read asynchronously through the executor.  Prefetched pages are
+  *adopted* on first use — installed clean, checksum-verified, counted
+  as ``hits`` + ``prefetch_hits`` — and never evict pinned pages (they
+  go through the normal ``_make_room``).  A prefetch that is never used
+  is simply dropped (``prefetch_dropped``); a failed background read is
+  ignored and the page faults normally.
+* **Write-behind.**  Eviction write-backs are handed to the executor:
+  the payload is copied, counters and checksums are recorded at submit
+  time (identical values to the synchronous path), and the future joins
+  a bounded dirty queue.  Overlapping submissions wait for their
+  predecessors (per-page FIFO), demand faults wait for overlapping
+  in-flight write-backs before touching the store, and ``flush()`` /
+  ``invalidate()`` / ``drain_writebehind()`` are full barriers.
+
+Everything stays strictly serial — bit- and counter-identical to the
+pre-executor pool — when no executor is attached, when the store is
+marked ``deterministic_only`` (fault injectors), or while a fault plan
+is armed (:func:`repro.core.faultsites.any_active`).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..core import faultsites
 from ..core.errors import DRXError
 from .faultpoints import crash_point
 from .ioplan import coalesce_addresses
@@ -47,12 +77,22 @@ class MpoolStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
-    #: physical store transfers the pool issued (faults + write-backs)
+    #: physical store transfers the pool issued (faults + write-backs +
+    #: background read-ahead)
     syscalls: int = 0
     #: contiguous runs moved through vectored (batched) transfers
     coalesced_runs: int = 0
     bytes_faulted: int = 0
     bytes_written: int = 0
+    # -- read-ahead -------------------------------------------------------
+    prefetch_issued: int = 0   #: background read-ahead store calls issued
+    prefetch_pages: int = 0    #: pages covered by issued read-aheads
+    prefetch_hits: int = 0     #: accesses served by adopting a read-ahead
+    prefetch_dropped: int = 0  #: prefetched pages discarded unused
+    # -- write-behind -----------------------------------------------------
+    writebehind_runs: int = 0   #: write-backs handed to the executor
+    writebehind_bytes: int = 0  #: bytes written through write-behind
+    writebehind_stalls: int = 0  #: submits that blocked on the full queue
 
     @property
     def accesses(self) -> int:
@@ -82,7 +122,9 @@ class Mpool:
     """A pinned-page LRU buffer pool over a byte store."""
 
     def __init__(self, store: ByteStore, page_size: int,
-                 max_pages: int = 64, guard=None) -> None:
+                 max_pages: int = 64, guard=None, executor=None,
+                 readahead: int = 8, write_behind: bool = True,
+                 wb_queue: int = 4) -> None:
         if page_size < 1:
             raise DRXError(f"page size must be >= 1, got {page_size}")
         if max_pages < 1:
@@ -98,6 +140,31 @@ class Mpool:
         self.stats = MpoolStats()
         #: pageno -> page, in LRU order (oldest first)
         self._pages: "OrderedDict[int, _Page]" = OrderedDict()
+        #: single reentrant lock around all page-table mutation — the
+        #: pool is shared between rank threads and background tasks
+        self._lock = threading.RLock()
+        # -- executor wiring (None = the exact historical serial pool) --
+        if executor is not None and getattr(store, "deterministic_only",
+                                            False):
+            executor = None     # order-sensitive store: stay serial
+        self._executor = executor
+        self._readahead = (max(0, min(int(readahead), max_pages // 2))
+                           if executor is not None else 0)
+        self._write_behind = bool(write_behind) and executor is not None
+        self._wb_queue = max(1, int(wb_queue))
+        #: pending write-behind: (future, frozenset of page numbers)
+        self._wb: "deque[tuple[Future, frozenset[int]]]" = deque()
+        #: pageno -> in-flight/landed read-ahead future; one future may
+        #: serve several keys (it read a contiguous run)
+        self._pf: dict[int, Future] = {}
+        # scalar stride detector (get)
+        self._ra_last: int | None = None
+        self._ra_stride = 0
+        self._ra_streak = 0
+        # batch stride detector (get_many)
+        self._b_start: int | None = None
+        self._b_stride = 0
+        self._b_streak = 0
 
     # ------------------------------------------------------------------
     def get(self, pageno: int) -> np.ndarray:
@@ -108,21 +175,31 @@ class Mpool:
         """
         if pageno < 0:
             raise DRXError(f"negative page number {pageno}")
-        page = self._pages.get(pageno)
-        if page is not None:
-            self.stats.hits += 1
-            self._pages.move_to_end(pageno)
-        else:
-            self.stats.misses += 1
-            self._make_room(1)
-            raw = self.store.read(pageno * self.page_size, self.page_size)
-            self.stats.syscalls += 1
-            self.stats.bytes_faulted += self.page_size
-            raw = self._verify(pageno, raw, pageno * self.page_size)
-            page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
-            self._pages[pageno] = page
-        page.pins += 1
-        return page.buf
+        with self._lock:
+            page = self._pages.get(pageno)
+            if page is not None:
+                self.stats.hits += 1
+                self._pages.move_to_end(pageno)
+            else:
+                page = self._adopt_prefetch(pageno)
+                if page is not None:
+                    self.stats.hits += 1
+                    self.stats.prefetch_hits += 1
+                else:
+                    self.stats.misses += 1
+                    self._wb_wait_overlap({pageno})
+                    self._make_room(1)
+                    raw = self.store.read(pageno * self.page_size,
+                                          self.page_size)
+                    self.stats.syscalls += 1
+                    self.stats.bytes_faulted += self.page_size
+                    raw = self._verify(pageno, raw, pageno * self.page_size)
+                    page = _Page(np.frombuffer(bytearray(raw),
+                                               dtype=np.uint8))
+                    self._pages[pageno] = page
+            page.pins += 1
+            self._note_scalar_access(pageno)
+            return page.buf
 
     def get_many(self, pagenos: Sequence[int]) -> list[np.ndarray]:
         """Pin a batch of pages, faulting all misses with one vectored
@@ -142,36 +219,62 @@ class Mpool:
                 f"batch of {len(distinct)} pages exceeds pool capacity "
                 f"{self.max_pages}"
             )
-        resident: list[int] = []
-        missing: list[int] = []
-        for p in distinct:
-            page = self._pages.get(p)
-            if page is None:
-                missing.append(p)
-            else:
-                page.pins += 1          # protect from eviction below
-                self._pages.move_to_end(p)
-                resident.append(p)
-        self.stats.hits += len(resident)
-        self.stats.misses += len(missing)
-        if missing:
-            try:
-                self._fault_many(missing)
-            except BaseException:
-                for p in resident:
-                    self._pages[p].pins -= 1
-                raise
-        # duplicates in the request pin once per occurrence, like get();
-        # every distinct page (resident or just faulted) holds one
-        # protective pin at this point, dropped after the real pins land
-        for p in nos:
-            self._pages[p].pins += 1
-        for p in distinct:
-            self._pages[p].pins -= 1
-        return [self._pages[p].buf for p in nos]
+        with self._lock:
+            resident: list[int] = []
+            missing: list[int] = []
+            for p in distinct:
+                page = self._pages.get(p)
+                if page is None:
+                    missing.append(p)
+                else:
+                    page.pins += 1          # protect from eviction below
+                    self._pages.move_to_end(p)
+                    resident.append(p)
+            self.stats.hits += len(resident)
+            self.stats.misses += len(missing)
+            if missing:
+                try:
+                    self._fault_many(missing)
+                except BaseException:
+                    for p in resident:
+                        self._pages[p].pins -= 1
+                    raise
+            # duplicates in the request pin once per occurrence, like
+            # get(); every distinct page (resident or just faulted) holds
+            # one protective pin at this point, dropped after the real
+            # pins land
+            for p in nos:
+                self._pages[p].pins += 1
+            for p in distinct:
+                self._pages[p].pins -= 1
+            self._note_batch_access(distinct)
+            return [self._pages[p].buf for p in nos]
 
     def _fault_many(self, missing: list[int]) -> None:
-        """Fault the (sorted, absent) pages in with one vectored read."""
+        """Fault the (sorted, absent) pages in — adopting any pending
+        read-aheads, then one vectored read for the rest."""
+        adopted: list[int] = []
+        if self._pf:
+            rest: list[int] = []
+            for p in missing:
+                if p in self._pf:
+                    adopted.append(p)
+                else:
+                    rest.append(p)
+            missing = rest
+        for p in adopted:
+            page = self._adopt_prefetch(p)
+            if page is None:                 # background read failed
+                missing.append(p)
+            else:
+                # counted as a miss above; credit the read-ahead only
+                self.stats.prefetch_hits += 1
+                page.pins += 1               # protective pin, see get_many
+        if adopted:
+            missing.sort()
+        if not missing:
+            return
+        self._wb_wait_overlap(set(missing))
         self._make_room(len(missing))
         ps = self.page_size
         starts, counts = coalesce_addresses(
@@ -209,16 +312,18 @@ class Mpool:
 
     def put(self, pageno: int, dirty: bool = False) -> None:
         """Unpin page ``pageno``, optionally marking it dirty."""
-        page = self._pages.get(pageno)
-        if page is None or page.pins == 0:
-            raise DRXError(f"put of page {pageno} that is not pinned")
-        page.dirty = page.dirty or dirty
-        page.pins -= 1
+        with self._lock:
+            page = self._pages.get(pageno)
+            if page is None or page.pins == 0:
+                raise DRXError(f"put of page {pageno} that is not pinned")
+            page.dirty = page.dirty or dirty
+            page.pins -= 1
 
     def put_many(self, pagenos: Sequence[int], dirty: bool = False) -> None:
         """Unpin every page of a batch (the inverse of :meth:`get_many`)."""
-        for p in pagenos:
-            self.put(int(p), dirty=dirty)
+        with self._lock:
+            for p in pagenos:
+                self.put(int(p), dirty=dirty)
 
     def _make_room(self, needed: int) -> None:
         """Evict LRU unpinned pages until ``needed`` slots are free."""
@@ -257,7 +362,10 @@ class Mpool:
                 and nb.dirty and nb.pins == 0:
             members.append((hi, nb))
             hi += 1
-        self._writeback_batch(members)
+        if self._wb_allowed():
+            self._writeback_async(members)
+        else:
+            self._writeback_batch(members)
 
     def _writeback(self, pageno: int, page: _Page) -> None:
         """Write back one page, passing its buffer zero-copy."""
@@ -295,53 +403,309 @@ class Mpool:
             pg.dirty = False
 
     # ------------------------------------------------------------------
+    # write-behind (executor-backed eviction write-backs)
+    # ------------------------------------------------------------------
+    def _wb_allowed(self) -> bool:
+        """Write-behind only without armed fault machinery: crash tests
+        reason about exactly which bytes are down at each crash point."""
+        return self._write_behind and not faultsites.any_active()
+
+    def _writeback_async(self, members: list[tuple[int, _Page]]) -> None:
+        """Hand a write-back run to the executor.
+
+        The payload is *copied* (the pages stay cached and may be
+        re-dirtied while the write is in flight), checksums and counters
+        are recorded at submit time — identical values to the
+        synchronous path — and ordering is preserved by waiting for any
+        pending write-behind touching the same pages (per-page FIFO)
+        and by the bounded queue.
+        """
+        members = sorted(members, key=lambda m: m[0])
+        pages = frozenset(p for p, _pg in members)
+        self._wb_wait_overlap(pages)
+        while len(self._wb) >= self._wb_queue:
+            self.stats.writebehind_stalls += 1
+            fut, _pages = self._wb.popleft()
+            fut.result()
+        ps = self.page_size
+        if len(members) == 1:
+            pageno, page = members[0]
+            payload = bytes(page.buf.data)
+            fut = self._executor.submit(
+                self.store.write, pageno * ps, payload,
+                key=("mpool-wb", id(self), pageno, 1))
+            if self.guard is not None:
+                self.guard.record(pageno, payload)
+            self.stats.writebacks += 1
+            self.stats.syscalls += 1
+            self.stats.bytes_written += ps
+        else:
+            starts, counts = coalesce_addresses(
+                np.asarray([p for p, _pg in members], dtype=np.int64))
+            extents = [(int(s) * ps, int(c) * ps)
+                       for s, c in zip(starts, counts)]
+            payload = b"".join(bytes(pg.buf.data) for _p, pg in members)
+            fut = self._executor.submit(
+                self.store.writev, extents, payload,
+                key=("mpool-wb", id(self), members[0][0], len(members)))
+            if self.guard is not None:
+                mv = memoryview(payload)
+                for i, (p, _pg) in enumerate(members):
+                    self.guard.record(p, mv[i * ps:(i + 1) * ps])
+            self.stats.writebacks += len(members)
+            self.stats.syscalls += len(extents)
+            self.stats.coalesced_runs += len(extents)
+            self.stats.bytes_written += len(payload)
+        self.stats.writebehind_runs += 1
+        self.stats.writebehind_bytes += len(payload)
+        for _p, pg in members:
+            pg.dirty = False
+        self._wb.append((fut, pages))
+
+    def _wb_wait_overlap(self, pages: set[int] | frozenset[int]) -> None:
+        """Wait for pending write-behind futures touching ``pages``.
+
+        Demand faults call this before reading the store (a just-evicted
+        page must not be re-read before its write-back lands), and new
+        write-behind submissions call it so overlapping writes apply in
+        submission order.
+        """
+        if not self._wb:
+            return
+        keep: "deque[tuple[Future, frozenset[int]]]" = deque()
+        while self._wb:
+            fut, wpages = self._wb.popleft()
+            if wpages & pages:
+                fut.result()
+            else:
+                keep.append((fut, wpages))
+        self._wb = keep
+
+    def _wb_drain(self) -> None:
+        """Barrier: wait for every pending write-behind, re-raising the
+        first failure."""
+        error: BaseException | None = None
+        while self._wb:
+            fut, _pages = self._wb.popleft()
+            try:
+                fut.result()
+            except BaseException as exc:  # noqa: BLE001
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    def drain_writebehind(self) -> None:
+        """Public barrier: every pending background write-back has
+        reached the store when this returns.  Streaming I/O that
+        bypasses the pool calls this before touching the store."""
+        with self._lock:
+            self._wb_drain()
+
+    # ------------------------------------------------------------------
+    # read-ahead (access-pattern detector + background faults)
+    # ------------------------------------------------------------------
+    def _note_scalar_access(self, pageno: int) -> None:
+        """Feed the scalar stride detector; issue read-ahead on a
+        repeating stride (2 consecutive equal strides)."""
+        if self._readahead <= 0:
+            return
+        last = self._ra_last
+        self._ra_last = pageno
+        if last is None:
+            return
+        stride = pageno - last
+        if stride != 0 and stride == self._ra_stride:
+            self._ra_streak += 1
+        else:
+            self._ra_stride = stride
+            self._ra_streak = 1 if stride != 0 else 0
+        if self._ra_streak >= 2:
+            self._maybe_prefetch(
+                [pageno + stride * k
+                 for k in range(1, self._readahead + 1)])
+
+    def _note_batch_access(self, distinct: list[int]) -> None:
+        """Feed the batch stride detector: DRX plan execution issues
+        same-shaped batches at a constant page stride, so once the
+        stride repeats, the *next* batch (this one shifted by the
+        stride) is read ahead."""
+        if self._readahead <= 0 or not distinct:
+            return
+        start = distinct[0]
+        prev = self._b_start
+        self._b_start = start
+        if prev is None:
+            return
+        stride = start - prev
+        if stride > 0 and stride == self._b_stride:
+            self._b_streak += 1
+        else:
+            self._b_stride = stride
+            self._b_streak = 1 if stride > 0 else 0
+        if self._b_streak >= 2:
+            self._maybe_prefetch(
+                [p + stride for p in distinct][:self._readahead])
+
+    def _maybe_prefetch(self, predicted: list[int]) -> None:
+        """Issue background reads for the predicted pages (best effort).
+
+        Skips pages already resident, already in flight, overlapping a
+        pending write-back, or past the store's end.  Counters for the
+        issued store traffic land immediately (deterministically —
+        issuance depends only on the access sequence, never on
+        completion timing).
+        """
+        ex = self._executor
+        if ex is None or not predicted:
+            return
+        if faultsites.any_active():
+            return
+        ps = self.page_size
+        limit = self.store.size
+        wb_pages: set[int] = set()
+        for _fut, wpages in self._wb:
+            wb_pages |= wpages
+        want = sorted({p for p in predicted
+                       if p >= 0 and p * ps < limit
+                       and p not in self._pages
+                       and p not in self._pf
+                       and p not in wb_pages})
+        if len(want) < max(1, self._readahead // 2):
+            # issue in blocks: trickling out the marginal page every
+            # access would be adopted one access later with no time to
+            # overlap anything — wait until half a window accumulates
+            return
+        if len(self._pf) > 4 * max(self._readahead, 1) + 8:
+            self._pf_discard(wait=False)
+        starts, counts = coalesce_addresses(
+            np.asarray(want, dtype=np.int64))
+        for s, c in zip(starts, counts):
+            start, count = int(s), int(c)
+            fut = ex.submit(self._pf_read, start, count,
+                            key=("mpool-pf", id(self), start, count))
+            for p in range(start, start + count):
+                self._pf[p] = fut
+            self.stats.prefetch_issued += 1
+            self.stats.prefetch_pages += count
+            self.stats.syscalls += 1
+            self.stats.coalesced_runs += 1
+            self.stats.bytes_faulted += count * ps
+
+    def _pf_read(self, start: int, count: int) -> tuple[int, bytes]:
+        """Executor task: one contiguous background read."""
+        ps = self.page_size
+        return start, self.store.readv([(start * ps, count * ps)])
+
+    def _adopt_prefetch(self, pageno: int) -> _Page | None:
+        """Install page ``pageno`` from a pending read-ahead, or return
+        ``None`` (no read-ahead covers it / the background read failed —
+        the caller faults normally)."""
+        fut = self._pf.pop(pageno, None)
+        if fut is None:
+            return None
+        try:
+            start, blob = fut.result()
+        except Exception:
+            return None     # advisory data only; demand path recovers
+        ps = self.page_size
+        at = (pageno - start) * ps
+        raw = self._verify(pageno, blob[at:at + ps], pageno * ps)
+        self._make_room(1)
+        page = _Page(np.frombuffer(bytearray(raw), dtype=np.uint8))
+        self._pages[pageno] = page
+        return page
+
+    def _pf_discard(self, wait: bool) -> None:
+        """Drop every pending read-ahead (counting unused pages as
+        dropped).  With ``wait`` the futures are joined first — used
+        before the store may close; otherwise the in-flight reads finish
+        in the background and their results are simply never consumed."""
+        if not self._pf:
+            return
+        futs = {id(f): f for f in self._pf.values()}
+        self.stats.prefetch_dropped += len(self._pf)
+        self._pf.clear()
+        if wait:
+            for f in futs.values():
+                try:
+                    f.result()
+                except Exception:
+                    pass
+
+    def discard_prefetch(self) -> None:
+        """Public form of :meth:`_pf_discard`: streaming writes bypass
+        the pool, so any read-ahead still in flight could capture
+        pre-write bytes and later resurface them — they are invalidated
+        wholesale instead."""
+        with self._lock:
+            self._pf_discard(wait=False)
+
+    # ------------------------------------------------------------------
     # coherence hooks for streaming I/O that bypasses the pool
     # ------------------------------------------------------------------
     def peek_dirty(self, pageno: int) -> np.ndarray | None:
         """The cached buffer of ``pageno`` if it is resident *and* dirty,
         else ``None``.  No pin, no LRU touch, no counters — used by
         streaming reads to stay coherent with unflushed writes."""
-        page = self._pages.get(pageno)
-        if page is not None and page.dirty:
-            return page.buf
-        return None
+        with self._lock:
+            page = self._pages.get(pageno)
+            if page is not None and page.dirty:
+                return page.buf
+            return None
 
     def refresh(self, pageno: int, data) -> None:
         """Overwrite the cached copy of ``pageno`` (if resident) with the
         bytes just written to the store, clearing its dirty bit — used by
         streaming writes so stale cached pages cannot resurface."""
-        page = self._pages.get(pageno)
-        if page is not None:
-            page.buf[:] = np.frombuffer(data, dtype=np.uint8)
-            page.dirty = False
+        with self._lock:
+            page = self._pages.get(pageno)
+            if page is not None:
+                page.buf[:] = np.frombuffer(data, dtype=np.uint8)
+                page.dirty = False
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Write back every dirty page in page-number order, coalescing
-        consecutive pages into single vectored runs (pages stay cached)."""
-        crash_point("mpool.flush.begin")
-        dirty = [(p, pg) for p, pg in self._pages.items() if pg.dirty]
-        self._writeback_batch(dirty)
-        crash_point("mpool.flush.after_writeback")
-        self.store.flush()
+        consecutive pages into single vectored runs (pages stay cached).
+
+        Acts as the write-behind barrier: pending background write-backs
+        are drained (and read-aheads retired) *before* the crash point
+        fires, so the crash sites keep their exact serial meaning — at
+        ``mpool.flush.begin`` no dirty page of this flush has been
+        written and no background I/O is in flight.
+        """
+        with self._lock:
+            self._wb_drain()
+            self._pf_discard(wait=True)
+            crash_point("mpool.flush.begin")
+            dirty = [(p, pg) for p, pg in self._pages.items() if pg.dirty]
+            self._writeback_batch(dirty)
+            crash_point("mpool.flush.after_writeback")
+            self.store.flush()
 
     def invalidate(self) -> None:
         """Drop every unpinned page (dirty ones are written back first,
-        in sorted coalesced runs)."""
-        self._writeback_batch(
-            [(p, pg) for p, pg in self._pages.items()
-             if pg.dirty and pg.pins == 0]
-        )
-        keep: "OrderedDict[int, _Page]" = OrderedDict()
-        for pageno, page in self._pages.items():
-            if page.pins > 0:
-                keep[pageno] = page
-        self._pages = keep
+        in sorted coalesced runs); pending background I/O is retired."""
+        with self._lock:
+            self._wb_drain()
+            self._pf_discard(wait=True)
+            self._writeback_batch(
+                [(p, pg) for p, pg in self._pages.items()
+                 if pg.dirty and pg.pins == 0]
+            )
+            keep: "OrderedDict[int, _Page]" = OrderedDict()
+            for pageno, page in self._pages.items():
+                if page.pins > 0:
+                    keep[pageno] = page
+            self._pages = keep
 
     @property
     def cached_pages(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     @property
     def pinned_pages(self) -> int:
-        return sum(1 for p in self._pages.values() if p.pins > 0)
+        with self._lock:
+            return sum(1 for p in self._pages.values() if p.pins > 0)

@@ -316,6 +316,11 @@ class FaultInjector(ByteStore):
     decorators present one accounting surface.
     """
 
+    #: Fault schedules are op-count ordered: the n-th matching call
+    #: fires the n-th rule.  Concurrent access would scramble that
+    #: order, so the executor layers keep injected stores serial.
+    deterministic_only = True
+
     def __init__(self, inner: ByteStore, plan: FaultPlan) -> None:
         super().__init__()
         self._inner = inner
@@ -453,6 +458,10 @@ class RetryingByteStore(ByteStore):
         self._sleep = time.sleep if sleep is None else sleep
         self._classify = classify
         self.stats = inner.stats
+        # a retry layer over an order-sensitive store is itself
+        # order-sensitive (and its backoff RNG is sequential anyway)
+        self.deterministic_only = getattr(inner, "deterministic_only",
+                                          False)
 
     def _run(self, describe: str, attempt: Callable[[], object]):
         tries = 0

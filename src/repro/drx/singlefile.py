@@ -108,6 +108,10 @@ class _OffsetByteStore(ByteStore):
         self._base = base
         # one accounting surface per physical file
         self.stats = inner.stats
+        # an order-sensitive inner store (fault injection) keeps the
+        # concurrency layers serial through the offset view too
+        self.deterministic_only = getattr(inner, "deterministic_only",
+                                          False)
 
     def read(self, offset: int, length: int) -> bytes:
         return self._inner.read(self._base + offset, length)
@@ -147,7 +151,8 @@ class DRXSingleFile:
                  header_reserve: int, cache_pages: int = 64,
                  generation: int = 0,
                  blob_span: tuple[int, int] | None = None,
-                 header_version: int = 2) -> None:
+                 header_version: int = 2,
+                 executor="auto") -> None:
         if header_reserve < _HEADER_END + 64:
             raise DRXFileError(
                 f"header reserve {header_reserve} too small "
@@ -172,7 +177,8 @@ class DRXSingleFile:
         # The inner DRXFile manages chunks + cache; meta persistence is
         # overridden to land in this container's header/tail.
         self._inner = DRXFile(meta, chunk_region, meta_store=None,
-                              writable=writable, cache_pages=cache_pages)
+                              writable=writable, cache_pages=cache_pages,
+                              executor=executor)
         self._inner._persist_meta = self._persist_meta  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
@@ -185,8 +191,8 @@ class DRXSingleFile:
                overwrite: bool = False,
                header_reserve: int = DEFAULT_HEADER_RESERVE,
                cache_pages: int = 64, checksums: bool = False,
-               store_wrapper: StoreWrapper | None = None
-               ) -> "DRXSingleFile":
+               store_wrapper: StoreWrapper | None = None,
+               executor="auto") -> "DRXSingleFile":
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
         meta.extra["container"] = "single-file"
         if checksums:
@@ -204,14 +210,15 @@ class DRXSingleFile:
         # first commit is recognizable as an uncommitted file
         raw.write(0, SINGLE_MAGIC + bytes(2 * _SLOT_SIZE))
         obj = cls(meta, raw, writable=True, header_reserve=header_reserve,
-                  cache_pages=cache_pages)
+                  cache_pages=cache_pages, executor=executor)
         obj._persist_meta()
         return obj
 
     @classmethod
     def open(cls, path: str | pathlib.Path, mode: str = "r",
              cache_pages: int = 64,
-             store_wrapper: StoreWrapper | None = None) -> "DRXSingleFile":
+             store_wrapper: StoreWrapper | None = None,
+             executor="auto") -> "DRXSingleFile":
         if mode not in ("r", "r+"):
             raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
         path = cls._with_suffix(path)
@@ -223,7 +230,8 @@ class DRXSingleFile:
         meta, reserve, gen, span, version = cls._read_header(raw)
         return cls(meta, raw, writable=(mode == "r+"),
                    header_reserve=reserve, cache_pages=cache_pages,
-                   generation=gen, blob_span=span, header_version=version)
+                   generation=gen, blob_span=span, header_version=version,
+                   executor=executor)
 
     @classmethod
     def _with_suffix(cls, path: str | pathlib.Path) -> pathlib.Path:

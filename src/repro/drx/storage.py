@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import os
 import pathlib
-from dataclasses import dataclass, replace
+import threading
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..core.errors import DRXFileError, PFSError
@@ -55,7 +56,13 @@ Extent = tuple[int, int]
 
 @dataclass
 class StoreStats:
-    """Cumulative transfer counters for one byte store."""
+    """Cumulative transfer counters for one byte store.
+
+    The counter block is shared between the foreground thread and the
+    executor's background read-ahead / write-behind tasks, so the
+    ``note_*`` helpers serialize on a private lock.  ``snapshot()`` /
+    ``delta()`` return plain value copies (the lock is never copied).
+    """
 
     reads: int = 0            #: physical read transfers issued
     writes: int = 0           #: physical write transfers issued
@@ -67,6 +74,8 @@ class StoreStats:
     short_reads: int = 0      #: partial transfers recovered by re-reading
     retries: int = 0          #: operations re-issued after transient faults
     giveups: int = 0          #: operations abandoned (permanent / exhausted)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
 
     @property
     def syscalls(self) -> int:
@@ -83,12 +92,24 @@ class StoreStats:
         return self.bytes_moved / self.syscalls if self.syscalls else 0.0
 
     def note_read(self, nbytes: int) -> None:
-        self.reads += 1
-        self.bytes_read += nbytes
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += nbytes
 
     def note_write(self, nbytes: int) -> None:
-        self.writes += 1
-        self.bytes_written += nbytes
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += nbytes
+
+    def note_readv(self, nruns: int) -> None:
+        with self._lock:
+            self.readv_calls += 1
+            self.coalesced_runs += nruns
+
+    def note_writev(self, nruns: int) -> None:
+        with self._lock:
+            self.writev_calls += 1
+            self.coalesced_runs += nruns
 
     def snapshot(self) -> "StoreStats":
         return replace(self)
@@ -119,6 +140,12 @@ class StoreStats:
 class ByteStore:
     """Abstract byte store interface (see module docstring)."""
 
+    #: True on stores whose behaviour depends on the exact *order* of
+    #: operations (fault-injecting decorators count ops to decide when a
+    #: scripted fault fires).  The concurrency layers check this flag and
+    #: keep every access to such a store strictly serial.
+    deterministic_only = False
+
     def __init__(self) -> None:
         self.stats = StoreStats()
 
@@ -134,8 +161,7 @@ class ByteStore:
         Fallback: one scalar :meth:`read` per extent (which does its own
         accounting).  Backends with a cheaper vectored path override this.
         """
-        self.stats.readv_calls += 1
-        self.stats.coalesced_runs += len(extents)
+        self.stats.note_readv(len(extents))
         return b"".join(self.read(off, length) for off, length in extents)
 
     def writev(self, extents: Sequence[Extent], data) -> None:
@@ -145,8 +171,7 @@ class ByteStore:
         Fallback: one scalar :meth:`write` per extent with a zero-copy
         ``memoryview`` slice of ``data``.
         """
-        self.stats.writev_calls += 1
-        self.stats.coalesced_runs += len(extents)
+        self.stats.note_writev(len(extents))
         mv = memoryview(data)
         total = sum(length for _off, length in extents)
         if total != len(mv):
@@ -327,34 +352,44 @@ class PosixByteStore(ByteStore):
 
 
 class MemoryByteStore(ByteStore):
-    """An in-memory byte store (unit tests, scratch arrays)."""
+    """An in-memory byte store (unit tests, scratch arrays).
+
+    The body is guarded by a lock: background read-ahead / write-behind
+    tasks touch the same ``bytearray`` as the foreground thread, and a
+    concurrent ``extend`` during a slice read is not atomic in general.
+    """
 
     def __init__(self) -> None:
         super().__init__()
         self._data = bytearray()
+        self._mem_lock = threading.Lock()
 
     def read(self, offset: int, length: int) -> bytes:
         self.stats.note_read(length)
-        end = offset + length
-        chunk = bytes(self._data[offset:min(end, len(self._data))])
+        with self._mem_lock:
+            end = offset + length
+            chunk = bytes(self._data[offset:min(end, len(self._data))])
         return chunk + b"\x00" * (length - len(chunk))
 
     def write(self, offset: int, data) -> None:
         self.stats.note_write(len(data))
-        end = offset + len(data)
-        if end > len(self._data):
-            self._data.extend(b"\x00" * (end - len(self._data)))
-        self._data[offset:end] = data
+        with self._mem_lock:
+            end = offset + len(data)
+            if end > len(self._data):
+                self._data.extend(b"\x00" * (end - len(self._data)))
+            self._data[offset:end] = data
 
     @property
     def size(self) -> int:
-        return len(self._data)
+        with self._mem_lock:
+            return len(self._data)
 
     def truncate(self, size: int) -> None:
-        if size < len(self._data):
-            del self._data[size:]
-        else:
-            self._data.extend(b"\x00" * (size - len(self._data)))
+        with self._mem_lock:
+            if size < len(self._data):
+                del self._data[size:]
+            else:
+                self._data.extend(b"\x00" * (size - len(self._data)))
 
 
 class PFSByteStore(ByteStore):
@@ -379,16 +414,14 @@ class PFSByteStore(ByteStore):
         self._pfile.write(offset, data)
 
     def readv(self, extents: Sequence[Extent]) -> bytes:
-        self.stats.readv_calls += 1
-        self.stats.coalesced_runs += len(extents)
+        self.stats.note_readv(len(extents))
         for _off, length in extents:
             self.stats.note_read(length)
         data, _t = self._pfile.readv(list(extents))
         return data
 
     def writev(self, extents: Sequence[Extent], data) -> None:
-        self.stats.writev_calls += 1
-        self.stats.coalesced_runs += len(extents)
+        self.stats.note_writev(len(extents))
         for _off, length in extents:
             self.stats.note_write(length)
         self._pfile.writev(list(extents), data)

@@ -26,6 +26,7 @@ import pathlib
 import threading
 
 from ..core.errors import PFSError, ServerDownError
+from ..core.executor import IOExecutor, resolve_executor
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .pfile import PFSFile
 from .replication import ReplicaLayout, replica_object_name
@@ -41,7 +42,9 @@ class ParallelFileSystem:
 
     def __init__(self, nservers: int = 4, stripe_size: int = 64 * 1024,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 replication: int = 1, fault_plan=None) -> None:
+                 replication: int = 1, fault_plan=None,
+                 executor: "IOExecutor | None | str" = "auto",
+                 realtime_factor: float = 0.0) -> None:
         if replication == 1:
             self.layout: StripeLayout = StripeLayout(
                 nservers=nservers, stripe_size=stripe_size)
@@ -51,7 +54,12 @@ class ParallelFileSystem:
                 replication=replication)
         self.replication = replication
         self.cost_model = cost_model
-        self.servers = [IOServer(i, cost_model, fault_plan=fault_plan)
+        #: shared per-server dispatch pool handed to every file
+        #: (``"auto"`` = the process-wide ``pfs``-tier executor sized by
+        #: ``DRX_EXECUTOR_THREADS``; ``None`` = serial)
+        self.executor = resolve_executor(executor, tier="pfs")
+        self.servers = [IOServer(i, cost_model, fault_plan=fault_plan,
+                                 realtime_factor=realtime_factor)
                         for i in range(nservers)]
         self._files: dict[str, PFSFile] = {}
         self._lock = threading.RLock()
@@ -63,7 +71,8 @@ class ParallelFileSystem:
         with self._lock:
             if name in self._files:
                 raise PFSError(f"file exists: {name!r}")
-            f = PFSFile(name, self.servers, self.layout)
+            f = PFSFile(name, self.servers, self.layout,
+                        executor=self.executor)
             self._files[name] = f
             return f
 
@@ -204,6 +213,7 @@ class ParallelFileSystem:
             s.stats.reset()
         for f in self._files.values():
             f.io_time = 0.0
+            f.wall_time = 0.0
             f.rstats.reset()
 
     # ------------------------------------------------------------------

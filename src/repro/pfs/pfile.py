@@ -29,16 +29,38 @@ With ``replication == 1`` every operation takes the exact historical
 code path — identical bytes, identical stats — so the default
 configuration pays nothing for the failure tier.
 
-All operations return the simulated elapsed time of the slowest server
-touched (servers work in parallel), and the file keeps a cumulative
-``io_time`` so callers can charge entire workloads.
+Two notions of time coexist and must not be conflated:
+
+``io_time`` (and every per-call return value)
+    *Simulated* time from the analytic cost model — the elapsed time of
+    the slowest server touched, as if the per-server batches ran in
+    parallel on real hardware.  It is deterministic and independent of
+    how the Python process actually executes the batches.
+``wall_time``
+    *Measured* wall-clock seconds this process spent inside ``readv`` /
+    ``writev`` (collectives included — they funnel through both).  With
+    an :class:`~repro.core.executor.IOExecutor` attached, per-server
+    batches are dispatched concurrently and ``wall_time`` genuinely
+    shrinks toward the max-server shape ``io_time`` always assumed;
+    serially it is the sum-over-servers.  Benchmarks report both so the
+    overlap actually achieved is visible.
+
+When an executor is attached (the default — sized by
+``DRX_EXECUTOR_THREADS``), multi-server batches are dispatched
+concurrently and their results applied in deterministic server order;
+the serial loops are kept verbatim and remain the only path whenever a
+fault plan is armed (scripted fault schedules are op-count ordered) or
+the executor is disabled.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
+from ..core import faultsites
 from ..core.errors import PFSError, ServerDownError
+from ..core.executor import IOExecutor, resolve_executor
 from ..core.faultsites import crash_point
 from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
@@ -55,7 +77,8 @@ class PFSFile:
     """One striped logical file (see module docstring)."""
 
     def __init__(self, name: str, servers: list[IOServer],
-                 layout: StripeLayout) -> None:
+                 layout: StripeLayout,
+                 executor: "IOExecutor | None | str" = "auto") -> None:
         if layout.nservers != len(servers):
             raise PFSError(
                 f"layout expects {layout.nservers} servers, got {len(servers)}"
@@ -67,7 +90,13 @@ class PFSFile:
         self.rstats = ReplicaStats()
         self._size = 0
         self._lock = threading.RLock()
+        #: cumulative *simulated* elapsed time (max-over-servers per call)
         self.io_time = 0.0
+        #: cumulative *measured* wall-clock seconds spent in readv/writev
+        self.wall_time = 0.0
+        #: per-server dispatch pool (None = serial); ``"auto"`` resolves
+        #: the process-wide ``pfs``-tier executor from the environment
+        self.executor = resolve_executor(executor, tier="pfs")
         for copy in range(self.replication):
             obj = replica_object_name(name, copy)
             for s in servers:
@@ -103,23 +132,52 @@ class PFSFile:
         a needed stripe is unreachable a :class:`ServerDownError`
         escapes.
         """
-        with self._lock:
-            if self.replication == 1:
-                return self._readv_plain(extents)
-            return self._readv_replicated(extents)
+        t0 = time.perf_counter()
+        try:
+            with self._lock:
+                if self.replication == 1:
+                    return self._readv_plain(extents)
+                return self._readv_replicated(extents)
+        finally:
+            dt = time.perf_counter() - t0
+            with self._lock:        # concurrent callers both account
+                self.wall_time += dt
+
+    def _parallel_ok(self) -> bool:
+        """Whether per-server batches may be dispatched concurrently.
+
+        Serial whenever the executor is off or any fault machinery is
+        armed — scripted fault schedules and chaos kill sites are
+        op-count ordered, so they must observe the historical dispatch
+        order.
+        """
+        if self.executor is None:
+            return False
+        if faultsites.any_active():
+            return False
+        return all(s.fault_plan is None for s in self.servers)
 
     def _readv_plain(self, extents: list[Extent]) -> tuple[bytes, float]:
-        """The historical unreplicated read path (kept verbatim so the
-        default configuration's bytes and stats are unchanged)."""
+        """The historical unreplicated read path.  Per-server batches
+        are dispatched concurrently when the executor allows; results
+        are applied in server order either way, so bytes and stats are
+        identical to the serial loop."""
         per_server = self.layout.split_extents(extents)
+        work = [(sid, reqs) for sid, reqs in enumerate(per_server) if reqs]
+        if len(work) > 1 and self._parallel_ok():
+            futs = [self.executor.submit(
+                        self.servers[sid].read_batch, self.name,
+                        [(srv_off, ln) for srv_off, _lo, ln in reqs])
+                    for sid, reqs in work]
+            results = self.executor.gather(futs)
+        else:
+            results = [self.servers[sid].read_batch(
+                           self.name,
+                           [(srv_off, ln) for srv_off, _lo, ln in reqs])
+                       for sid, reqs in work]
         pieces: dict[int, bytes] = {}
         elapsed = 0.0
-        for sid, reqs in enumerate(per_server):
-            if not reqs:
-                continue
-            data, t = self.servers[sid].read_batch(
-                self.name, [(srv_off, ln) for srv_off, _lo, ln in reqs]
-            )
+        for (sid, reqs), (data, t) in zip(work, results):
             elapsed = max(elapsed, t)
             for (_srv_off, log_off, _ln), piece in zip(reqs, data):
                 pieces[log_off] = piece
@@ -156,7 +214,35 @@ class PFSFile:
                     (srv_off, log_off, take))
 
         queue = sorted(batches.items())
+        parallel = self._parallel_ok()
         while queue:
+            if parallel and len(queue) > 1:
+                # dispatch the whole wave concurrently; failures fail
+                # over sequentially and re-enter the queue as a new wave.
+                # Kill-site hooks force the serial branch below, so the
+                # crash points here are free no-ops kept for symmetry.
+                wave, queue = queue, []
+                futs = []
+                for (sid, copy), reqs in wave:
+                    crash_point("server.kill.readv.batch")
+                    obj = replica_object_name(self.name, copy)
+                    futs.append(self.executor.submit(
+                        self.servers[sid].read_batch, obj,
+                        [(srv_off, ln) for srv_off, _lo, ln in reqs]))
+                results = self.executor.gather(futs, return_exceptions=True)
+                for ((sid, copy), reqs), res in zip(wave, results):
+                    if isinstance(res, PFSError):
+                        queue.extend(
+                            self._reroute_failed(sid, reqs, failed, res))
+                    elif isinstance(res, BaseException):
+                        raise res
+                    else:
+                        data, t = res
+                        elapsed_by_server[sid] = (
+                            elapsed_by_server.get(sid, 0.0) + t)
+                        for (_so, log_off, _ln), piece in zip(reqs, data):
+                            pieces[log_off] = piece
+                continue
             (sid, copy), reqs = queue.pop(0)
             crash_point("server.kill.readv.batch")
             obj = replica_object_name(self.name, copy)
@@ -166,23 +252,7 @@ class PFSFile:
             except PFSError as exc:
                 # the server answered with an error (or a chaos hook just
                 # killed it): exclude it and re-route its pieces
-                failed.add(sid)
-                self.rstats.failovers += 1
-                rerouted: dict[tuple[int, int],
-                               list[tuple[int, int, int]]] = {}
-                for srv_off, log_off, ln in reqs:
-                    stripe = log_off // layout.stripe_size
-                    choice = self._choose_copy(stripe, failed)
-                    if choice is None:
-                        raise ServerDownError(
-                            f"file {self.name!r}: no live replica left for "
-                            f"stripe {stripe}") from exc
-                    copy2, sid2 = choice
-                    if copy2:
-                        self.rstats.degraded_reads += 1
-                    rerouted.setdefault((sid2, copy2), []).append(
-                        (srv_off, log_off, ln))
-                queue.extend(sorted(rerouted.items()))
+                queue.extend(self._reroute_failed(sid, reqs, failed, exc))
                 continue
             elapsed_by_server[sid] = elapsed_by_server.get(sid, 0.0) + t
             for (_srv_off, log_off, _ln), piece in zip(reqs, data):
@@ -192,6 +262,30 @@ class PFSFile:
         out = self._assemble(extents, pieces)
         self.io_time += elapsed
         return out, elapsed
+
+    def _reroute_failed(self, sid: int, reqs: list[tuple[int, int, int]],
+                        failed: set[int], exc: PFSError
+                        ) -> list[tuple[tuple[int, int],
+                                        list[tuple[int, int, int]]]]:
+        """Route a failed server's pieces to the next live replica,
+        returning the sorted re-issued batches."""
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        failed.add(sid)
+        self.rstats.failovers += 1
+        rerouted: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for srv_off, log_off, ln in reqs:
+            stripe = log_off // layout.stripe_size
+            choice = self._choose_copy(stripe, failed)
+            if choice is None:
+                raise ServerDownError(
+                    f"file {self.name!r}: no live replica left for "
+                    f"stripe {stripe}") from exc
+            copy2, sid2 = choice
+            if copy2:
+                self.rstats.degraded_reads += 1
+            rerouted.setdefault((sid2, copy2), []).append(
+                (srv_off, log_off, ln))
+        return sorted(rerouted.items())
 
     def readv_copy(self, extents: list[Extent], copy: int
                    ) -> tuple[bytes, float]:
@@ -246,16 +340,24 @@ class PFSFile:
             raise PFSError(
                 f"writev: extents cover {total} bytes, data has {len(data)}"
             )
-        with self._lock:
-            if self.replication == 1:
-                return self._writev_plain(extents, data)
-            return self._writev_replicated(extents, data)
+        t0 = time.perf_counter()
+        try:
+            with self._lock:
+                if self.replication == 1:
+                    return self._writev_plain(extents, data)
+                return self._writev_replicated(extents, data)
+        finally:
+            dt = time.perf_counter() - t0
+            with self._lock:        # concurrent callers both account
+                self.wall_time += dt
 
     def _writev_plain(self, extents: list[Extent], data: bytes) -> float:
-        """The historical unreplicated write path (kept verbatim)."""
+        """The historical unreplicated write path.  Batches are built in
+        server order, then dispatched concurrently when the executor
+        allows — bytes and stats identical to the serial loop."""
         per_server = self.layout.split_extents(extents)
         slices = self._slices(extents)
-        elapsed = 0.0
+        work: list[tuple[int, list[tuple[int, bytes]]]] = []
         for sid, reqs in enumerate(per_server):
             if not reqs:
                 continue
@@ -264,8 +366,16 @@ class PFSFile:
                 src = self._locate(slices, log_off)
                 start = src[0] + (log_off - src[2])
                 batch.append((srv_off, bytes(data[start:start + ln])))
-            t = self.servers[sid].write_batch(self.name, batch)
-            elapsed = max(elapsed, t)
+            work.append((sid, batch))
+        if len(work) > 1 and self._parallel_ok():
+            futs = [self.executor.submit(
+                        self.servers[sid].write_batch, self.name, batch)
+                    for sid, batch in work]
+            times = self.executor.gather(futs)
+        else:
+            times = [self.servers[sid].write_batch(self.name, batch)
+                     for sid, batch in work]
+        elapsed = max(times, default=0.0)
         self._size = max(self._size,
                          max((o + n for o, n in extents), default=0))
         self.io_time += elapsed
@@ -277,6 +387,8 @@ class PFSFile:
         crash_point("server.kill.writev.begin")
         layout: ReplicaLayout = self.layout  # type: ignore[assignment]
         slices = self._slices(extents)
+        if self._parallel_ok():
+            return self._writev_replicated_parallel(extents, data, slices)
         elapsed_by_server: dict[int, float] = {}
         #: landed copies per piece, keyed by logical offset
         landed: dict[int, int] = {}
@@ -326,6 +438,75 @@ class PFSFile:
                     self.rstats.write_through += len(reqs)
                 if copy:
                     self.rstats.replica_bytes += nbytes
+        orphans = [off for off, n in landed.items() if n == 0]
+        if orphans:
+            raise ServerDownError(
+                f"file {self.name!r}: write lost — no readable replica "
+                f"for pieces at offsets {sorted(orphans)[:4]}"
+                f"{'...' if len(orphans) > 4 else ''}")
+        elapsed = max(elapsed_by_server.values(), default=0.0)
+        self._size = max(self._size,
+                         max((o + n for o, n in extents), default=0))
+        self.io_time += elapsed
+        return elapsed
+
+    def _writev_replicated_parallel(self, extents: list[Extent],
+                                    data: bytes,
+                                    slices: dict[int, tuple[int, int]]
+                                    ) -> float:
+        """Concurrent replica fan-out: liveness checks, skip accounting
+        and batch assembly run in the main thread in the serial order;
+        only the server batches themselves are dispatched concurrently,
+        with results applied back in that same order.  Semantically
+        identical to the serial fan-out (the fan-out is idempotent, so
+        the one observable difference — later batches still landing
+        after an earlier batch raised a non-ServerDown error — is
+        covered by the same retry contract)."""
+        layout: ReplicaLayout = self.layout  # type: ignore[assignment]
+        elapsed_by_server: dict[int, float] = {}
+        landed: dict[int, int] = {}
+        jobs: list[tuple[int, int, IOServer, str,
+                         list[tuple[int, int, int]],
+                         list[tuple[int, bytes]], int]] = []
+        for copy in range(self.replication):
+            per_server = layout.split_extents_copy(extents, copy)
+            obj = replica_object_name(self.name, copy)
+            for sid, reqs in enumerate(per_server):
+                if not reqs:
+                    continue
+                srv = self.servers[sid]
+                for _srv_off, log_off, _ln in reqs:
+                    landed.setdefault(log_off, 0)
+                if not srv.alive or (srv.stale and not srv.has_object(obj)):
+                    self.rstats.missed_writes += len(reqs)
+                    continue
+                batch: list[tuple[int, bytes]] = []
+                nbytes = 0
+                for srv_off, log_off, ln in reqs:
+                    src = self._locate(slices, log_off)
+                    start = src[0] + (log_off - src[2])
+                    batch.append((srv_off, bytes(data[start:start + ln])))
+                    nbytes += ln
+                jobs.append((copy, sid, srv, obj, reqs, batch, nbytes))
+        futs = [self.executor.submit(srv.write_batch, obj, batch)
+                for _copy, _sid, srv, obj, _reqs, batch, _n in jobs]
+        results = self.executor.gather(futs, return_exceptions=True)
+        for (copy, sid, srv, _obj, reqs, _batch, nbytes), res in zip(
+                jobs, results):
+            if isinstance(res, ServerDownError):
+                # killed between the liveness check and the batch
+                self.rstats.missed_writes += len(reqs)
+                continue
+            if isinstance(res, BaseException):
+                raise res
+            elapsed_by_server[sid] = elapsed_by_server.get(sid, 0.0) + res
+            if srv.available:
+                for _srv_off, log_off, _ln in reqs:
+                    landed[log_off] += 1
+            else:
+                self.rstats.write_through += len(reqs)
+            if copy:
+                self.rstats.replica_bytes += nbytes
         orphans = [off for off, n in landed.items() if n == 0]
         if orphans:
             raise ServerDownError(

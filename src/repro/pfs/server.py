@@ -28,9 +28,23 @@ batches alike — funnels through the single checked entry point
 ``_touch()``, so liveness and the optional fault plan are consulted
 uniformly (earlier revisions only checked the batch paths, letting
 scalar byte-store traffic bypass fault injection).
+
+Concurrency.  :class:`~repro.core.executor.IOExecutor` dispatches
+per-server batches from multiple threads, so every operation runs under
+a per-server reentrant lock: one server services one batch at a time
+(it models a single disk) while distinct servers proceed in parallel.
+With ``realtime_factor > 0`` a batch additionally *sleeps* for
+``elapsed * realtime_factor`` wall-clock seconds while holding the
+lock — the sleep releases the GIL, so concurrently dispatched batches
+on different servers genuinely overlap, which is what lets the
+executor benchmarks measure real (not just simulated) parallel
+speedup.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 from ..core.errors import PFSError, ServerDownError
 from .costmodel import CostModel, DEFAULT_COST_MODEL
@@ -47,10 +61,16 @@ class IOServer:
 
     def __init__(self, server_id: int,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 fault_plan=None) -> None:
+                 fault_plan=None, realtime_factor: float = 0.0) -> None:
         self.server_id = server_id
         self.cost_model = cost_model
         self.stats = IOStats()
+        #: wall-clock seconds slept per simulated second of service time
+        #: (0 = pure simulation, no sleeping)
+        self.realtime_factor = float(realtime_factor)
+        #: one batch at a time per server (a server models one disk);
+        #: distinct servers proceed concurrently under the executor
+        self._lock = threading.RLock()
         #: optional fault source (duck-typed so pfs stays import-free of
         #: the drx layer): any object with ``check(op)`` that raises when
         #: a fault is due — e.g. ``repro.drx.resilience.FaultPlan``.
@@ -75,27 +95,30 @@ class IOServer:
     def kill(self, wipe: bool = False) -> None:
         """Take the server down; ``wipe`` additionally loses its disks
         (models a replacement server rather than a reboot)."""
-        self.alive = False
-        if wipe:
-            self._objects.clear()
-            self._head.clear()
+        with self._lock:
+            self.alive = False
+            if wipe:
+                self._objects.clear()
+                self._head.clear()
 
     def revive(self) -> None:
         """Bring a killed server back, *stale*: it serves no reads (but
         accepts write-through) until an online rebuild re-replicates
         its objects."""
-        if self.alive:
-            return
-        self.alive = True
-        self.stale = True
-        self.suspect = False
-        self._consecutive_errors = 0
+        with self._lock:
+            if self.alive:
+                return
+            self.alive = True
+            self.stale = True
+            self.suspect = False
+            self._consecutive_errors = 0
 
     def mark_rebuilt(self) -> None:
         """Clear the stale flag once rebuild restored the objects."""
-        self.stale = False
-        self.suspect = False
-        self._consecutive_errors = 0
+        with self._lock:
+            self.stale = False
+            self.suspect = False
+            self._consecutive_errors = 0
 
     @property
     def available(self) -> bool:
@@ -129,23 +152,28 @@ class IOServer:
     # object lifecycle
     # ------------------------------------------------------------------
     def create_object(self, name: str) -> None:
-        self._touch("create")
-        if name in self._objects:
-            raise PFSError(f"server {self.server_id}: object {name!r} exists")
-        self._objects[name] = bytearray()
-        self._head[name] = 0
+        with self._lock:
+            self._touch("create")
+            if name in self._objects:
+                raise PFSError(
+                    f"server {self.server_id}: object {name!r} exists")
+            self._objects[name] = bytearray()
+            self._head[name] = 0
 
     def has_object(self, name: str) -> bool:
-        return name in self._objects
+        with self._lock:
+            return name in self._objects
 
     def delete_object(self, name: str) -> None:
-        self._touch("delete")
-        self._objects.pop(name, None)
-        self._head.pop(name, None)
+        with self._lock:
+            self._touch("delete")
+            self._objects.pop(name, None)
+            self._head.pop(name, None)
 
     def object_size(self, name: str) -> int:
-        self._touch("stat")
-        return len(self._objects.get(name, b""))
+        with self._lock:
+            self._touch("stat")
+            return len(self._objects.get(name, b""))
 
     # ------------------------------------------------------------------
     # request batches
@@ -157,53 +185,65 @@ class IOServer:
         Returns the data pieces and the simulated service time of the
         batch on this server.
         """
-        self._touch("read")
-        store = self._require(name)
-        out: list[bytes] = []
-        elapsed = 0.0
-        head = self._head[name]
-        for off, length in requests:
-            seek = off != head
-            end = off + length
-            if end <= len(store):
-                piece = bytes(store[off:end])
-            else:
-                avail = store[off:len(store)] if off < len(store) else b""
-                piece = bytes(avail) + b"\x00" * (length - len(avail))
-            out.append(piece)
-            elapsed += self.cost_model.request_time(length, seek)
-            self.stats.read_requests += 1
-            self.stats.bytes_read += length
-            if seek:
-                self.stats.seeks += 1
-            head = end
-        self._head[name] = head
-        self.stats.busy_time += elapsed
-        return out, elapsed
+        with self._lock:
+            self._touch("read")
+            store = self._require(name)
+            out: list[bytes] = []
+            elapsed = 0.0
+            head = self._head[name]
+            for off, length in requests:
+                seek = off != head
+                end = off + length
+                if end <= len(store):
+                    piece = bytes(store[off:end])
+                else:
+                    avail = store[off:len(store)] if off < len(store) else b""
+                    piece = bytes(avail) + b"\x00" * (length - len(avail))
+                out.append(piece)
+                elapsed += self.cost_model.request_time(length, seek)
+                self.stats.read_requests += 1
+                self.stats.bytes_read += length
+                if seek:
+                    self.stats.seeks += 1
+                head = end
+            self._head[name] = head
+            self.stats.busy_time += elapsed
+            self._service_delay(elapsed)
+            return out, elapsed
 
     def write_batch(self, name: str,
                     requests: list[tuple[int, bytes]]) -> float:
         """Service an ordered batch of ``(offset, data)`` writes."""
-        self._touch("write")
-        store = self._require(name)
-        elapsed = 0.0
-        head = self._head[name]
-        for off, data in requests:
-            length = len(data)
-            seek = off != head
-            end = off + length
-            if end > len(store):
-                store.extend(b"\x00" * (end - len(store)))
-            store[off:end] = data
-            elapsed += self.cost_model.request_time(length, seek)
-            self.stats.write_requests += 1
-            self.stats.bytes_written += length
-            if seek:
-                self.stats.seeks += 1
-            head = end
-        self._head[name] = head
-        self.stats.busy_time += elapsed
-        return elapsed
+        with self._lock:
+            self._touch("write")
+            store = self._require(name)
+            elapsed = 0.0
+            head = self._head[name]
+            for off, data in requests:
+                length = len(data)
+                seek = off != head
+                end = off + length
+                if end > len(store):
+                    store.extend(b"\x00" * (end - len(store)))
+                store[off:end] = data
+                elapsed += self.cost_model.request_time(length, seek)
+                self.stats.write_requests += 1
+                self.stats.bytes_written += length
+                if seek:
+                    self.stats.seeks += 1
+                head = end
+            self._head[name] = head
+            self.stats.busy_time += elapsed
+            self._service_delay(elapsed)
+            return elapsed
+
+    def _service_delay(self, elapsed: float) -> None:
+        """Sleep out the batch's simulated service time, scaled by
+        ``realtime_factor``.  Held under the server lock on purpose: the
+        single simulated disk stays busy for the duration, while other
+        servers' batches overlap it (the sleep releases the GIL)."""
+        if self.realtime_factor > 0.0 and elapsed > 0.0:
+            time.sleep(elapsed * self.realtime_factor)
 
     # ------------------------------------------------------------------
     # out-of-band hooks (verification / chaos tests only)
@@ -212,13 +252,14 @@ class IOServer:
         """Read object bytes without stats, cost or fault accounting —
         the replica-verification hook.  Still refuses on a dead server
         (there is nothing trustworthy to verify)."""
-        if not self.alive:
-            raise ServerDownError(
-                f"server {self.server_id} is down (op peek)")
-        store = self._objects.get(name, b"")
-        end = offset + length
-        avail = bytes(store[offset:min(end, len(store))])
-        return avail + b"\x00" * (length - len(avail))
+        with self._lock:
+            if not self.alive:
+                raise ServerDownError(
+                    f"server {self.server_id} is down (op peek)")
+            store = self._objects.get(name, b"")
+            end = offset + length
+            avail = bytes(store[offset:min(end, len(store))])
+            return avail + b"\x00" * (length - len(avail))
 
     def patch(self, name: str, offset: int, data: bytes) -> None:
         """Overwrite object bytes out of band — no stats, no cost, no
@@ -228,14 +269,15 @@ class IOServer:
         schedules.  Raises on a missing object (callers pick which
         copies to touch); stale servers are patchable (a later rebuild
         overwrites them wholesale anyway)."""
-        store = self._objects.get(name)
-        if store is None:
-            raise PFSError(
-                f"server {self.server_id}: no object {name!r}")
-        end = offset + len(data)
-        if end > len(store):
-            store.extend(b"\x00" * (end - len(store)))
-        store[offset:end] = data
+        with self._lock:
+            store = self._objects.get(name)
+            if store is None:
+                raise PFSError(
+                    f"server {self.server_id}: no object {name!r}")
+            end = offset + len(data)
+            if end > len(store):
+                store.extend(b"\x00" * (end - len(store)))
+            store[offset:end] = data
 
     def corrupt(self, name: str, offset: int, data: bytes) -> None:
         """Silently overwrite object bytes (torn-write simulation for
