@@ -25,7 +25,7 @@ Configuration is one environment variable::
                              # stats-identical to the pre-executor tree
     DRX_EXECUTOR_THREADS=4   # the default: up to 4 concurrent transfers
 
-Two executor *tiers* exist, each a process-wide singleton:
+Three executor *tiers* exist, each a process-wide singleton:
 
 ``"pfs"``
     Leaf tier.  Per-server request batches dispatched by
@@ -38,6 +38,12 @@ Two executor *tiers* exist, each a process-wide singleton:
     file locks and dispatch into the ``pfs`` tier, but nothing in the
     ``pfs`` tier ever waits for a ``drx`` slot, so the wait graph is
     acyclic and saturation cannot deadlock.
+``"codec"``
+    Pure-CPU leaf tier.  Batched chunk (de)compression offloaded by
+    :class:`~repro.drx.storage.CompressedByteStore` — ``zlib`` releases
+    the GIL, so codec time overlaps server I/O.  Codec tasks never
+    submit further work, so ``drx``-tier tasks may wait on ``codec``
+    results without closing a cycle.
 
 Determinism contract: every wired call site checks
 :func:`repro.core.faultsites.any_active` (and, where applicable, the

@@ -66,6 +66,11 @@ CRASH_SITES: dict[str, str] = {
         "no dirty page written back yet",
     "mpool.flush.after_writeback":
         "dirty chunks written to the store, store flush not yet issued",
+    # compressed-chunk allocation-table commit -----------------------------
+    "codec.slots.written":
+        "compressed chunk payloads written to their (copy-on-write) "
+        "slots, allocation table and CRCs not yet committed: reopen "
+        "sees the previous table with all of its payloads intact",
 }
 
 #: Every named server-kill site: locations in the PFS request paths

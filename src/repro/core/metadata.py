@@ -37,9 +37,15 @@ MAGIC = b"DRXM"
 #:       checksums, keyed by linear chunk address).  Version-1 documents
 #:       remain readable; version-2 documents without checksums are
 #:       structurally identical to version 1 apart from the number.
-FORMAT_VERSION = 2
+#:   3 — adds the ``codec`` name and the ``chunk_slots`` allocation
+#:       table of compressed arrays (per-chunk physical extents — see
+#:       :mod:`repro.drx.chunkalloc`).  Emitted *only* for arrays with
+#:       ``codec != "none"``: plain arrays keep writing the version-2
+#:       document byte for byte, so the direct-placement fast path stays
+#:       bit-identical and older readers keep working.
+FORMAT_VERSION = 3
 #: Document versions :meth:`DRXMeta.from_bytes` accepts.
-SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2, 3})
 
 #: The element types the paper supports: "integer, double and complex.
 #: These correspond to the basic data types that can be defined and
@@ -124,8 +130,24 @@ class DRXMeta:
     #: Per-chunk CRC32 table (linear address -> checksum), or ``None``
     #: when integrity checking is disabled for this array.  Committed
     #: with the rest of the document, so the checksums describe the last
-    #: *flushed* state of each chunk.
+    #: *flushed* state of each chunk.  For compressed arrays the CRC
+    #: covers the framed *compressed* payload.
     chunk_crcs: dict[int, int] | None = None
+    #: Registry name of the per-chunk compression codec
+    #: (:func:`repro.drx.codec.get_codec`); ``"none"`` keeps the
+    #: historical direct-placement chunk layout.
+    codec: str = "none"
+    #: Serialized slot-allocation table of a compressed array
+    #: (:meth:`repro.drx.chunkalloc.SlotTable.serialize`), ``None`` for
+    #: plain arrays.  Committed with the document, so it describes the
+    #: last flushed physical placement.
+    chunk_slots: dict | None = None
+    #: Session-local derived-value cache (committed datatypes, chunk
+    #: plans — see :mod:`repro.drxmp.subarray`).  Never serialized,
+    #: never compared; entries depending on the chunk index key
+    #: themselves on ``eci.generation``.
+    _cache: dict = field(default_factory=dict, init=False, repr=False,
+                         compare=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -234,8 +256,11 @@ class DRXMeta:
     # serialization
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
+        # Plain arrays emit the version-2 document unchanged (byte for
+        # byte): the version-3 fields exist only for compressed arrays.
+        compressed = self.codec != "none" or self.chunk_slots is not None
         doc = {
-            "format_version": FORMAT_VERSION,
+            "format_version": FORMAT_VERSION if compressed else 2,
             "dtype": self.dtype_name,
             "rank": self.rank,
             "chunk_shape": list(self.chunk_shape),
@@ -245,6 +270,9 @@ class DRXMeta:
             "index": self.eci.to_dict(),
             "extra": self.extra,
         }
+        if compressed:
+            doc["codec"] = self.codec
+            doc["chunk_slots"] = self.chunk_slots
         if self.chunk_crcs is not None:
             # JSON object keys must be strings; addresses round-trip below
             doc["chunk_crcs"] = {str(a): int(c)
@@ -274,6 +302,8 @@ class DRXMeta:
                 extra=dict(doc.get("extra", {})),
                 chunk_crcs=None if crcs_doc is None else
                 {int(a): int(c) for a, c in crcs_doc.items()},
+                codec=str(doc.get("codec", "none")),
+                chunk_slots=doc.get("chunk_slots"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise DRXFormatError(f"malformed meta-data document") from exc

@@ -2,9 +2,20 @@
 
 DRX files live in any POSIX file system as an ``.xmd``/``.xta`` pair and
 are accessed through an Mpool buffer cache; the memory-resident variant
-keeps the same chunked axial-vector layout in core.
+keeps the same chunked axial-vector layout in core.  Arrays may be
+transparently compressed per chunk (:mod:`repro.drx.codec` +
+:mod:`repro.drx.chunkalloc`); ``codec="none"`` keeps the historical
+direct-placement layout bit for bit.
 """
 
+from .chunkalloc import Slot, SlotTable
+from .codec import (
+    Codec,
+    CodecStats,
+    codec_names,
+    default_codec_name,
+    get_codec,
+)
 from .drxfile import DRXFile
 from .faultpoints import CRASH_SITES, crash_point
 from .inspect import describe, load_meta, verify
@@ -23,6 +34,7 @@ from .resilience import (
 from .singlefile import DRXSingleFile
 from .storage import (
     ByteStore,
+    CompressedByteStore,
     MemoryByteStore,
     PFSByteStore,
     PosixByteStore,
@@ -31,6 +43,14 @@ from .storage import (
 
 __all__ = [
     "DRXFile",
+    "Codec",
+    "CodecStats",
+    "get_codec",
+    "codec_names",
+    "default_codec_name",
+    "Slot",
+    "SlotTable",
+    "CompressedByteStore",
     "describe",
     "verify",
     "load_meta",

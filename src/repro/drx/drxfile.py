@@ -43,14 +43,22 @@ from ..core.errors import (
     DRXFileNotFoundError,
     DRXIndexError,
 )
-from ..core.executor import IOExecutor, resolve_executor
+from ..core.executor import IOExecutor, default_executor, resolve_executor
 from ..core.hyperslab import Hyperslab
 from ..core.metadata import DRXMeta, DRXType
+from .chunkalloc import SlotTable
+from .codec import CodecStats, get_codec
 from .faultpoints import crash_point
 from .ioplan import IOPlan, coalesce_addresses, plan_box, plan_slab
 from .mpool import Mpool
 from .resilience import ChecksumGuard, ScrubReport, chunk_crc
-from .storage import ByteStore, MemoryByteStore, PFSByteStore, PosixByteStore
+from .storage import (
+    ByteStore,
+    CompressedByteStore,
+    MemoryByteStore,
+    PFSByteStore,
+    PosixByteStore,
+)
 
 __all__ = ["DRXFile"]
 
@@ -80,14 +88,8 @@ class DRXFile:
                  cache_pages: int = 64, coalesce: bool = True,
                  executor: "IOExecutor | None | str" = "auto") -> None:
         self.meta = meta
-        self._data = data_store
         self._meta_store = meta_store
         self._writable = writable
-        # checksums are on iff the meta-data carries a CRC table; the
-        # guard is shared by the pool (fault-in / write-back) and the
-        # streaming paths below.
-        self._guard = None if meta.chunk_crcs is None \
-            else ChecksumGuard(meta.chunk_crcs)
         # background executor for Mpool read-ahead / write-behind and
         # the streaming pipelines; ``"auto"`` = the process-wide
         # ``drx``-tier pool sized by ``DRX_EXECUTOR_THREADS``.  Stores
@@ -95,6 +97,37 @@ class DRXFile:
         self._executor = resolve_executor(executor, tier="drx")
         if getattr(data_store, "deterministic_only", False):
             self._executor = None
+        # Per-chunk compression: the data store is wrapped in a
+        # CompressedByteStore exposing the logical chunk address space,
+        # so the pool (decompressed pages), the streaming pipelines and
+        # the conversions below work unchanged.  CRC verification then
+        # happens *inside* the adapter — over the compressed payload at
+        # its physical slot — so the file-level guard stays None.  The
+        # (de)compression CPU of batched transfers is offloaded onto the
+        # dedicated ``codec`` executor tier: a pure-CPU leaf tier (codec
+        # tasks never submit further work), so it cannot deadlock with
+        # the ``drx`` tier that calls into the adapter.
+        self._guard = None
+        self._codec_store: CompressedByteStore | None = None
+        if meta.codec != "none":
+            table = SlotTable.deserialize(meta.chunk_slots) \
+                if meta.chunk_slots is not None else SlotTable()
+            guard = None if meta.chunk_crcs is None \
+                else ChecksumGuard(meta.chunk_crcs)
+            codec_ex = None if self._executor is None \
+                else default_executor("codec")
+            data_store = CompressedByteStore(
+                data_store, get_codec(meta.codec, meta.dtype.itemsize),
+                table, meta.chunk_nbytes,
+                logical_nbytes=meta.data_nbytes,
+                guard=guard, executor=codec_ex)
+            self._codec_store = data_store
+        elif meta.chunk_crcs is not None:
+            # checksums are on iff the meta-data carries a CRC table;
+            # the guard is shared by the pool (fault-in / write-back)
+            # and the streaming paths below.
+            self._guard = ChecksumGuard(meta.chunk_crcs)
+        self._data = data_store
         self._pool = Mpool(data_store, meta.chunk_nbytes,
                            max_pages=max(1, cache_pages),
                            guard=self._guard, executor=self._executor)
@@ -111,6 +144,7 @@ class DRXFile:
                overwrite: bool = False, cache_pages: int = 64,
                fill: float | int | complex = 0,
                coalesce: bool = True, checksums: bool = False,
+               codec: str = "none",
                store_wrapper: StoreWrapper | None = None,
                executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Create a new extendible array file.
@@ -120,10 +154,14 @@ class DRXFile:
         initial element bounds, ``chunk_shape`` the chunk shape.
         ``checksums=True`` maintains per-chunk CRC32 checksums in the
         meta-data, verified on every fault-in and streamed read (and by
-        :meth:`scrub`).  ``store_wrapper`` decorates the backing stores
-        (fault injection, retries) before any byte moves.
+        :meth:`scrub`).  ``codec`` selects transparent per-chunk
+        compression (:mod:`repro.drx.codec`; ``"none"`` keeps the
+        historical direct-placement layout bit-identical).
+        ``store_wrapper`` decorates the backing stores (fault injection,
+        retries) before any byte moves.
         """
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        meta.codec = get_codec(codec, meta.dtype.itemsize).name
         if checksums:
             meta.chunk_crcs = {}
         if path is None:
@@ -184,6 +222,7 @@ class DRXFile:
                    dtype: str | np.dtype | type = DRXType.DOUBLE,
                    cache_pages: int = 64, fill: float | int | complex = 0,
                    coalesce: bool = True, checksums: bool = False,
+                   codec: str = "none",
                    store_wrapper: StoreWrapper | None = None,
                    executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
         """Create an array backed by a simulated parallel file system.
@@ -192,9 +231,12 @@ class DRXFile:
         ``fs``'s namespace.  On a replicated file system the array
         survives single-server failures: data reads fail over between
         replicas, and with ``checksums=True`` the CRC table additionally
-        arbitrates between diverging copies after a torn fan-out.
+        arbitrates between diverging copies after a torn fan-out —
+        including compressed arrays (``codec``), whose CRCs cover the
+        compressed payload at its physical slot.
         """
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
+        meta.codec = get_codec(codec, meta.dtype.itemsize).name
         if checksums:
             meta.chunk_crcs = {}
         meta_store: ByteStore = PFSByteStore(
@@ -255,13 +297,35 @@ class DRXFile:
         through the store's atomic ``replace`` — for a POSIX file that
         is temp-file + fsync + rename, so a crash at any instant leaves
         either the previous or the new ``.xmd``, never a torn one.
+
+        For a compressed array the slot-allocation table commits with
+        the document: its copy-on-write discipline guarantees that no
+        extent the *previous* committed table references has been
+        overwritten, so a crash anywhere (``codec.slots.written`` being
+        the canonical point: payloads down, table not) reopens the old
+        table with every old payload intact.  Only after the replace
+        lands are the table's quarantined extents released for reuse.
         """
         if self._meta_store is None:
+            if self._codec_store is not None:
+                # no durable meta-data (scratch in-memory array): the
+                # in-memory table is the only truth, so every commit
+                # completes immediately and quarantined extents recycle
+                self._pool.drain_writebehind()
+                self._codec_store.table.mark_committed()
             return
+        if self._codec_store is not None:
+            # quiesce background write-backs so the serialized table
+            # matches the payloads actually on the store
+            self._pool.drain_writebehind()
+            crash_point("codec.slots.written")
+            self.meta.chunk_slots = self._codec_store.table.serialize()
         crash_point("xmd.commit.begin")
         blob = self.meta.to_bytes()
         self._meta_store.replace(blob)
         crash_point("xmd.commit.end")
+        if self._codec_store is not None:
+            self._codec_store.table.mark_committed()
 
     def __enter__(self) -> "DRXFile":
         return self
@@ -304,6 +368,28 @@ class DRXFile:
     @property
     def cache_stats(self):
         return self._pool.stats
+
+    @property
+    def codec(self) -> str:
+        """The array's compression codec name (``"none"`` = plain)."""
+        return self.meta.codec
+
+    @property
+    def codec_stats(self) -> "CodecStats | None":
+        """Compression counters — raw vs ``compressed_bytes``, achieved
+        ``ratio``, encode/decode wall-time — or ``None`` for a plain
+        array."""
+        if self._codec_store is None:
+            return None
+        return self._codec_store.codec_stats
+
+    def data_extent_nbytes(self) -> int:
+        """Physical size of the chunk region: the slot table's append
+        high-water mark for a compressed array, the logical
+        ``data_nbytes`` for a plain one."""
+        if self._codec_store is None:
+            return self.meta.data_nbytes
+        return self._codec_store.data_extent_nbytes()
 
     @property
     def attrs(self):
@@ -474,8 +560,9 @@ class DRXFile:
     # ------------------------------------------------------------------
     @property
     def checksums_enabled(self) -> bool:
-        """Whether per-chunk CRC32 checksums are maintained."""
-        return self._guard is not None
+        """Whether per-chunk CRC32 checksums are maintained (for a
+        compressed array the guard lives inside the codec store)."""
+        return self.meta.chunk_crcs is not None
 
     def scrub(self, batch_chunks: int = 256) -> ScrubReport:
         """Scan the whole container and verify every chunk's checksum.
@@ -494,6 +581,8 @@ class DRXFile:
         self._require_open()
         if self._writable:
             self.flush()
+        if self._codec_store is not None:
+            return self._scrub_compressed(batch_chunks)
         crcs = self.meta.chunk_crcs or {}
         nb = self.meta.chunk_nbytes
         total = self.num_chunks
@@ -513,6 +602,86 @@ class DRXFile:
                     corrupt.append(addr)
         return ScrubReport(total_chunks=total, checked=checked,
                            corrupt=corrupt, unverified=unverified)
+
+    def _scrub_compressed(self, batch_chunks: int) -> ScrubReport:
+        """Scrub a compressed array: the CRC covers the framed
+        compressed payload at its physical slot, so the scan reads the
+        *inner* store at the slot extents (no decompression needed)."""
+        crcs = self.meta.chunk_crcs or {}
+        cs = self._codec_store
+        total = self.num_chunks
+        corrupt: list[int] = []
+        checked = unverified = 0
+        todo: list[tuple[int, object, int]] = []
+        for addr in range(total):
+            slot = cs.table.get(addr)
+            want = crcs.get(addr)
+            if want is None or slot is None or slot.length == 0:
+                unverified += 1
+                continue
+            todo.append((addr, slot, want))
+        step = max(1, batch_chunks)
+        for start in range(0, len(todo), step):
+            batch = todo[start:start + step]
+            blob = memoryview(cs.inner.readv(
+                [(s.offset, s.length) for _a, s, _w in batch]))
+            pos = 0
+            for addr, slot, want in batch:
+                payload = blob[pos:pos + slot.length]
+                pos += slot.length
+                checked += 1
+                if chunk_crc(payload) != want:
+                    corrupt.append(addr)
+        return ScrubReport(total_chunks=total, checked=checked,
+                           corrupt=corrupt, unverified=unverified)
+
+    # ------------------------------------------------------------------
+    # compaction (compressed arrays)
+    # ------------------------------------------------------------------
+    def compact(self, max_moves: int | None = None) -> dict:
+        """Reclaim free space in the compressed chunk region.
+
+        Copy-on-write rewrites leave holes behind; this pass migrates
+        the highest-placed slots into the lowest committed-free holes,
+        commits the moved table, trims the append high-water mark, and
+        truncates the physical region.  Crash-safe: destinations only
+        ever come from extents the *committed* table considers free, and
+        the table recommits after every pass, so a crash mid-compaction
+        reopens a consistent (merely less compact) array.
+
+        No-op (all-zero result) on a plain ``codec="none"`` array.
+        Returns ``{"moves": n, "end": bytes, "reclaimed": bytes}``.
+        """
+        self._require_open()
+        self._require_writable()
+        if self._codec_store is None:
+            return {"moves": 0, "end": self.meta.data_nbytes,
+                    "reclaimed": 0}
+        cs = self._codec_store
+        self.flush()            # quiesce + commit (promotes pending frees)
+        before = cs.table.end
+        moves = 0
+        while True:
+            budget = None if max_moves is None else max_moves - moves
+            if budget is not None and budget <= 0:
+                break
+            plan = cs.table.plan_compaction(budget)
+            if not plan:
+                break
+            for index, slot, new_off in plan:
+                payload = cs.inner.read(slot.offset, slot.length)
+                cs.inner.write(new_off, payload)
+                cs.table.apply_move(index, new_off)
+            cs.inner.flush()
+            self._persist_meta()
+            moves += len(plan)
+        cs.table.trim_end()
+        self._persist_meta()    # may place a tail meta blob (single file)
+        end = cs.table.end
+        if cs.inner.size > end:
+            cs.inner.truncate(end)
+        return {"moves": moves, "end": end,
+                "reclaimed": max(0, before - end)}
 
     # ------------------------------------------------------------------
     # plan execution (per-chunk, pool-batched, or streaming)

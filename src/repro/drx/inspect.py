@@ -58,6 +58,16 @@ def describe(path: str | pathlib.Path) -> str:
         f"  chunk grid    : {meta.chunk_bounds}"
         f"  ({meta.num_chunks} chunks, {meta.data_nbytes} data bytes)",
     ]
+    if meta.codec != "none":
+        slots = (meta.chunk_slots or {}).get("slots", [])
+        stored = sum(int(s[2]) for s in slots)
+        end = int((meta.chunk_slots or {}).get("end", 0))
+        ratio = meta.data_nbytes / stored if stored else float("inf")
+        lines.append(
+            f"  codec         : {meta.codec}"
+            f"  ({len(slots)} stored chunks, {stored} compressed bytes, "
+            f"ratio {ratio:.2f}x, physical extent {end} bytes)"
+        )
     attrs = meta.attrs
     if attrs:
         lines.append("  attributes    :")
@@ -92,6 +102,33 @@ def verify(path: str | pathlib.Path,
     if present > meta.data_nbytes:
         # single-file tail meta legitimately extends past the chunk area
         pass
+    if meta.codec != "none" and meta.chunk_slots is not None:
+        # compressed layout: slots must be disjoint, inside the extent,
+        # and clear of the reserved span (single-file tail meta blob)
+        doc = meta.chunk_slots
+        try:
+            end = int(doc["end"])
+            spans = [(int(s[1]), int(s[1]) + int(s[3]), int(s[0]))
+                     for s in doc["slots"] if int(s[3]) > 0]
+            reserved = doc.get("reserved")
+            if reserved is not None:
+                spans.append((int(reserved[0]),
+                              int(reserved[0]) + int(reserved[1]), -1))
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            problems.append(f"corrupt chunk slot table: {exc}")
+        else:
+            spans.sort()
+            for (a0, a1, ai), (b0, _b1, bi) in zip(spans, spans[1:]):
+                if b0 < a1:
+                    problems.append(
+                        f"overlapping chunk slots at chunks {ai}/{bi} "
+                        f"(offsets {a0} and {b0})"
+                    )
+            if spans and spans[-1][1] > end:
+                problems.append(
+                    f"chunk slot past the physical extent "
+                    f"({spans[-1][1]} > {end})"
+                )
     if check_addresses and meta.num_chunks <= 1 << 16:
         grid = all_addresses(meta.eci)
         flat = sorted(grid.ravel().tolist())

@@ -112,9 +112,13 @@ class MemExtendibleArray:
     def read(self, lo: Sequence[int] | None = None,
              hi: Sequence[int] | None = None,
              order: str = "C") -> np.ndarray:
+        if order not in ("C", "F"):
+            raise DRXIndexError(f"order must be 'C' or 'F', got {order!r}")
         lo = tuple(lo) if lo is not None else (0,) * self.rank
         hi = tuple(hi) if hi is not None else self.shape
         validate_box(lo, hi, self.shape)
+        # allocate directly in the requested order and scatter chunks
+        # into it — on-the-fly transposition, no post-hoc copy
         out = np.zeros(box_shape(lo, hi), dtype=self.dtype, order=order)
         for q, inter in self._plan(lo, hi):
             out[inter.box_slices] = self._chunks[q][inter.chunk_slices]

@@ -22,6 +22,13 @@ Hit/miss/eviction/write-back counters feed experiment E7 (cache size vs
 locality sweeps); the ``syscalls``/``coalesced_runs`` counters quantify
 how much run coalescing compresses the pool's store traffic.
 
+Over a :class:`~repro.drx.storage.CompressedByteStore` the pool caches
+*decompressed* pages: the adapter presents the logical chunk address
+space, decodes on fault-in and recompresses on eviction write-back, so
+hot pages pay the codec once, not per access.  The pool's ``guard`` is
+``None`` in that configuration — CRC verification happens inside the
+adapter, over the compressed payload at its physical slot.
+
 Concurrency (optional, off unless an executor is attached):
 
 * **Thread safety.**  Every public entry point runs under one reentrant

@@ -58,6 +58,7 @@ from ..core.errors import (
     DRXFormatError,
 )
 from ..core.metadata import DRXMeta, DRXType
+from .codec import get_codec
 from .drxfile import DRXFile, StoreWrapper
 from .faultpoints import crash_point
 from .storage import ByteStore, MemoryByteStore, PosixByteStore
@@ -180,6 +181,15 @@ class DRXSingleFile:
                               writable=writable, cache_pages=cache_pages,
                               executor=executor)
         self._inner._persist_meta = self._persist_meta  # type: ignore[method-assign]
+        # A compressed array's slot allocator must route around a
+        # tail-resident committed meta blob (offsets are chunk-region
+        # relative); re-registering the same span is a no-op.
+        cstore = self._inner._codec_store
+        if cstore is not None and blob_span is not None \
+                and blob_span[0] >= header_reserve:
+            cstore.table.reserve(blob_span[0] - header_reserve,
+                                 blob_span[1])
+            cstore.table.mark_committed()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -191,10 +201,12 @@ class DRXSingleFile:
                overwrite: bool = False,
                header_reserve: int = DEFAULT_HEADER_RESERVE,
                cache_pages: int = 64, checksums: bool = False,
+               codec: str = "none",
                store_wrapper: StoreWrapper | None = None,
                executor="auto") -> "DRXSingleFile":
         meta = DRXMeta.create(bounds, chunk_shape, dtype)
         meta.extra["container"] = "single-file"
+        meta.codec = get_codec(codec, meta.dtype.itemsize).name
         if checksums:
             meta.chunk_crcs = {}
         if path is None:
@@ -341,10 +353,21 @@ class DRXSingleFile:
         meta = self._inner.meta
         meta.extra["container"] = "single-file"
         meta.extra["header_reserve"] = self._reserve
+        cstore = self._inner._codec_store
+        if cstore is not None:
+            # commit the slot-allocation table with the document (same
+            # copy-on-write discipline as the two-file container)
+            self._inner._pool.drain_writebehind()
+            crash_point("codec.slots.written")
+            meta.chunk_slots = cstore.table.serialize()
         blob = meta.to_bytes()
         blob_crc = zlib.crc32(blob) & 0xFFFFFFFF
         gen = self._generation + 1
-        offset = self._blob_offset(gen, len(blob), meta.data_nbytes)
+        # tail placement must clear the *physical* chunk-region extent —
+        # for a compressed array that is the slot table's high-water
+        # mark, which can sit above or below the logical data_nbytes
+        offset = self._blob_offset(gen, len(blob),
+                                   self._inner.data_extent_nbytes())
         if self._header_version == 1:
             # One-time in-place migration of a legacy header.  The v1
             # blob may occupy the very bytes the slot table needs, so
@@ -371,6 +394,14 @@ class DRXSingleFile:
             self._raw.flush()
         self._generation = gen
         self._blob_span = (offset, len(blob))
+        if cstore is not None:
+            cstore.table.mark_committed()
+            if offset >= self._reserve:
+                # the newly committed blob sits in the tail: fence its
+                # span off from future chunk-slot allocations (the stale
+                # previous copy's span is released by the reserve swap)
+                cstore.table.reserve(offset - self._reserve, len(blob))
+                cstore.table.mark_committed()
 
     # ------------------------------------------------------------------
     # delegation: same API as DRXFile
@@ -412,6 +443,23 @@ class DRXSingleFile:
     def checksums_enabled(self) -> bool:
         return self._inner.checksums_enabled
 
+    @property
+    def codec(self) -> str:
+        return self._inner.codec
+
+    @property
+    def codec_stats(self):
+        return self._inner.codec_stats
+
+    def data_extent_nbytes(self) -> int:
+        return self._inner.data_extent_nbytes()
+
+    def compact(self, max_moves: int | None = None):
+        """Defragment a compressed array's chunk region (see
+        :meth:`repro.drx.drxfile.DRXFile.compact`).  Tail-resident meta
+        blobs stay fenced off via the table's reserved span."""
+        return self._inner.compact(max_moves)
+
     def scrub(self, batch_chunks: int = 256):
         """Verify every committed chunk against its stored CRC32 (see
         :meth:`repro.drx.drxfile.DRXFile.scrub`)."""
@@ -440,11 +488,14 @@ class DRXSingleFile:
 
     def extend(self, dim: int, by: int) -> None:
         if self._writable and self._blob_span is not None \
+                and self._inner._codec_store is None \
                 and self._blob_span[0] >= self._reserve:
             # The committed blob lives in the tail, where the extension
             # is about to materialize chunk payloads.  Recommit it past
             # the *projected* chunk-region end first, so a crash during
-            # the extension still leaves a readable file.
+            # the extension still leaves a readable file.  (Compressed
+            # arrays skip this: their slot allocator routes new payloads
+            # around the blob's reserved span instead.)
             meta = self._inner.meta
             bounds = list(meta.element_bounds)
             bounds[dim] += by
@@ -469,14 +520,17 @@ class DRXSingleFile:
     # ------------------------------------------------------------------
     @classmethod
     def from_pair(cls, pair: DRXFile, path: str | pathlib.Path | None,
-                  header_reserve: int = DEFAULT_HEADER_RESERVE
-                  ) -> "DRXSingleFile":
+                  header_reserve: int = DEFAULT_HEADER_RESERVE,
+                  codec: str | None = None) -> "DRXSingleFile":
         """Repackage a two-file array into a single file (chunk bytes and
-        axial vectors are carried verbatim)."""
+        axial vectors are carried verbatim; the codec follows the source
+        unless overridden — payloads cross the boundary decompressed, so
+        conversions can also recompress with a different codec)."""
         pair.flush()
         out = cls.create(path, pair.shape, pair.chunk_shape,
                          pair.meta.dtype_name, overwrite=True,
-                         header_reserve=header_reserve)
+                         header_reserve=header_reserve,
+                         codec=pair.meta.codec if codec is None else codec)
         out._inner.meta.eci = pair.meta.eci.copy()
         out._inner.meta.element_bounds = pair.meta.element_bounds
         total = pair.meta.num_chunks * pair.meta.chunk_nbytes
@@ -487,11 +541,15 @@ class DRXSingleFile:
         return out
 
     def to_pair(self, path: str | pathlib.Path,
-                overwrite: bool = False) -> DRXFile:
-        """Repackage into the classic ``.xmd``/``.xta`` pair."""
+                overwrite: bool = False,
+                codec: str | None = None) -> DRXFile:
+        """Repackage into the classic ``.xmd``/``.xta`` pair (codec
+        carried over unless overridden)."""
         self.flush()
         out = DRXFile.create(path, self.shape, self.chunk_shape,
-                             self.meta.dtype_name, overwrite=overwrite)
+                             self.meta.dtype_name, overwrite=overwrite,
+                             codec=self.meta.codec if codec is None
+                             else codec)
         out.meta.eci = self.meta.eci.copy()
         out.meta.element_bounds = self.meta.element_bounds
         out.meta.extra.pop("container", None)

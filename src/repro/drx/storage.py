@@ -43,12 +43,15 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from ..core import faultsites
 from ..core.errors import DRXFileError, PFSError
 from ..pfs.pfile import PFSFile
+from .chunkalloc import SlotTable
+from .codec import Codec, CodecStats, timed_frame_decode, timed_frame_encode
 from .faultpoints import crash_point
 
 __all__ = ["ByteStore", "StoreStats", "PosixByteStore", "MemoryByteStore",
-           "PFSByteStore"]
+           "PFSByteStore", "CompressedByteStore"]
 
 #: A half-open byte extent ``(offset, length)``.
 Extent = tuple[int, int]
@@ -453,3 +456,243 @@ class PFSByteStore(ByteStore):
 
     def truncate(self, size: int) -> None:
         self._pfile.set_size(size)
+
+
+class CompressedByteStore(ByteStore):
+    """Transparent per-chunk compression over an inner byte store.
+
+    Exposes the array's *logical* uncompressed chunk address space —
+    chunk ``q`` still appears to live at ``q * chunk_nbytes``, so the
+    Mpool, the streaming pipelines and the container conversions work
+    unchanged (and the pool caches *decompressed* pages; its eviction
+    write-backs recompress right here).  Underneath, each chunk's framed
+    compressed payload (:mod:`repro.drx.codec`) is placed by a
+    :class:`~repro.drx.chunkalloc.SlotTable` and moved through the inner
+    store at its physical extent.  Every access must be chunk-aligned —
+    which every caller in the stack already is, because the chunk is the
+    transfer unit.
+
+    Integrity: the optional ``guard`` (a
+    :class:`~repro.drx.resilience.ChecksumGuard`, duck-typed to avoid an
+    import cycle) records and verifies CRC32 over the *compressed*
+    payload, and a mismatch arbitrates among the inner store's replica
+    copies of the physical slot — so replication, healing and the chaos
+    suites operate on compressed arrays exactly as on plain ones.
+
+    CPU offload: with a ``codec``-tier executor attached, multi-chunk
+    batches split their encode/decode work across its threads (pure-CPU
+    leaf tasks — ``zlib`` releases the GIL — so codec time overlaps the
+    inner store's server I/O).  Falls back to serial for small batches,
+    order-sensitive inner stores, or while fault machinery is armed.
+
+    ``stats`` is shared with the inner store: the transfer counters
+    report the *compressed* bytes physically moved, which is the
+    quantity compression exists to shrink.  The codec-side accounting
+    (raw vs stored bytes, ratio, encode/decode wall-time) lives in
+    ``codec_stats``.
+    """
+
+    def __init__(self, inner: ByteStore, codec: Codec, table: SlotTable,
+                 chunk_nbytes: int, logical_nbytes: int = 0,
+                 guard=None, executor=None) -> None:
+        super().__init__()
+        if chunk_nbytes < 1:
+            raise DRXFileError(f"chunk size must be >= 1, got {chunk_nbytes}")
+        self._inner = inner
+        self._codec = codec
+        self._table = table
+        self._nb = int(chunk_nbytes)
+        self._logical = int(logical_nbytes)
+        self._guard = guard
+        self._executor = executor
+        self.codec_stats = CodecStats()
+        # one accounting surface per physical file (compressed bytes)
+        self.stats = inner.stats
+        # table mutations race between the foreground thread and the
+        # pool's write-behind tasks; inner I/O runs outside the lock
+        # (slot extents are disjoint per chunk, and the pool already
+        # orders same-chunk operations)
+        self._ch_lock = threading.RLock()
+        self.deterministic_only = getattr(inner, "deterministic_only",
+                                          False)
+
+    # -- wiring surface for the file layer ---------------------------------
+    @property
+    def inner(self) -> ByteStore:
+        return self._inner
+
+    @property
+    def table(self) -> SlotTable:
+        return self._table
+
+    @property
+    def codec(self) -> Codec:
+        return self._codec
+
+    @property
+    def guard(self):
+        return self._guard
+
+    def data_extent_nbytes(self) -> int:
+        """Physical end of the compressed chunk region."""
+        with self._ch_lock:
+            return self._table.end
+
+    # -- codec offload ------------------------------------------------------
+    def _map_codec(self, fn, items: list) -> list:
+        """Apply ``fn`` to every item, splitting large batches across the
+        codec executor (submit ``width - 1`` batches, run the last
+        inline); results come back in item order."""
+        ex = self._executor
+        if (ex is None or len(items) < 4
+                or self.deterministic_only or faultsites.any_active()):
+            return [fn(it) for it in items]
+        width = min(max(1, ex.threads), len(items))
+        size = (len(items) + width - 1) // width
+        batches = [items[i:i + size] for i in range(0, len(items), size)]
+        run = lambda batch: [fn(it) for it in batch]  # noqa: E731
+        futs = [ex.submit(run, b) for b in batches[:-1]]
+        tail = run(batches[-1])
+        out: list = []
+        for f in futs:
+            out.extend(ex.result(f))
+        out.extend(tail)
+        return out
+
+    def _encode_many(self, raws: list) -> list[bytes]:
+        codec, st = self._codec, self.codec_stats
+        return self._map_codec(
+            lambda raw: timed_frame_encode(codec, raw, st), raws)
+
+    def _decode_many(self, payloads: list) -> list[bytes]:
+        codec, st, nb = self._codec, self.codec_stats, self._nb
+        return self._map_codec(
+            lambda p: timed_frame_decode(codec, p, nb, st), payloads)
+
+    # -- address decomposition ----------------------------------------------
+    def _chunks_of(self, offset: int, length: int) -> range:
+        nb = self._nb
+        if offset % nb or length % nb:
+            raise DRXFileError(
+                f"compressed store access must be chunk-aligned: "
+                f"offset {offset}, length {length}, chunk {nb} bytes"
+            )
+        return range(offset // nb, (offset + length) // nb)
+
+    # -- reads ---------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        return self._read_chunks(list(self._chunks_of(offset, length)))
+
+    def readv(self, extents: Sequence[Extent]) -> bytes:
+        chunks: list[int] = []
+        for off, length in extents:
+            chunks.extend(self._chunks_of(off, length))
+        return self._read_chunks(chunks)
+
+    def _read_chunks(self, chunks: list[int]) -> bytes:
+        nb = self._nb
+        with self._ch_lock:
+            slots = [self._table.get(c) for c in chunks]
+        present = [(i, c, s) for i, (c, s) in enumerate(zip(chunks, slots))
+                   if s is not None and s.length > 0]
+        out = bytearray(len(chunks) * nb)     # absent chunks read as zeros
+        if not present:
+            return bytes(out)
+        extents: list[list[int]] = []
+        for _i, _c, s in present:             # merge physically adjacent
+            if extents and extents[-1][0] + extents[-1][1] == s.offset:
+                extents[-1][1] += s.length
+            else:
+                extents.append([s.offset, s.length])
+        blob = memoryview(self._inner.readv(
+            [(off, length) for off, length in extents]))
+        payloads: list = []
+        pos = 0
+        for _i, c, s in present:
+            payload = blob[pos:pos + s.length]
+            pos += s.length
+            if self._guard is not None:
+                # a CRC mismatch over the compressed payload arbitrates
+                # among the inner store's replica copies of the slot
+                payload = self._guard.check_or_arbitrate(
+                    c, payload, self._inner, s.offset, s.length)
+            payloads.append(payload)
+        raws = self._decode_many(payloads)
+        for (i, _c, _s), raw in zip(present, raws):
+            out[i * nb:(i + 1) * nb] = raw
+        return bytes(out)
+
+    # -- writes --------------------------------------------------------------
+    def write(self, offset: int, data) -> None:
+        self._write_chunks(list(self._chunks_of(offset, len(data))), data)
+
+    def writev(self, extents: Sequence[Extent], data) -> None:
+        mv = memoryview(data)
+        total = sum(length for _off, length in extents)
+        if total != len(mv):
+            raise DRXFileError(
+                f"writev: extents cover {total} bytes, data has {len(mv)}"
+            )
+        chunks: list[int] = []
+        for off, length in extents:
+            chunks.extend(self._chunks_of(off, length))
+        self._write_chunks(chunks, mv)
+
+    def _write_chunks(self, chunks: list[int], data) -> None:
+        nb = self._nb
+        mv = memoryview(data)
+        payloads = self._encode_many(
+            [mv[i * nb:(i + 1) * nb] for i in range(len(chunks))])
+        with self._ch_lock:
+            slots = [self._table.allocate(c, len(p))
+                     for c, p in zip(chunks, payloads)]
+            if self._guard is not None:
+                for c, p in zip(chunks, payloads):
+                    self._guard.record(c, p)
+            if chunks:
+                self._logical = max(self._logical,
+                                    (max(chunks) + 1) * nb)
+        extents: list[list[int]] = []
+        blob = bytearray()
+        for s, p in zip(slots, payloads):
+            if extents and extents[-1][0] + extents[-1][1] == s.offset:
+                extents[-1][1] += len(p)
+            else:
+                extents.append([s.offset, len(p)])
+            blob += p
+        if extents:
+            self._inner.writev([(off, length) for off, length in extents],
+                               bytes(blob))
+
+    def replace(self, data) -> None:
+        raise DRXFileError(
+            "replace() is not supported on a compressed chunk store"
+        )
+
+    # -- geometry / lifecycle -------------------------------------------------
+    @property
+    def size(self) -> int:
+        """The *logical* (uncompressed) size — what the pool's read-ahead
+        bounds against and ``DRXFile.extend`` grows."""
+        return self._logical
+
+    def truncate(self, size: int) -> None:
+        nb = self._nb
+        if size % nb:
+            raise DRXFileError(
+                f"compressed store size must be chunk-aligned, got {size}"
+            )
+        with self._ch_lock:
+            if size < self._logical:
+                keep = size // nb
+                for c in [c for c in self._table.indices() if c >= keep]:
+                    self._table.remove(c)
+                    if self._guard is not None:
+                        self._guard.crcs.pop(c, None)
+            self._logical = size
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()

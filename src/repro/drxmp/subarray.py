@@ -41,9 +41,20 @@ __all__ = ["chunk_datatype", "indexed_filetype", "zone_read",
 
 
 def chunk_datatype(meta: DRXMeta) -> datatypes.Datatype:
-    """The committed MPI datatype of one whole chunk payload."""
-    base = datatypes.from_numpy_dtype(meta.dtype)
-    return base.Create_contiguous(meta.chunk_elems).Commit()
+    """The committed MPI datatype of one whole chunk payload.
+
+    Memoized per meta-data object: the chunk datatype depends only on
+    the element dtype and the chunk element count, both immutable for
+    the array's lifetime, so every filetype construction of every
+    transfer reuses one committed instance instead of re-deriving it.
+    """
+    key = ("chunk_dt", meta.dtype_name, meta.chunk_elems)
+    dt = meta._cache.get(key)
+    if dt is None:
+        base = datatypes.from_numpy_dtype(meta.dtype)
+        dt = base.Create_contiguous(meta.chunk_elems).Commit()
+        meta._cache[key] = dt
+    return dt
 
 
 def indexed_filetype(meta: DRXMeta,
@@ -72,15 +83,40 @@ def indexed_filetype(meta: DRXMeta,
     return ft.Commit()
 
 
+#: Bound on memoized F* plans per meta generation (zones repeat a small
+#: number of distinct chunk-index sets; the cap only guards pathological
+#: callers issuing thousands of distinct boxes between extends).
+_PLAN_CACHE_MAX = 64
+
+
 def _sorted_chunk_plan(meta: DRXMeta, chunk_indices: np.ndarray
                        ) -> tuple[np.ndarray, np.ndarray]:
-    """``(sorted addresses, chunk indices in that file order)``."""
+    """``(sorted addresses, chunk indices in that file order)``.
+
+    Memoized on the axial index's *generation*: between extends the
+    mapping ``F*`` is pure, so a rank re-reading the same zone (the
+    steady state of the iterative workloads) skips both the vectorized
+    mapping and the sort.  Any extension bumps the generation and drops
+    the cached plans wholesale.
+    """
     if chunk_indices.shape[0] == 0:
         return (np.empty(0, dtype=np.int64),
                 chunk_indices.reshape(0, meta.rank))
+    cache = meta._cache.setdefault("plans", {})
+    gen = meta.eci.generation
+    if cache.get("generation") != gen:
+        cache.clear()
+        cache["generation"] = gen
+    key = chunk_indices.tobytes()
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
     addrs = f_star_many(meta.eci, chunk_indices)
     order = np.argsort(addrs, kind="stable")
-    return addrs[order], chunk_indices[order]
+    plan = (addrs[order], chunk_indices[order])
+    if len(cache) <= _PLAN_CACHE_MAX:
+        cache[key] = plan
+    return plan
 
 
 def _scatter_chunks(meta: DRXMeta, staging: np.ndarray,

@@ -22,11 +22,13 @@ XMD_SITES = [s for s in CRASH_SITES
              if s.startswith(("xmd.", "posix."))]
 SF_SITES = [s for s in CRASH_SITES if s.startswith("sf.")]
 MPOOL_SITES = [s for s in CRASH_SITES if s.startswith("mpool.")]
+CODEC_SITES = [s for s in CRASH_SITES if s.startswith("codec.")]
 
 
 def test_site_inventory_is_partitioned():
     """Every registered site belongs to exactly one sweep below."""
-    assert sorted(XMD_SITES + SF_SITES + MPOOL_SITES) == sorted(CRASH_SITES)
+    assert sorted(XMD_SITES + SF_SITES + MPOOL_SITES + CODEC_SITES) \
+        == sorted(CRASH_SITES)
 
 
 class TestXMDCommitCrashes:
@@ -207,6 +209,98 @@ class TestPFSBackedCrashes:
             assert np.array_equal(got, before) or np.array_equal(got, after)
 
 
+class TestCompressedCommitCrashes:
+    """The allocation-table commit of compressed (``codec="zlib"``)
+    arrays.
+
+    Compressed payloads land *before* the slot table commits; the
+    table's copy-on-write discipline promises that a crash at any site —
+    including the new ``codec.slots.written`` — reopens the previous
+    committed table with every one of its payloads intact.  The sweeps
+    overwrite committed chunks (exercising COW extents, not just
+    appends) and verify the reopened content is bit-identically old or
+    new.
+    """
+
+    SWEEP = sorted(set(CODEC_SITES + XMD_SITES + MPOOL_SITES))
+
+    @pytest.mark.parametrize("site", SWEEP)
+    def test_crash_mid_overwrite_leaves_old_or_new(self, tmp_path, site):
+        before = pattern_array((6, 6))
+        after = before * 3 + 1
+        a = DRXFile.create(tmp_path / "c", (6, 6), (2, 2),
+                           codec="zlib", checksums=True)
+        a.write((0, 0), before)
+        a.flush()                              # state A committed
+        a.write((0, 0), after)                 # COW rewrites every chunk
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        with DRXFile.open(tmp_path / "c") as b:
+            got = b.read()
+            assert np.array_equal(got, before) or np.array_equal(got, after)
+            assert not b.scrub().corrupt       # CRCs match the table
+
+    @pytest.mark.parametrize("site", sorted(set(CODEC_SITES + XMD_SITES)))
+    def test_crash_mid_extend_leaves_old_or_new_shape(self, tmp_path, site):
+        a = DRXFile.create(tmp_path / "e", (4, 4), (2, 2), codec="zlib")
+        a.write((0, 0), pattern_array((4, 4)))
+        a.flush()
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.extend(0, 2)
+        with DRXFile.open(tmp_path / "e") as b:
+            assert b.shape in ((4, 4), (6, 4))
+            assert np.array_equal(b.read((0, 0), (4, 4)),
+                                  pattern_array((4, 4)))
+
+    SF_SWEEP = sorted(set(CODEC_SITES + SF_SITES + MPOOL_SITES))
+
+    @pytest.mark.parametrize("site", SF_SWEEP)
+    def test_single_file_compressed_crashes(self, tmp_path, site):
+        """Single-file container with a tiny reserve: the meta blob is
+        tail-resident inside the chunk region, fenced off through the
+        slot table's reserved span."""
+        before = pattern_array((4, 4))
+        after = before + 7
+        a = DRXSingleFile.create(tmp_path / "s", (4, 4), (1, 1),
+                                 header_reserve=200, codec="zlib",
+                                 checksums=True)
+        a.write((0, 0), before)
+        for dim, by in random_growth(2, 6, seed=5, max_by=1):
+            a.extend(dim, by)                  # meta far beyond 200b
+        a.flush()
+        shape_a = a.shape
+        a.write((0, 0), after)
+        with FaultPlan().crash(site):
+            with pytest.raises(CrashError):
+                a.flush()
+        with DRXSingleFile.open(tmp_path / "s") as b:
+            assert b.shape == shape_a
+            got = b.read((0, 0), (4, 4))
+            assert np.array_equal(got, before) or np.array_equal(got, after)
+            assert not b.scrub().corrupt
+
+    def test_repeated_crashes_recycle_no_committed_extent(self, tmp_path):
+        """Crashing the same commit repeatedly must not leak or reuse
+        quarantined extents: each retry re-quarantines, and the final
+        clean commit converges."""
+        a = DRXFile.create(tmp_path / "r", (4, 4), (2, 2), codec="zlib")
+        base = pattern_array((4, 4))
+        a.write((0, 0), base)
+        a.flush()
+        for attempt in range(3):
+            a.write((0, 0), base + attempt + 1)
+            with FaultPlan().crash("codec.slots.written"):
+                with pytest.raises(CrashError):
+                    a.flush()
+            with DRXFile.open(tmp_path / "r") as b:
+                assert np.array_equal(b.read(), base)
+        a.flush()                              # clean commit lands B
+        with DRXFile.open(tmp_path / "r") as b:
+            assert np.array_equal(b.read(), base + 3)
+
+
 class TestSiteCoverage:
     def test_every_site_fires_in_a_normal_lifecycle(self, tmp_path):
         """The inventory in CRASH_SITES is live: a plain create/write/
@@ -220,5 +314,8 @@ class TestSiteCoverage:
             with DRXSingleFile.create(tmp_path / "s", (4, 4), (2, 2)) as s:
                 s.write((0, 0), pattern_array((4, 4)))
                 s.extend(0, 2)
+            with DRXFile.create(tmp_path / "z", (4, 4), (2, 2),
+                                codec="zlib") as z:
+                z.write((0, 0), pattern_array((4, 4)))
         missed = set(CRASH_SITES) - set(plan.hits)
         assert not missed, f"crash sites never visited: {sorted(missed)}"

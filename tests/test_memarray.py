@@ -36,6 +36,31 @@ class TestBasics:
         f = m.read(order="F")
         assert f.flags["F_CONTIGUOUS"] and np.allclose(f, ref)
 
+    def test_read_orders_bit_identical(self, rng):
+        """C and F reads must return the same values bit for bit — the
+        F result is materialised directly in column-major layout, not
+        post-copied from a C buffer."""
+        m = MemExtendibleArray((5, 6, 4), (2, 3, 2))
+        ref = rng.random((5, 6, 4))
+        m.write((0, 0, 0), ref)
+        c = m.read(order="C")
+        f = m.read(order="F")
+        assert c.flags["C_CONTIGUOUS"] and f.flags["F_CONTIGUOUS"]
+        assert np.array_equal(c, f)
+        assert c.tobytes("C") == f.tobytes("C")
+        assert np.array_equal(np.asfortranarray(c), f)
+        sub_c = m.read((1, 2, 0), (4, 5, 3), order="C")
+        sub_f = m.read((1, 2, 0), (4, 5, 3), order="F")
+        assert np.array_equal(sub_c, sub_f)
+        assert sub_f.flags["F_CONTIGUOUS"]
+
+    def test_read_rejects_bad_order(self):
+        m = MemExtendibleArray((4, 4), (2, 2))
+        with pytest.raises(DRXIndexError):
+            m.read(order="K")
+        with pytest.raises(DRXIndexError):
+            m.read(order="c")
+
 
 class TestExtend:
     def test_extend_keeps_data(self, rng):
