@@ -32,6 +32,10 @@ Three executor *tiers* exist, each a process-wide singleton:
     :class:`~repro.pfs.pfile.PFSFile`.  Tasks here touch only
     :class:`~repro.pfs.server.IOServer` locks and never wait on another
     executor — the tier that may be waited on while holding file locks.
+    The collective-I/O engine (:mod:`repro.mpi.collective`) rides this
+    tier for free: aggregator ranks issue their phase-B windows through
+    ``PFSFile.readv``/``writev``/``sieve_writev``, whose per-server
+    fan-out is what this tier parallelizes.
 ``"drx"``
     Background tier.  Mpool read-ahead / write-behind and DRX streaming
     pipelines.  Tasks here are plain store calls; they may *block on*

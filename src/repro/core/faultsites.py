@@ -91,10 +91,18 @@ KILL_SITES: dict[str, str] = {
         "earlier copies already landed, the dying server's copy is skipped",
     "server.kill.collective.entry":
         "every rank, before the collective extent exchange",
+    "server.kill.collective.exchange":
+        "every rank, requests planned, before shipping its phase-A "
+        "requests/data to the aggregator ranks",
     "server.kill.collective.read":
-        "aggregator rank, extents merged, before the aggregated PFS read",
+        "each aggregator rank, its file domain's extents merged, before "
+        "the aggregated PFS read of that domain",
     "server.kill.collective.write":
-        "aggregator rank, extents merged, before the aggregated PFS write",
+        "each aggregator rank, its file domain's extents merged, before "
+        "the aggregated PFS write of that domain",
+    "server.kill.collective.sieve":
+        "aggregator rank, before a data-sieving covering access of a "
+        "hole-bearing window (covering read, or read-modify-write)",
     "server.kill.rebuild.begin":
         "a server rebuild was requested, nothing copied yet",
     "server.kill.rebuild.batch":

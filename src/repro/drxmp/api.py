@@ -71,12 +71,14 @@ class DRXMPFile:
     @classmethod
     def create(cls, comm: Intracomm, fs: ParallelFileSystem, name: str,
                bounds: Sequence[int], chunk_shape: Sequence[int],
-               dtype: str | np.dtype | type = DRXType.DOUBLE
-               ) -> "DRXMPFile":
+               dtype: str | np.dtype | type = DRXType.DOUBLE,
+               info: dict | None = None) -> "DRXMPFile":
         """Collectively create a new principal array on ``fs``.
 
         This is the paper's ``DRXMP_Init``: every process receives its
-        meta-data handle; rank 0 materializes the file pair.
+        meta-data handle; rank 0 materializes the file pair.  ``info``
+        carries MPI-IO hints down to the payload file (e.g.
+        ``{"cb_nodes": 2}`` — see DESIGN.md §5f).
         """
         spec = comm.allgather((name, tuple(bounds), tuple(chunk_shape)))
         if any(s != spec[0] for s in spec):
@@ -94,11 +96,11 @@ class DRXMPFile:
         err = comm.bcast(err)
         if err:
             raise DRXFileExistsError(err)
-        return cls._attach(comm, fs, name, "r+")
+        return cls._attach(comm, fs, name, "r+", info=info)
 
     @classmethod
     def open(cls, comm: Intracomm, fs: ParallelFileSystem, name: str,
-             mode: str = "r") -> "DRXMPFile":
+             mode: str = "r", info: dict | None = None) -> "DRXMPFile":
         """Collectively open an existing array (paper: ``DRXMP_Open``).
 
         "The file must exist otherwise it returns an error."
@@ -112,11 +114,11 @@ class DRXMPFile:
         err = comm.bcast(err)
         if err:
             raise DRXFileNotFoundError(err)
-        return cls._attach(comm, fs, name, mode)
+        return cls._attach(comm, fs, name, mode, info=info)
 
     @classmethod
     def _attach(cls, comm: Intracomm, fs: ParallelFileSystem, name: str,
-                mode: str) -> "DRXMPFile":
+                mode: str, info: dict | None = None) -> "DRXMPFile":
         # replicate the meta-data into every process
         blob = None
         if comm.rank == 0:
@@ -125,7 +127,7 @@ class DRXMPFile:
         blob = comm.bcast(blob)
         meta = DRXMeta.from_bytes(blob)
         amode = mpiio.MODE_RDONLY if mode == "r" else mpiio.MODE_RDWR
-        fh = mpiio.File.Open(comm, name + XTA_SUFFIX, amode, fs)
+        fh = mpiio.File.Open(comm, name + XTA_SUFFIX, amode, fs, info=info)
         handle = DRXMDHdl(name=name, comm=comm, meta=meta,
                           data_file=fh, mode=mode)
         return cls(handle, fs)
@@ -180,6 +182,16 @@ class DRXMPFile:
         then call :meth:`flush_attrs` (rank 0 persists).
         """
         return self._h.meta.attrs
+
+    def set_info(self, info: dict | None) -> None:
+        """Merge MPI-IO hints into the payload file (collective
+        configuration: set the same values on every rank)."""
+        self._h.require_open()
+        self._h.data_file.Set_info(info)
+
+    def get_info(self) -> dict:
+        """The payload file's effective MPI-IO hints."""
+        return self._h.data_file.Get_info()
 
     def flush_attrs(self) -> None:
         """Collectively persist attributes (meta-data rewrite by rank 0)."""
@@ -322,7 +334,8 @@ class DRXMPFile:
 def DRXMP_Init(comm: Intracomm, fs: ParallelFileSystem, name: str,
                kdim: int, initsize: Sequence[int],
                chkshape: Sequence[int],
-               dtype: str = DRXType.DOUBLE) -> DRXMPFile:
+               dtype: str = DRXType.DOUBLE,
+               info: dict | None = None) -> DRXMPFile:
     """``int DRXMP_Init(DRXMDHdl*, int kdim, size_t *initsize,
     int *chkshape, DRXType dtype, DRXComm comm)`` — collective creation;
     "gives each process access to their respective meta-data handle"."""
@@ -331,13 +344,14 @@ def DRXMP_Init(comm: Intracomm, fs: ParallelFileSystem, name: str,
             f"kdim={kdim} but initsize has {len(initsize)} and chkshape "
             f"has {len(chkshape)} entries"
         )
-    return DRXMPFile.create(comm, fs, name, initsize, chkshape, dtype)
+    return DRXMPFile.create(comm, fs, name, initsize, chkshape, dtype,
+                            info=info)
 
 
 def DRXMP_Open(comm: Intracomm, fs: ParallelFileSystem, name: str,
-               mode: str = "r") -> DRXMPFile:
+               mode: str = "r", info: dict | None = None) -> DRXMPFile:
     """``int DRXMP_Open(DRXMDHdl*, char *filename, char *mode)``."""
-    return DRXMPFile.open(comm, fs, name, mode)
+    return DRXMPFile.open(comm, fs, name, mode, info=info)
 
 
 def DRXMP_Close(drxhdl: DRXMPFile) -> None:

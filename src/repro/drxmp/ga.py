@@ -70,9 +70,15 @@ class GlobalArray:
     # construction from / persistence to a DRX-MP file
     # ------------------------------------------------------------------
     @classmethod
-    def from_file(cls, dmp: DRXMPFile, partition=None) -> "GlobalArray":
-        """Collectively load a principal array into distributed memory."""
+    def from_file(cls, dmp: DRXMPFile, partition=None,
+                  info: dict | None = None) -> "GlobalArray":
+        """Collectively load a principal array into distributed memory.
+
+        ``info`` merges MPI-IO hints (e.g. ``{"cb_nodes": 2}``) into the
+        payload file before the collective read."""
         partition = partition or dmp.partition()
+        if info:
+            dmp.set_info(info)
         ga = cls(dmp.comm, dmp.meta.replicate(), partition)
         if len(ga.local_addresses):
             from .subarray import indexed_filetype
@@ -85,9 +91,11 @@ class GlobalArray:
         ga.sync()
         return ga
 
-    def to_file(self, dmp: DRXMPFile) -> None:
+    def to_file(self, dmp: DRXMPFile, info: dict | None = None) -> None:
         """Collectively store the distributed array back to the file."""
         self.sync()
+        if info:
+            dmp.set_info(info)
         if len(self.local_addresses):
             from .subarray import indexed_filetype
             ft = indexed_filetype(self.meta, self.local_addresses)

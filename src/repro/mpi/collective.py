@@ -1,0 +1,616 @@
+"""The ROMIO-style collective-I/O engine: data sieving + two-phase I/O.
+
+This module implements the two optimizations of Thakur, Gropp & Lusk,
+"Data Sieving and Collective I/O in ROMIO" (see PAPERS.md), on top of
+the simulated parallel file system:
+
+**Data sieving** (independent noncontiguous access).  A strided or
+indexed file view turns one ``Read_at``/``Write_at`` into many small
+extents separated by holes.  Instead of issuing them one by one, the
+engine reads a single *covering* extent per hole-bearing run group and
+extracts the requested pieces in memory; writes become an atomic
+read-modify-write of the covering extent (:meth:`PFSFile.sieve_writev`
+holds the file lock across the read and the write-back, so concurrent
+sieved writers cannot clobber each other).  The price is *wasted* hole
+bytes, so merging is gated by a hole-size threshold
+(``romio_ds_read``/``romio_ds_write`` = ``auto``) or unleashed up to the
+independent buffer size (``enable``).
+
+**Two-phase collective buffering** (``Read_at_all``/``Write_at_all``).
+The aggregate byte range of all ranks is partitioned into contiguous,
+stripe-aligned *file domains*, each owned by one *aggregator* rank
+(``cb_nodes`` of them, placed one per simulated node via the pluggable
+:meth:`Intracomm.node_map`).  Phase A exchanges requests and data
+point-to-point — O(total data) bytes, not the O(P x data) of a
+bulletin-board broadcast — so only aggregators ever touch the PFS.
+Phase B issues one large vectored request per aggregator per
+``cb_buffer_size`` window, data-sieving hole-bearing windows.
+Overlapping collective writers are legal and resolved in rank order
+(the higher rank's bytes win, matching the serial reference in which
+ranks write one after the other).
+
+Aggregator PFS calls funnel through :meth:`PFSFile.readv`/``writev``
+and therefore through the ``pfs``-tier :class:`~repro.core.executor.
+IOExecutor`; under an armed fault plan the aggregators additionally
+serialize phase B in aggregator order through a token chain, extending
+the established serial-fallback-under-armed-faults rule to the fan-out.
+
+Everything is accounted in :class:`~repro.pfs.stats.CollectiveStats`
+(``PFSFile.cstats``): requests before/after aggregation, sieve covering
+reads and read-modify-writes, wasted hole bytes, phase-A exchange
+bytes and time, phase-B simulated I/O time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..core.errors import MPIFileError
+from ..core.faultsites import crash_point
+from ..pfs.pfile import PFSFile
+from ..pfs.striping import Extent, coalesce_extents
+
+__all__ = ["CollectiveHints", "HINT_KEYS", "account",
+           "choose_aggregators", "file_domains",
+           "sieved_readv", "sieved_writev",
+           "two_phase_read", "two_phase_write"]
+
+#: phase-A mailbox tags (collectives are globally ordered per
+#: communicator, and (source, tag) matching is FIFO per pair, so fixed
+#: tags cannot mismatch across consecutive collective operations)
+TAG_REQ = 0x7E01     # requests (reads) / requests + data (writes)
+TAG_DATA = 0x7E02    # read replies, aggregator -> requester
+TAG_TOKEN = 0x7E03   # aggregator serialization under armed faults
+
+#: hint name -> environment fallback variable
+_ENV = {
+    "cb_nodes": "DRX_CB_NODES",
+    "cb_buffer_size": "DRX_CB_BUFFER_SIZE",
+    "ind_rd_buffer_size": "DRX_IND_RD_BUFFER_SIZE",
+    "ind_wr_buffer_size": "DRX_IND_WR_BUFFER_SIZE",
+    "romio_cb_read": "DRX_CB_READ",
+    "romio_cb_write": "DRX_CB_WRITE",
+    "romio_ds_read": "DRX_DS_READ",
+    "romio_ds_write": "DRX_DS_WRITE",
+    "ds_hole_threshold": "DRX_DS_HOLE_THRESHOLD",
+}
+
+HINT_KEYS = tuple(_ENV)
+
+_CB_MODES = ("enable", "disable", "auto", "legacy")
+_DS_MODES = ("enable", "disable", "auto")
+
+
+@dataclass(frozen=True)
+class CollectiveHints:
+    """Resolved MPI-IO hints (ROMIO names, ``DRX_*`` env fallbacks)."""
+
+    #: number of aggregator ranks; None = one per simulated node
+    cb_nodes: int | None = None
+    #: bytes an aggregator moves per phase-B window
+    cb_buffer_size: int = 4 << 20
+    #: covering-extent cap for independent sieved reads
+    ind_rd_buffer_size: int = 4 << 20
+    #: covering-extent cap for independent sieved writes
+    ind_wr_buffer_size: int = 512 << 10
+    #: two-phase on reads: enable | disable | auto | legacy
+    romio_cb_read: str = "auto"
+    #: two-phase on writes: enable | disable | auto | legacy
+    romio_cb_write: str = "auto"
+    #: data sieving on reads: enable | disable | auto
+    romio_ds_read: str = "auto"
+    #: data sieving on writes: enable | disable | auto
+    romio_ds_write: str = "auto"
+    #: largest hole ``auto`` sieving will read through
+    ds_hole_threshold: int = 4096
+
+    @classmethod
+    def resolve(cls, info: dict | None = None) -> "CollectiveHints":
+        """Build hints from the environment, overridden by ``info``."""
+        raw: dict[str, Any] = {}
+        for key, env in _ENV.items():
+            val = os.environ.get(env)
+            if val is not None and val != "":
+                raw[key] = val
+        if info:
+            for key, val in info.items():
+                if key not in _ENV:
+                    raise MPIFileError(
+                        f"unknown hint {key!r} (known: {sorted(_ENV)})")
+                raw[key] = val
+        vals: dict[str, Any] = {}
+        for key, val in raw.items():
+            if key.startswith("romio_"):
+                mode = str(val).lower()
+                allowed = _CB_MODES if "cb" in key else _DS_MODES
+                if mode not in allowed:
+                    raise MPIFileError(
+                        f"hint {key}={val!r} not in {allowed}")
+                vals[key] = mode
+            else:
+                try:
+                    n = int(val)
+                except (TypeError, ValueError):
+                    raise MPIFileError(
+                        f"hint {key}={val!r} is not an integer") from None
+                if key == "ds_hole_threshold":
+                    if n < 0:
+                        raise MPIFileError(f"hint {key}={n} must be >= 0")
+                elif n < 1:
+                    raise MPIFileError(f"hint {key}={n} must be >= 1")
+                vals[key] = n
+        return cls(**vals)
+
+    def digest(self) -> tuple:
+        """Comparable fingerprint for cross-rank consistency checks."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# ---------------------------------------------------------------------------
+# stats plumbing
+# ---------------------------------------------------------------------------
+
+def account(pfile: PFSFile, **deltas: Any) -> None:
+    """Accumulate counter deltas into the file's shared CollectiveStats."""
+    with pfile.cstats_lock:
+        cs = pfile.cstats
+        for key, val in deltas.items():
+            setattr(cs, key, getattr(cs, key) + val)
+
+
+# ---------------------------------------------------------------------------
+# aggregator placement and file domains
+# ---------------------------------------------------------------------------
+
+def choose_aggregators(comm, hints: CollectiveHints) -> list[int]:
+    """Pick the aggregator ranks, topology-aware.
+
+    One aggregator per simulated node first (nodes in order of their
+    first rank), then a second rank per node, and so on until
+    ``cb_nodes`` aggregators are chosen.  With the default node map
+    (every rank on one node) and no ``cb_nodes`` hint this degenerates
+    to the single rank-0 aggregator of the legacy path.
+    """
+    node_of = comm.node_map()
+    by_node: dict[int, list[int]] = {}
+    node_order: list[int] = []
+    for rank, node in enumerate(node_of):
+        if node not in by_node:
+            by_node[node] = []
+            node_order.append(node)
+        by_node[node].append(rank)
+    want = hints.cb_nodes if hints.cb_nodes is not None else len(node_order)
+    want = max(1, min(int(want), comm.size))
+    aggs: list[int] = []
+    sweep = 0
+    while len(aggs) < want:
+        added = False
+        for node in node_order:
+            ranks = by_node[node]
+            if sweep < len(ranks):
+                aggs.append(ranks[sweep])
+                added = True
+                if len(aggs) == want:
+                    break
+        sweep += 1
+        if not added:       # pragma: no cover - want is capped at size
+            break
+    return sorted(aggs)
+
+
+def file_domains(lo: int, hi: int, ndomains: int, align: int) -> list[int]:
+    """Split ``[lo, hi)`` into ``ndomains`` contiguous domains.
+
+    Returns the ``ndomains + 1`` boundary offsets.  Interior boundaries
+    are aligned down to a stripe boundary so one stripe never straddles
+    two aggregators; a boundary collapsing onto its neighbour simply
+    leaves that domain empty.
+    """
+    span = hi - lo
+    bounds = [lo]
+    for i in range(1, ndomains):
+        b = lo + (span * i) // ndomains
+        b -= b % align
+        bounds.append(min(hi, max(b, bounds[-1])))
+    bounds.append(hi)
+    return bounds
+
+
+def _domain_splits(extents: Sequence[Extent], bounds: list[int]
+                   ) -> list[list[tuple[int, int, int]]]:
+    """Chop data-ordered extents at the domain boundaries.
+
+    Returns, per domain, ``(offset, length, data_position)`` pieces in
+    data order — the third element locates the piece in the rank's flat
+    data buffer, which is how replies are stitched back (reads) and how
+    payloads are carved out (writes).
+    """
+    ndom = len(bounds) - 1
+    out: list[list[tuple[int, int, int]]] = [[] for _ in range(ndom)]
+    pos = 0
+    for off, length in extents:
+        cur = off
+        end = off + length
+        while cur < end:
+            d = min(bisect_right(bounds, cur) - 1, ndom - 1)
+            stop = min(end, bounds[d + 1])
+            out[d].append((cur, stop - cur, pos + (cur - off)))
+            cur = stop
+        pos += length
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sieve planning
+# ---------------------------------------------------------------------------
+
+def _ds_threshold(mode: str, auto_threshold: int, buffer_cap: int) -> int:
+    """Largest hole sieving may read through (-1 = sieving off)."""
+    if mode == "disable":
+        return -1
+    if mode == "enable":
+        return buffer_cap
+    return auto_threshold        # auto
+
+
+def _plan_groups(runs: list[Extent], max_hole: int, max_cover: int
+                 ) -> list[tuple[int, int, int, int, int, int]]:
+    """Merge coalesced runs across holes into covering groups.
+
+    ``runs`` must be sorted and disjoint (``coalesce_extents`` output).
+    Returns ``(start, end, holes, useful_bytes, first_run, end_run)``
+    groups: holes no larger than ``max_hole`` are merged as long as the
+    covering extent stays within ``max_cover``.
+    """
+    groups: list[tuple[int, int, int, int, int, int]] = []
+    for i, (off, length) in enumerate(runs):
+        if groups:
+            s, e, holes, useful, i0, _i1 = groups[-1]
+            gap = off - e
+            if 0 < gap <= max_hole and (off + length) - s <= max_cover:
+                groups[-1] = (s, off + length, holes + 1,
+                              useful + length, i0, i + 1)
+                continue
+        groups.append((off, off + length, 0, length, i, i + 1))
+    return groups
+
+
+def _windows(groups: Iterable[tuple], cap: int) -> Iterator[list[tuple]]:
+    """Batch covering groups into collective-buffer-size windows."""
+    win: list[tuple] = []
+    size = 0
+    for g in groups:
+        glen = g[1] - g[0]
+        if win and size + glen > cap:
+            yield win
+            win, size = [], 0
+        win.append(g)
+        size += glen
+    if win:
+        yield win
+
+
+def _extract(starts: list[int], blobs: list[bytes],
+             off: int, length: int) -> bytes:
+    """Carve ``[off, off+length)`` out of covering blobs (may span
+    several consecutive covering extents)."""
+    out = bytearray()
+    pos = off
+    end = off + length
+    i = bisect_right(starts, pos) - 1
+    while pos < end:
+        s = starts[i]
+        b = blobs[i]
+        take = min(end, s + len(b)) - pos
+        out += b[pos - s:pos - s + take]
+        pos += take
+        i += 1
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# independent data sieving
+# ---------------------------------------------------------------------------
+
+def sieved_readv(pfile: PFSFile, extents: list[Extent],
+                 hints: CollectiveHints) -> tuple[bytes, float]:
+    """Independent vectored read with data sieving.
+
+    Falls through to the historical ``pfile.readv(extents)`` — byte- and
+    stats-identical — whenever sieving is disabled or no hole gets
+    merged; otherwise issues one vectored read of the covering extents
+    and extracts the pieces in memory.
+    """
+    max_hole = _ds_threshold(hints.romio_ds_read, hints.ds_hole_threshold,
+                             hints.ind_rd_buffer_size)
+    if not extents or max_hole < 0:
+        return pfile.readv(extents)
+    runs = coalesce_extents(extents)
+    groups = _plan_groups(runs, max_hole, hints.ind_rd_buffer_size)
+    if all(g[2] == 0 for g in groups):
+        return pfile.readv(extents)
+    covering = [(s, e - s) for s, e, _h, _u, _i0, _i1 in groups]
+    blob, elapsed = pfile.readv(covering)
+    starts: list[int] = []
+    blobs: list[bytes] = []
+    pos = 0
+    for s, e, _h, _u, _i0, _i1 in groups:
+        starts.append(s)
+        blobs.append(blob[pos:pos + e - s])
+        pos += e - s
+    out = b"".join(_extract(starts, blobs, off, n) for off, n in extents)
+    account(pfile,
+            sieve_reads=sum(1 for g in groups if g[2]),
+            wasted_bytes=sum((e - s) - u for s, e, _h, u, *_ in groups),
+            requests_before=len(extents),
+            requests_after=len(covering))
+    return out, elapsed
+
+
+def sieved_writev(pfile: PFSFile, extents: list[Extent], data: bytes,
+                  hints: CollectiveHints) -> float:
+    """Independent vectored write with data sieving.
+
+    Hole-free behavior is the historical ``pfile.writev``; hole-bearing
+    run groups become atomic read-modify-writes of the covering extent
+    (see :meth:`PFSFile.sieve_writev` for why that is concurrency-safe).
+    """
+    max_hole = _ds_threshold(hints.romio_ds_write, hints.ds_hole_threshold,
+                             hints.ind_wr_buffer_size)
+    if not extents or max_hole < 0:
+        return pfile.writev(extents, data)
+    runs = coalesce_extents(extents)
+    groups = _plan_groups(runs, max_hole, hints.ind_wr_buffer_size)
+    if all(g[2] == 0 for g in groups):
+        return pfile.writev(extents, data)
+    run_starts = [s for s, _n in runs]
+    bufs = [bytearray(n) for _s, n in runs]
+    pos = 0
+    for off, length in extents:
+        i = bisect_right(run_starts, off) - 1
+        at = off - run_starts[i]
+        bufs[i][at:at + length] = data[pos:pos + length]
+        pos += length
+    direct_ext: list[Extent] = []
+    direct_data = bytearray()
+    rmw: list[tuple[int, int, list[tuple[int, bytes]]]] = []
+    waste = 0
+    for s, e, holes, useful, i0, i1 in groups:
+        if holes == 0:          # hole-free group is exactly one run
+            direct_ext.append((s, e - s))
+            direct_data += bufs[i0]
+        else:
+            pieces = [(run_starts[i], bytes(bufs[i])) for i in range(i0, i1)]
+            rmw.append((s, e - s, pieces))
+            waste += (e - s) - useful
+    elapsed = pfile.sieve_writev((direct_ext, bytes(direct_data)), rmw)
+    account(pfile,
+            sieve_rmw=len(rmw),
+            wasted_bytes=waste,
+            requests_before=len(extents),
+            requests_after=len(direct_ext) + len(rmw))
+    return elapsed
+
+
+# ---------------------------------------------------------------------------
+# two-phase collective read
+# ---------------------------------------------------------------------------
+
+def _check_hints_agree(meta: list[tuple]) -> None:
+    digests = {m[3] for m in meta}
+    if len(digests) > 1:
+        raise MPIFileError(
+            "collective I/O hints differ across ranks; set them "
+            "identically (File.Set_info is collective configuration)")
+
+
+def two_phase_read(comm, pfile: PFSFile, extents: list[Extent],
+                   hints: CollectiveHints) -> bytes:
+    """Collective read through two-phase buffering; returns this rank's
+    bytes, concatenated in data order.  ``extents`` must be clamped."""
+    total = sum(n for _o, n in extents)
+    lo = min(o for o, _n in extents) if extents else None
+    hi = max(o + n for o, n in extents) if extents else None
+    t0 = time.perf_counter()
+    meta = comm.allgather((lo, hi, len(extents), hints.digest()))
+    _check_hints_agree(meta)
+    if comm.rank == 0:
+        account(pfile, collectives=1,
+                requests_before=sum(m[2] for m in meta))
+    if hints.romio_cb_read == "disable":
+        # every rank accesses the PFS itself (sieved); the allgather
+        # above already provided the collective synchronization
+        data, _t = sieved_readv(pfile, extents, hints)
+        return data
+    los = [m[0] for m in meta if m[0] is not None]
+    if not los:
+        return b""
+    agg_lo = min(los)
+    agg_hi = max(m[1] for m in meta if m[1] is not None)
+    aggs = choose_aggregators(comm, hints)
+    bounds = file_domains(agg_lo, agg_hi, len(aggs),
+                          pfile.layout.stripe_size)
+    mine = _domain_splits(extents, bounds)
+    crash_point("server.kill.collective.exchange")
+    requests = {agg: [(off, n) for off, n, _p in mine[d]]
+                for d, agg in enumerate(aggs)}
+    incoming = comm.exchange_p2p(
+        requests,
+        range(comm.size) if comm.rank in aggs else (),
+        TAG_REQ)
+    replies: dict[int, bytes] = {}
+    if comm.rank in aggs:
+        account(pfile, exchange_time=time.perf_counter() - t0)
+        my_idx = aggs.index(comm.rank)
+        serialize = pfile.faults_armed() and len(aggs) > 1
+        if serialize and my_idx > 0:
+            comm.recv(source=aggs[my_idx - 1], tag=TAG_TOKEN)
+        crash_point("server.kill.collective.read")
+        starts, blobs = _serve_read_domain(pfile, incoming, comm.size,
+                                           hints)
+        if serialize and my_idx + 1 < len(aggs):
+            comm.send(None, aggs[my_idx + 1], tag=TAG_TOKEN)
+        xbytes = 0
+        for src in range(comm.size):
+            reply = b"".join(_extract(starts, blobs, off, n)
+                             for off, n in incoming[src])
+            replies[src] = reply
+            xbytes += len(reply)
+        account(pfile, exchange_bytes=xbytes)
+    parts = comm.exchange_p2p(replies, aggs, TAG_DATA)
+    out = bytearray(total)
+    for d, agg in enumerate(aggs):
+        reply = parts[agg]
+        cur = 0
+        for _off, n, data_pos in mine[d]:
+            out[data_pos:data_pos + n] = reply[cur:cur + n]
+            cur += n
+    return bytes(out)
+
+
+def _serve_read_domain(pfile: PFSFile,
+                       reqs_by_rank: dict[int, list[Extent]],
+                       size: int, hints: CollectiveHints
+                       ) -> tuple[list[int], list[bytes]]:
+    """Phase B of a read: serve this aggregator's file domain with one
+    vectored request per collective-buffer window, sieving hole-bearing
+    windows.  Returns the covering ``(starts, blobs)`` index."""
+    flat = [e for src in range(size) for e in reqs_by_rank[src]]
+    if not flat:
+        return [], []
+    runs = coalesce_extents(flat)
+    max_hole = _ds_threshold(hints.romio_ds_read, hints.ds_hole_threshold,
+                             hints.cb_buffer_size)
+    groups = _plan_groups(runs, max_hole, hints.cb_buffer_size)
+    starts: list[int] = []
+    blobs: list[bytes] = []
+    io_t = 0.0
+    after = sieve_n = waste = 0
+    for window in _windows(groups, hints.cb_buffer_size):
+        if any(g[2] for g in window):
+            crash_point("server.kill.collective.sieve")
+        covering = [(s, e - s) for s, e, *_ in window]
+        blob, t = pfile.readv(covering)
+        io_t += t
+        after += len(covering)
+        pos = 0
+        for s, e, holes, useful, _i0, _i1 in window:
+            starts.append(s)
+            blobs.append(blob[pos:pos + e - s])
+            pos += e - s
+            sieve_n += 1 if holes else 0
+            waste += (e - s) - useful
+    account(pfile, sieve_reads=sieve_n, wasted_bytes=waste,
+            requests_after=after, io_time=io_t)
+    return starts, blobs
+
+
+# ---------------------------------------------------------------------------
+# two-phase collective write
+# ---------------------------------------------------------------------------
+
+def two_phase_write(comm, pfile: PFSFile, extents: list[Extent],
+                    data: bytes, hints: CollectiveHints) -> None:
+    """Collective write through two-phase buffering.  Overlapping
+    writers are resolved in rank order (higher rank wins)."""
+    lo = min(o for o, _n in extents) if extents else None
+    hi = max(o + n for o, n in extents) if extents else None
+    t0 = time.perf_counter()
+    meta = comm.allgather((lo, hi, len(extents), hints.digest()))
+    _check_hints_agree(meta)
+    if comm.rank == 0:
+        account(pfile, collectives=1,
+                requests_before=sum(m[2] for m in meta))
+    if hints.romio_cb_write == "disable":
+        sieved_writev(pfile, extents, data, hints)
+        comm.barrier()
+        return
+    los = [m[0] for m in meta if m[0] is not None]
+    if not los:
+        comm.barrier()
+        return
+    agg_lo = min(los)
+    agg_hi = max(m[1] for m in meta if m[1] is not None)
+    aggs = choose_aggregators(comm, hints)
+    bounds = file_domains(agg_lo, agg_hi, len(aggs),
+                          pfile.layout.stripe_size)
+    mine = _domain_splits(extents, bounds)
+    crash_point("server.kill.collective.exchange")
+    payloads: dict[int, tuple[list[Extent], bytes]] = {}
+    xbytes = 0
+    for d, agg in enumerate(aggs):
+        ext_d = [(off, n) for off, n, _p in mine[d]]
+        buf_d = b"".join(data[p:p + n] for _off, n, p in mine[d])
+        payloads[agg] = (ext_d, buf_d)
+        xbytes += len(buf_d)
+    account(pfile, exchange_bytes=xbytes)
+    incoming = comm.exchange_p2p(
+        payloads,
+        range(comm.size) if comm.rank in aggs else (),
+        TAG_REQ)
+    if comm.rank in aggs:
+        account(pfile, exchange_time=time.perf_counter() - t0)
+        my_idx = aggs.index(comm.rank)
+        serialize = pfile.faults_armed() and len(aggs) > 1
+        if serialize and my_idx > 0:
+            comm.recv(source=aggs[my_idx - 1], tag=TAG_TOKEN)
+        crash_point("server.kill.collective.write")
+        _serve_write_domain(pfile, incoming, comm.size, hints)
+        if serialize and my_idx + 1 < len(aggs):
+            comm.send(None, aggs[my_idx + 1], tag=TAG_TOKEN)
+    comm.barrier()
+
+
+def _serve_write_domain(pfile: PFSFile,
+                        incoming: dict[int, tuple[list[Extent], bytes]],
+                        size: int, hints: CollectiveHints) -> None:
+    """Phase B of a write: assemble every rank's pieces into the
+    coalesced runs of this file domain (rank order — higher rank wins
+    overlaps), then flush per collective-buffer window: hole-free runs
+    in one vectored write, hole-bearing groups as read-modify-writes."""
+    flat = [e for src in range(size) for e in incoming[src][0]]
+    if not flat:
+        return
+    runs = coalesce_extents(flat)
+    run_starts = [s for s, _n in runs]
+    bufs = [bytearray(n) for _s, n in runs]
+    for src in range(size):
+        exts, payload = incoming[src]
+        pos = 0
+        for off, length in exts:
+            i = bisect_right(run_starts, off) - 1
+            at = off - run_starts[i]
+            bufs[i][at:at + length] = payload[pos:pos + length]
+            pos += length
+    max_hole = _ds_threshold(hints.romio_ds_write, hints.ds_hole_threshold,
+                             hints.cb_buffer_size)
+    groups = _plan_groups(runs, max_hole, hints.cb_buffer_size)
+    io_t = 0.0
+    after = rmw_n = waste = 0
+    for window in _windows(groups, hints.cb_buffer_size):
+        direct_ext: list[Extent] = []
+        direct_data = bytearray()
+        rmw: list[tuple[int, int, list[tuple[int, bytes]]]] = []
+        for s, e, holes, useful, i0, i1 in window:
+            if holes == 0:      # hole-free group is exactly one run
+                direct_ext.append((s, e - s))
+                direct_data += bufs[i0]
+            else:
+                pieces = [(run_starts[i], bytes(bufs[i]))
+                          for i in range(i0, i1)]
+                rmw.append((s, e - s, pieces))
+                waste += (e - s) - useful
+        if rmw:
+            crash_point("server.kill.collective.sieve")
+        io_t += pfile.sieve_writev((direct_ext, bytes(direct_data)), rmw)
+        after += len(direct_ext) + len(rmw)
+        rmw_n += len(rmw)
+    account(pfile, sieve_rmw=rmw_n, wasted_bytes=waste,
+            requests_after=after, io_time=io_t)

@@ -22,6 +22,7 @@ barrier and a bulletin board (collectives).  Semantics follow MPI:
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import time
@@ -160,6 +161,9 @@ class _CommShared:
         self.barrier = _AbortableBarrier(size, abort_event)
         self.board: dict[int, dict[int, Any]] = {}
         self.board_lock = threading.Lock()
+        #: pluggable topology: node id per rank (None = derive from the
+        #: ``DRX_RANKS_PER_NODE`` environment, see Intracomm.node_map)
+        self.node_map: list[int] | None = None
 
 
 class World:
@@ -619,6 +623,60 @@ class Intracomm:
         for v in vals[1:self._rank + 1]:
             acc = op(acc, v)
         np.copyto(recvbuf, acc)
+
+    # ------------------------------------------------------------------
+    # topology (simulated node placement)
+    # ------------------------------------------------------------------
+    def Set_node_map(self, node_of_rank: Sequence[int]) -> None:
+        """Declare which simulated *node* each rank runs on.
+
+        The substrate's ranks are threads of one process, so physical
+        placement is a simulation parameter: the collective-I/O engine
+        uses it to place one aggregator per node (ROMIO's
+        ``cb_config_list`` idiom).  All ranks share the map (it lives on
+        the communicator's shared struct); call it identically
+        everywhere, like any other collective configuration.
+        """
+        nm = [int(n) for n in node_of_rank]
+        if len(nm) != self.size:
+            raise MPICommError(
+                f"node map has {len(nm)} entries for {self.size} ranks")
+        self._shared.node_map = nm
+
+    def node_map(self) -> list[int]:
+        """Node id per rank.  Defaults to ``rank // DRX_RANKS_PER_NODE``
+        (everything on one node when the variable is unset, which keeps
+        the default aggregator count at one)."""
+        nm = self._shared.node_map
+        if nm is not None:
+            return list(nm)
+        try:
+            rpn = int(os.environ.get("DRX_RANKS_PER_NODE", "0"))
+        except ValueError:
+            rpn = 0
+        if rpn <= 0:
+            rpn = self.size
+        return [r // rpn for r in range(self.size)]
+
+    # ------------------------------------------------------------------
+    # point-to-point exchange (O(sent + received), not O(P^2))
+    # ------------------------------------------------------------------
+    def exchange_p2p(self, payloads: dict[int, Any],
+                     sources: Sequence[int], tag: int) -> dict[int, Any]:
+        """Send ``payloads[dest]`` to each destination, then collect one
+        message from every rank in ``sources``, returning them keyed by
+        source.
+
+        Unlike the bulletin-board :meth:`_exchange`, traffic is only
+        what is actually addressed — the phase-A primitive of two-phase
+        collective I/O, where every rank ships requests to a handful of
+        aggregators rather than publishing them to all P ranks.  Sends
+        buffer eagerly, so the send loop never blocks; (source, tag)
+        mailbox matching makes the receive order deterministic.
+        """
+        for dest in sorted(payloads):
+            self.send(payloads[dest], dest, tag)
+        return {src: self.recv(source=src, tag=tag) for src in sources}
 
     # ------------------------------------------------------------------
     # communicator management

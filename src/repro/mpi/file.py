@@ -9,10 +9,20 @@ method [Ching et al. 2003] cited by the paper.
 A view ``(disp, etype, filetype)`` exposes the file's bytes as the data
 bytes of ``filetype`` tiled from byte ``disp``; offsets and file pointers
 are in ``etype`` units of that data stream.  Independent operations
-(``Read_at``/``Write_at``/``Read``/``Write``) hit the PFS with one
-vectored request per call; collective operations (``*_all``) aggregate
-every rank's extents into coalesced server requests (two-phase I/O),
-which is what experiment E3 measures against the independent path.
+(``Read_at``/``Write_at``/``Read``/``Write``) go through *data sieving*
+(:mod:`repro.mpi.collective`): hole-bearing extent runs are served by one
+covering access instead of many small ones.  Collective operations
+(``*_all``) run the ROMIO-style *two-phase* engine — ``cb_nodes``
+aggregator ranks exchange data point-to-point and issue one large
+vectored request per file domain per buffer window — which is what
+experiment E3 measures against the independent path.  Both paths are
+steered by MPI-IO hints (``Set_info`` / ``Open(..., info=...)`` /
+``DRX_CB_*`` environment variables); see DESIGN.md §5f.
+
+``status.count`` is always the byte count of *whole etype elements*
+transferred (MPI semantics: a partial trailing element at EOF is not
+counted), so ``Status.Get_count(etype)`` yields the element count on
+independent and collective paths alike.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ from ..core.faultsites import crash_point
 from ..pfs.filesystem import ParallelFileSystem
 from ..pfs.pfile import PFSFile
 from ..pfs.striping import Extent
+from . import collective
+from .collective import CollectiveHints
 from .comm import Intracomm, _pack_buf, _parse_bufspec, _unpack_buf
 from .datatypes import BYTE, Datatype
 from .status import Status
@@ -114,7 +126,7 @@ class File:
     """An open MPI file on the simulated parallel file system."""
 
     def __init__(self, comm: Intracomm, pfile: PFSFile, amode: int,
-                 fs: ParallelFileSystem) -> None:
+                 fs: ParallelFileSystem, info: dict | None = None) -> None:
         self.comm = comm
         self._pfile = pfile
         self.amode = amode
@@ -122,19 +134,24 @@ class File:
         self._view = FileView()
         self._fp = 0            # individual file pointer, in etype units
         self._open = True
+        self._info: dict = dict(info or {})
+        # fail fast on malformed hints (and on an unknown hint name)
+        self._hints()
 
     # ------------------------------------------------------------------
     # lifecycle (collective)
     # ------------------------------------------------------------------
     @classmethod
     def Open(cls, comm: Intracomm, filename: str, amode: int,
-             fs: ParallelFileSystem) -> "File":
+             fs: ParallelFileSystem, info: dict | None = None) -> "File":
         """Collectively open ``filename`` on ``fs`` (MPI_File_open).
 
-        All ranks must pass the same name and mode; rank 0 touches the
-        namespace and the PFSFile object is shared by reference.
+        All ranks must pass the same name, mode, and hints; rank 0
+        touches the namespace and the PFSFile object is shared by
+        reference.
         """
-        specs = comm.allgather((filename, amode))
+        info_spec = tuple(sorted((info or {}).items()))
+        specs = comm.allgather((filename, amode, info_spec))
         if any(s != specs[0] for s in specs):
             raise MPIFileError(f"File.Open arguments differ across ranks: {specs}")
         pfile: PFSFile | None = None
@@ -158,7 +175,7 @@ class File:
         if error is not None:
             raise MPIFileError(error)
         assert pfile is not None
-        return cls(comm, pfile, amode, fs)
+        return cls(comm, pfile, amode, fs, info=info)
 
     def Close(self) -> None:
         """Collective close (MPI_File_close)."""
@@ -180,6 +197,34 @@ class File:
     def _require_writable(self) -> None:
         if not self.amode & (MODE_WRONLY | MODE_RDWR):
             raise MPIFileError("file not opened for writing")
+
+    # ------------------------------------------------------------------
+    # hints
+    # ------------------------------------------------------------------
+    def Set_info(self, info: dict | None) -> None:
+        """Merge MPI-IO hints into the file (MPI_File_set_info).
+
+        Like MPI, hints steer performance only — results are identical
+        under any setting.  All ranks must set the same values (checked
+        at the next collective operation).  Known hints and their
+        ``DRX_*`` environment fallbacks are listed in
+        :class:`~repro.mpi.collective.CollectiveHints`.
+        """
+        self._require_open()
+        if info:
+            merged = dict(self._info)
+            merged.update(info)
+            CollectiveHints.resolve(merged)     # validate before adopting
+            self._info = merged
+
+    def Get_info(self) -> dict:
+        """The *effective* hints: env fallbacks + per-file overrides."""
+        return self._hints().as_dict()
+
+    def _hints(self) -> CollectiveHints:
+        # resolved per operation so env changes (and monkeypatched tests)
+        # take effect without reopening the file
+        return CollectiveHints.resolve(self._info)
 
     # ------------------------------------------------------------------
     # views and pointers
@@ -204,6 +249,7 @@ class File:
             filetype._check_usable()
         self._view = FileView(disp, etype, filetype)
         self._fp = 0
+        self.Set_info(info)
 
     def Get_view(self) -> tuple[int, Datatype, Datatype]:
         return self._view.disp, self._view.etype, self._view.filetype
@@ -241,7 +287,7 @@ class File:
         self.comm.barrier()
 
     # ------------------------------------------------------------------
-    # independent I/O
+    # independent I/O (data-sieved)
     # ------------------------------------------------------------------
     def Read_at(self, offset: int, buf, status: Status | None = None) -> int:
         """Independent read at an explicit offset (etype units)."""
@@ -250,11 +296,10 @@ class File:
         nbytes, _arr = _buf_nbytes(buf)
         extents = self._view.extents(offset * self._view.etype.size, nbytes)
         extents = _clamp_extents(extents, self._pfile.size)
-        data, _t = self._pfile.readv(extents)
+        data, _t = collective.sieved_readv(self._pfile, extents,
+                                           self._hints())
         _unpack_buf(buf, data)
-        if status is not None:
-            status.count = len(data)
-        return len(data)
+        return self._finish(status, len(data))
 
     def Read(self, buf, status: Status | None = None) -> int:
         n = self.Read_at(self._fp, buf, status)
@@ -267,10 +312,9 @@ class File:
         self._require_writable()
         data = _pack_buf(buf)
         extents = self._view.extents(offset * self._view.etype.size, len(data))
-        self._pfile.writev(extents, data)
-        if status is not None:
-            status.count = len(data)
-        return len(data)
+        _check_write_extents(extents, data)
+        collective.sieved_writev(self._pfile, extents, data, self._hints())
+        return self._finish(status, len(data))
 
     def Write(self, buf, status: Status | None = None) -> int:
         n = self.Write_at(self._fp, buf, status)
@@ -291,20 +335,33 @@ class File:
             self._pfile.size,
         )
         crash_point("server.kill.collective.entry")
+        hints = self._hints()
+        if hints.romio_cb_read == "legacy":
+            data = self._legacy_read_all(extents)
+        else:
+            data = collective.two_phase_read(self.comm, self._pfile,
+                                             extents, hints)
+        _unpack_buf(buf, data)
+        return self._finish(status, len(data))
+
+    def _legacy_read_all(self, extents: list[Extent]) -> bytes:
+        """The pre-engine path: rank 0 funnels the aggregated access and
+        every rank's result is *broadcast to every rank* through the
+        bulletin board — O(P**2) exchange bytes, kept (with honest
+        accounting) as the baseline the two-phase benchmark beats."""
         all_extents = self.comm.allgather(extents)
-        # Rank 0 performs the aggregated access; results are shared by
-        # reference through the board.
         if self.comm.rank == 0:
             crash_point("server.kill.collective.read")
-            per_rank, _t = self._pfile.collective_readv(all_extents)
+            per_rank, io_t = self._pfile.collective_readv(all_extents)
+            collective.account(
+                self._pfile, collectives=1, io_time=io_t,
+                requests_before=sum(len(e) for e in all_extents),
+                exchange_bytes=self.comm.size * sum(
+                    len(b) for b in per_rank))
         else:
             per_rank = None
         shared = self.comm.allgather(per_rank)
-        data = shared[0][self.comm.rank]
-        _unpack_buf(buf, data)
-        if status is not None:
-            status.count = len(data)
-        return len(data)
+        return shared[0][self.comm.rank]
 
     def Read_all(self, buf, status: Status | None = None) -> int:
         n = self.Read_at_all(self._fp, buf, status)
@@ -313,27 +370,58 @@ class File:
 
     def Write_at_all(self, offset: int, buf,
                      status: Status | None = None) -> int:
-        """Collective write at explicit offsets (MPI_File_write_at_all)."""
+        """Collective write at explicit offsets (MPI_File_write_at_all).
+
+        Unlike the legacy path, extents overlapping *across ranks* are
+        legal and resolve in rank order (higher rank wins), matching the
+        serial reference in which ranks write one after the other.
+        """
         self._require_open()
         self._require_writable()
         data = _pack_buf(buf)
         extents = self._view.extents(offset * self._view.etype.size, len(data))
+        _check_write_extents(extents, data)
         crash_point("server.kill.collective.entry")
+        hints = self._hints()
+        if hints.romio_cb_write == "legacy":
+            self._legacy_write_all(extents, data)
+        else:
+            collective.two_phase_write(self.comm, self._pfile, extents,
+                                       data, hints)
+        return self._finish(status, len(data))
+
+    def _legacy_write_all(self, extents: list[Extent],
+                          data: bytes) -> None:
+        """Pre-engine collective write: rank 0 funnels everything (and
+        the allgather ships each rank's payload to *all* ranks —
+        O(P**2) exchange bytes).  Overlapping writers are rejected."""
         gathered = self.comm.allgather((extents, data))
         if self.comm.rank == 0:
             crash_point("server.kill.collective.write")
-            self._pfile.collective_writev(
-                [g[0] for g in gathered], [g[1] for g in gathered]
-            )
+            io_t = self._pfile.collective_writev(
+                [g[0] for g in gathered], [g[1] for g in gathered])
+            collective.account(
+                self._pfile, collectives=1, io_time=io_t,
+                requests_before=sum(len(g[0]) for g in gathered),
+                exchange_bytes=self.comm.size * sum(
+                    len(g[1]) for g in gathered))
         self.comm.barrier()
-        if status is not None:
-            status.count = len(data)
-        return len(data)
 
     def Write_all(self, buf, status: Status | None = None) -> int:
         n = self.Write_at_all(self._fp, buf, status)
         self._fp += _buf_nbytes(buf)[0] // self._view.etype.size
         return n
+
+    # ------------------------------------------------------------------
+    def _finish(self, status: Status | None, nbytes: int) -> int:
+        """Set ``status.count`` to the bytes of *whole* etype elements
+        transferred (MPI semantics: ``Get_count(etype)`` = elements, a
+        partial trailing element at EOF is not counted) and return the
+        raw byte count."""
+        if status is not None:
+            esize = self._view.etype.size
+            status.count = (nbytes // esize) * esize
+        return nbytes
 
 
 # ---------------------------------------------------------------------------
@@ -359,3 +447,20 @@ def _clamp_extents(extents: Sequence[Extent], file_size: int
         if take < length:
             break
     return out
+
+
+def _check_write_extents(extents: Sequence[Extent], data: bytes) -> None:
+    """Validate a write's extents against its payload before anything
+    touches the PFS (the write-side counterpart of ``_clamp_extents``:
+    writes extend the file instead of clamping, so a view/buffer
+    mismatch must fail loudly up front, not as a low-level PFSError
+    halfway through a collective exchange)."""
+    total = sum(n for _off, n in extents)
+    if total != len(data):
+        raise MPIFileError(
+            f"write view covers {total} bytes but the buffer packs "
+            f"{len(data)} bytes")
+    for off, length in extents:
+        if off < 0 or length < 0:
+            raise MPIFileError(
+                f"write extent ({off}, {length}) is negative")

@@ -11,7 +11,14 @@ ANY_TAG = -1
 
 
 class Status:
-    """Receive status (MPI_Status): source, tag and byte count."""
+    """Receive status (MPI_Status): source, tag and byte count.
+
+    ``count`` is always stored in bytes.  File operations set it to the
+    bytes of *whole* etype elements transferred (a partial trailing
+    element at EOF is not counted), so :meth:`Get_count` with the view's
+    etype yields the element count on independent and collective paths
+    alike — the MPI semantics, not a raw buffer length.
+    """
 
     __slots__ = ("source", "tag", "count")
 

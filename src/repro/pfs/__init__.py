@@ -13,7 +13,7 @@ from .filesystem import ParallelFileSystem
 from .pfile import PFSFile
 from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
-from .stats import IOStats, ReplicaStats
+from .stats import CollectiveStats, IOStats, ReplicaStats
 from .striping import Extent, StripeLayout, coalesce_extents
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "IOServer",
     "IOStats",
     "ReplicaStats",
+    "CollectiveStats",
     "StripeLayout",
     "ReplicaLayout",
     "replica_object_name",

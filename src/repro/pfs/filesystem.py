@@ -31,7 +31,7 @@ from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .pfile import PFSFile
 from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
-from .stats import IOStats, ReplicaStats
+from .stats import CollectiveStats, IOStats, ReplicaStats
 from .striping import StripeLayout
 
 __all__ = ["ParallelFileSystem"]
@@ -208,6 +208,14 @@ class ParallelFileSystem:
                 total.add(f.rstats)
         return total
 
+    def collective_stats(self) -> CollectiveStats:
+        """Aggregate collective-I/O engine counters over all files."""
+        total = CollectiveStats()
+        with self._lock:
+            for f in self._files.values():
+                total.add(f.cstats)
+        return total
+
     def reset_stats(self) -> None:
         for s in self.servers:
             s.stats.reset()
@@ -215,6 +223,7 @@ class ParallelFileSystem:
             f.io_time = 0.0
             f.wall_time = 0.0
             f.rstats.reset()
+            f.cstats.reset()
 
     # ------------------------------------------------------------------
     # persistence (optional convenience)

@@ -64,7 +64,7 @@ from ..core.executor import IOExecutor, resolve_executor
 from ..core.faultsites import crash_point
 from .replication import ReplicaLayout, replica_object_name
 from .server import IOServer
-from .stats import ReplicaStats
+from .stats import CollectiveStats, ReplicaStats
 from .striping import Extent, StripeLayout, coalesce_extents
 
 __all__ = ["PFSFile"]
@@ -88,6 +88,11 @@ class PFSFile:
         self.layout = layout
         self.replication = getattr(layout, "replication", 1)
         self.rstats = ReplicaStats()
+        #: counters of the collective-I/O engine (repro.mpi.collective);
+        #: shared by every rank touching this file, updated under
+        #: ``cstats_lock``
+        self.cstats = CollectiveStats()
+        self.cstats_lock = threading.Lock()
         self._size = 0
         self._lock = threading.RLock()
         #: cumulative *simulated* elapsed time (max-over-servers per call)
@@ -143,6 +148,17 @@ class PFSFile:
             with self._lock:        # concurrent callers both account
                 self.wall_time += dt
 
+    def faults_armed(self) -> bool:
+        """Whether any fault machinery (an active fault-site plan or a
+        per-server fault plan) is observing this file's servers.  The
+        concurrency layers — per-server dispatch here, aggregator
+        fan-out in :mod:`repro.mpi.collective` — fall back to their
+        serial order while this is true, so scripted fault schedules
+        keep firing deterministically."""
+        if faultsites.any_active():
+            return True
+        return any(s.fault_plan is not None for s in self.servers)
+
     def _parallel_ok(self) -> bool:
         """Whether per-server batches may be dispatched concurrently.
 
@@ -153,9 +169,7 @@ class PFSFile:
         """
         if self.executor is None:
             return False
-        if faultsites.any_active():
-            return False
-        return all(s.fault_plan is None for s in self.servers)
+        return not self.faults_armed()
 
     def _readv_plain(self, extents: list[Extent]) -> tuple[bytes, float]:
         """The historical unreplicated read path.  Per-server batches
@@ -517,6 +531,36 @@ class PFSFile:
         self._size = max(self._size,
                          max((o + n for o, n in extents), default=0))
         self.io_time += elapsed
+        return elapsed
+
+    def sieve_writev(self,
+                     direct: tuple[list[Extent], bytes] | None,
+                     rmw: list[tuple[int, int, list[tuple[int, bytes]]]]
+                     ) -> float:
+        """One atomic data-sieving write: hole-free runs go straight to
+        :meth:`writev`; each ``(cover_off, cover_len, pieces)`` job in
+        ``rmw`` is a read-modify-write — read the covering extent, patch
+        the ``(offset, bytes)`` pieces in, write the whole extent back.
+
+        The file lock is held across *all* of it, which is what makes
+        concurrent sieved writers (two ranks with complementary strided
+        views, say) safe: a covering write can never clobber bytes
+        another rank patched in between the read and the write-back.
+        Returns the simulated elapsed time (max over the serialized
+        steps, matching the per-call convention of readv/writev).
+        """
+        elapsed = 0.0
+        with self._lock:
+            if direct is not None and direct[0]:
+                elapsed = max(elapsed, self.writev(direct[0], direct[1]))
+            for cover_off, cover_len, pieces in rmw:
+                blob, t_r = self.readv([(cover_off, cover_len)])
+                buf = bytearray(blob)
+                for off, data in pieces:
+                    at = off - cover_off
+                    buf[at:at + len(data)] = data
+                t_w = self.writev([(cover_off, cover_len)], bytes(buf))
+                elapsed = max(elapsed, t_r + t_w)
         return elapsed
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["IOStats", "ReplicaStats"]
+__all__ = ["IOStats", "ReplicaStats", "CollectiveStats"]
 
 
 @dataclass
@@ -79,6 +79,98 @@ class IOStats:
         return (f"reqs={self.requests} (r{self.read_requests}/"
                 f"w{self.write_requests}) bytes={self.bytes_moved} "
                 f"seeks={self.seeks} busy={self.busy_time * 1e3:.3f}ms")
+
+
+@dataclass
+class CollectiveStats:
+    """Counters of the collective-I/O engine (data sieving + two-phase
+    buffering) for one file or one aggregated view.
+
+    The engine lives in :mod:`repro.mpi.collective`; the counters live
+    here because the ``pfs`` layer owns the file object they hang off
+    (``PFSFile.cstats``) and must not import the ``mpi`` layer.  The
+    before/after request pair is the headline number of the ROMIO paper:
+    how many noncontiguous pieces the ranks *asked* for versus how many
+    (large, mostly contiguous) extents actually reached the file system.
+    """
+
+    #: collective read/write operations driven through the engine
+    collectives: int = 0
+    #: covering reads that merged at least one hole (data sieving)
+    sieve_reads: int = 0
+    #: read-modify-write covering groups on the write path
+    sieve_rmw: int = 0
+    #: hole bytes transferred only to make requests contiguous (waste)
+    wasted_bytes: int = 0
+    #: payload bytes moved between ranks in phase A (requests carrying
+    #: write data, and read replies) — O(total data), not O(P x data)
+    exchange_bytes: int = 0
+    #: wall-clock seconds spent in the phase-A rank exchange
+    exchange_time: float = 0.0
+    #: simulated seconds of the phase-B file-system accesses
+    io_time: float = 0.0
+    #: extents requested by the ranks (before aggregation/sieving)
+    requests_before: int = 0
+    #: extents actually issued to the PFS (after aggregation/sieving)
+    requests_after: int = 0
+
+    def add(self, other: "CollectiveStats") -> "CollectiveStats":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        self.collectives += other.collectives
+        self.sieve_reads += other.sieve_reads
+        self.sieve_rmw += other.sieve_rmw
+        self.wasted_bytes += other.wasted_bytes
+        self.exchange_bytes += other.exchange_bytes
+        self.exchange_time += other.exchange_time
+        self.io_time += other.io_time
+        self.requests_before += other.requests_before
+        self.requests_after += other.requests_after
+        return self
+
+    def snapshot(self) -> "CollectiveStats":
+        return CollectiveStats(
+            collectives=self.collectives,
+            sieve_reads=self.sieve_reads,
+            sieve_rmw=self.sieve_rmw,
+            wasted_bytes=self.wasted_bytes,
+            exchange_bytes=self.exchange_bytes,
+            exchange_time=self.exchange_time,
+            io_time=self.io_time,
+            requests_before=self.requests_before,
+            requests_after=self.requests_after,
+        )
+
+    def delta(self, earlier: "CollectiveStats") -> "CollectiveStats":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return CollectiveStats(
+            collectives=self.collectives - earlier.collectives,
+            sieve_reads=self.sieve_reads - earlier.sieve_reads,
+            sieve_rmw=self.sieve_rmw - earlier.sieve_rmw,
+            wasted_bytes=self.wasted_bytes - earlier.wasted_bytes,
+            exchange_bytes=self.exchange_bytes - earlier.exchange_bytes,
+            exchange_time=self.exchange_time - earlier.exchange_time,
+            io_time=self.io_time - earlier.io_time,
+            requests_before=self.requests_before - earlier.requests_before,
+            requests_after=self.requests_after - earlier.requests_after,
+        )
+
+    def reset(self) -> None:
+        self.collectives = 0
+        self.sieve_reads = 0
+        self.sieve_rmw = 0
+        self.wasted_bytes = 0
+        self.exchange_bytes = 0
+        self.exchange_time = 0.0
+        self.io_time = 0.0
+        self.requests_before = 0
+        self.requests_after = 0
+
+    def __str__(self) -> str:
+        return (f"colls={self.collectives} "
+                f"reqs={self.requests_before}->{self.requests_after} "
+                f"sieve(r{self.sieve_reads}/rmw{self.sieve_rmw}) "
+                f"waste={self.wasted_bytes} xchg={self.exchange_bytes} "
+                f"io={self.io_time * 1e3:.3f}ms")
 
 
 @dataclass

@@ -37,12 +37,14 @@ NAME = "chaos"
 
 READ_SITES = [
     "server.kill.collective.entry",
+    "server.kill.collective.exchange",
     "server.kill.collective.read",
     "server.kill.readv.begin",
     "server.kill.readv.batch",
 ]
 WRITE_SITES = [
     "server.kill.collective.entry",
+    "server.kill.collective.exchange",
     "server.kill.collective.write",
     "server.kill.writev.begin",
     "server.kill.writev.batch",
@@ -89,6 +91,31 @@ def collective_write(fs, data):
         a.write_zone(mem, collective=True)
         a.close()
         return True
+
+    assert all(mpi.mpiexec(NPROCS, body))
+
+
+def holey_collective_roundtrip(fs):
+    """Interleaved holey views through the two-phase engine with one
+    aggregator per rank: the union of the ranks' blocks leaves small
+    holes, so the write side data-sieves (read-modify-write of covering
+    windows) and the read side issues covering reads — reaching the
+    ``server.kill.collective.sieve`` site under aggregator fan-out."""
+    def body(comm):
+        fh = mpi.File.Open(comm, "holey",
+                           mpi.MODE_CREATE | mpi.MODE_RDWR, fs,
+                           info={"cb_nodes": comm.size})
+        blk = mpi.BYTE.Create_contiguous(64)
+        ft = blk.Create_indexed([1] * 8,
+                                [4 * i + comm.rank for i in range(8)])
+        ft.Commit()
+        fh.Set_view(0, mpi.BYTE, ft)
+        payload = bytes([comm.rank + 1]) * 512
+        fh.Write_at_all(0, bytearray(payload))
+        got = bytearray(512)
+        fh.Read_at_all(0, got)
+        fh.Close()
+        return bytes(got) == payload
 
     assert all(mpi.mpiexec(NPROCS, body))
 
@@ -210,6 +237,7 @@ def test_all_kill_sites_visited():
         f.read(0, 2048)
         build_array(fs, pattern_array(SHAPE))
         collective_write(fs, pattern_array(SHAPE) + 1.0)
+        holey_collective_roundtrip(fs)
         fs.kill_server(0)
         fs.revive_server(0)
         fs.rebuild_server(0)
