@@ -12,6 +12,8 @@ Dense Extendible Arrays* (IEEE CLUSTER 2007):
 * :mod:`repro.mpi` — an in-process MPI-2 substrate (threads as ranks);
 * :mod:`repro.pfs` — a simulated striped parallel file system with
   deterministic I/O accounting;
+* :mod:`repro.serve` — a multi-tenant array service daemon (deadlines,
+  admission control, range locking, graceful drain) plus its client;
 * :mod:`repro.baselines` — HDF5-like (B-tree chunked), NetCDF-like
   (flat row-major) and DRA comparators;
 * :mod:`repro.workloads`, :mod:`repro.bench` — experiment support.
@@ -46,7 +48,7 @@ Quick start (parallel)::
     mpiexec(4, job)
 """
 
-from . import baselines, bench, core, drx, drxmp, mpi, pfs, workloads
+from . import baselines, bench, core, drx, drxmp, mpi, pfs, serve, workloads
 from .core import (
     DRXError,
     DRXMeta,
@@ -61,16 +63,19 @@ from .drx import DRXFile, MemExtendibleArray
 from .drxmp import DRXMPFile, GlobalArray
 from .mpi import mpiexec
 from .pfs import ParallelFileSystem
+from .serve import DRXClient, DRXServer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    "core", "drx", "drxmp", "mpi", "pfs", "baselines", "workloads", "bench",
+    "core", "drx", "drxmp", "mpi", "pfs", "serve", "baselines",
+    "workloads", "bench",
     "ExtendibleChunkIndex",
     "f_star", "f_star_many", "f_star_inv", "f_star_inv_many",
     "DRXMeta", "DRXType", "DRXError",
     "DRXFile", "MemExtendibleArray",
     "DRXMPFile", "GlobalArray",
     "mpiexec", "ParallelFileSystem",
+    "DRXServer", "DRXClient",
 ]

@@ -30,6 +30,9 @@ __all__ = [
     "MPIWinError",
     "PFSError",
     "ServerDownError",
+    "DeadlineError",
+    "ServeError",
+    "RetryLater",
 ]
 
 
@@ -133,6 +136,53 @@ class MPIWinError(MPIError):
 # ---------------------------------------------------------------------------
 # Parallel file system substrate errors
 # ---------------------------------------------------------------------------
+
+
+class DeadlineError(DRXError, TimeoutError):
+    """A deadline expired (or its cancellation scope was cancelled).
+
+    Raised by :class:`repro.core.watchdog.Deadline` /
+    :class:`~repro.core.watchdog.CancelScope` checkpoints: the MPI
+    watchdog's per-run limit and the serve daemon's per-request
+    deadlines both surface through this type.  Never transient — the
+    budget is spent; whether to retry with a fresh budget is the
+    caller's decision.
+    """
+
+    transient = False
+
+
+# ---------------------------------------------------------------------------
+# Array service (drx-serve) errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(DRXError):
+    """A failure transported over the drx-serve wire protocol.
+
+    The daemon serializes the server-side exception as ``(kind,
+    message, transient)``; the client stub re-raises it as this type so
+    its retry loop can consult the same
+    :func:`repro.drx.resilience.is_transient` classification the
+    storage stack uses (the explicit ``transient`` attribute wins).
+    """
+
+    def __init__(self, message: str, kind: str = "ServeError",
+                 transient: bool = False) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.transient = bool(transient)
+
+
+class RetryLater(ServeError):
+    """Backpressure: the daemon refused admission instead of queueing
+    unboundedly.  Always transient — the client stub backs off and
+    re-issues the request."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"server busy: {reason}", kind="RetryLater",
+                         transient=True)
+        self.reason = reason
 
 
 class PFSError(DRXError, OSError):

@@ -49,6 +49,14 @@ Three executor *tiers* exist, each a process-wide singleton:
     submit further work, so ``drx``-tier tasks may wait on ``codec``
     results without closing a cycle.
 
+A fourth tier sits *above* these three: the serve daemon
+(:mod:`repro.serve.server`) executes admitted client requests on its
+own private ``IOExecutor(name="serve")`` whose width is the daemon's
+global in-flight limit.  Serve tasks call down into ``drx``-tier work
+(which calls ``pfs``/``codec``), and nothing below ever waits on a
+``serve`` slot, so the tier ordering ``serve → drx → {pfs, codec}``
+keeps the wait graph acyclic.
+
 Determinism contract: every wired call site checks
 :func:`repro.core.faultsites.any_active` (and, where applicable, the
 store's ``deterministic_only`` flag) and falls back to the serial path
@@ -229,8 +237,12 @@ class IOExecutor:
         """``gather([submit(fn, it) for it in items])``."""
         return self.gather([self.submit(fn, it) for it in items])
 
-    def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        """Stop the pool.  ``cancel_futures`` drops queued-but-unstarted
+        tasks — the serve daemon's abrupt-kill path, where work that
+        never started must not run against abandoned files."""
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IOExecutor(name={self.name!r}, threads={self.threads}, "

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Protocol
 
 __all__ = ["crash_point", "activate", "deactivate", "any_active",
-           "CRASH_SITES", "KILL_SITES", "ALL_SITES"]
+           "CRASH_SITES", "KILL_SITES", "DAEMON_SITES", "ALL_SITES"]
 
 
 #: Every named crash site, with the on-disk state a crash there leaves.
@@ -110,8 +110,31 @@ KILL_SITES: dict[str, str] = {
         "target object is partially re-replicated",
 }
 
+#: Named sites inside the serve daemon's request lifecycle
+#: (:mod:`repro.serve.server`) where the whole *daemon process* may die.
+#: Chaos tests arm ``crash`` rules here and assert that restarting the
+#: daemon and re-running the client workload converges to a
+#: bit-identical array.  Kept out of :data:`KILL_SITES` so the PFS
+#: chaos sweep (which reaches every ``KILL_SITES`` entry through a pure
+#: storage lifecycle) stays complete without running a daemon.
+DAEMON_SITES: dict[str, str] = {
+    "server.kill.daemon.admitted":
+        "request admitted (in-flight slot held), range locks not yet "
+        "taken, store untouched",
+    "server.kill.daemon.locked":
+        "range locks held, store not yet touched: the mutation never "
+        "started",
+    "server.kill.daemon.applied":
+        "mutation applied to the shared store, acknowledgement not yet "
+        "sent: the client must treat the silence as failure and re-issue",
+    "server.kill.daemon.drain.flush":
+        "graceful drain finished the in-flight work, arrays not yet "
+        "flushed/committed: unacknowledged state may be lost, "
+        "acknowledged-and-committed state survives",
+}
+
 #: The union the dispatcher validates against.
-ALL_SITES: dict[str, str] = {**CRASH_SITES, **KILL_SITES}
+ALL_SITES: dict[str, str] = {**CRASH_SITES, **KILL_SITES, **DAEMON_SITES}
 
 
 class _Plan(Protocol):  # pragma: no cover - typing aid only

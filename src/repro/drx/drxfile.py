@@ -133,6 +133,12 @@ class DRXFile:
                            guard=self._guard, executor=self._executor)
         self._coalesce = coalesce
         self._closed = False
+        # -- lifecycle hooks (serve daemon, replication tooling) --------
+        #: successful meta-data commits through this handle; an
+        #: acknowledged write is durable iff a commit with a higher
+        #: epoch than its acknowledgement succeeded afterwards.
+        self._commit_epoch = 0
+        self._commit_hooks: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -313,6 +319,7 @@ class DRXFile:
                 # completes immediately and quarantined extents recycle
                 self._pool.drain_writebehind()
                 self._codec_store.table.mark_committed()
+            self._note_committed()
             return
         if self._codec_store is not None:
             # quiesce background write-backs so the serialized table
@@ -326,6 +333,50 @@ class DRXFile:
         crash_point("xmd.commit.end")
         if self._codec_store is not None:
             self._codec_store.table.mark_committed()
+        self._note_committed()
+
+    def _note_committed(self) -> None:
+        self._commit_epoch += 1
+        for hook in self._commit_hooks:
+            hook(self._commit_epoch)
+
+    @property
+    def commit_epoch(self) -> int:
+        """Successful meta-data commits through this handle.  The serve
+        daemon stamps write acknowledgements with the epoch current at
+        ack time; a later flush/close response with a higher epoch
+        promises those writes are durable."""
+        return self._commit_epoch
+
+    def register_commit_hook(self, hook: Callable[[int], None]) -> None:
+        """Call ``hook(epoch)`` after every successful meta commit (the
+        serve daemon's durability notifications)."""
+        self._commit_hooks.append(hook)
+
+    def abandon(self) -> None:
+        """Drop the handle the way a crash would: no flush, no commit.
+
+        Dirty cached pages are discarded (unflushed state is lost,
+        exactly as the page cache of a killed process), already-issued
+        background write-backs are awaited, and the backing stores are
+        closed best-effort.  Idempotent, and safe to call instead of
+        :meth:`close` on any error path that must not publish
+        half-applied state.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.abandon()
+        except Exception:               # noqa: BLE001 - crash path
+            pass
+        for store in (self._data, self._meta_store):
+            if store is None:
+                continue
+            try:
+                store.close()
+            except Exception:           # noqa: BLE001 - crash path
+                pass
 
     def __enter__(self) -> "DRXFile":
         return self

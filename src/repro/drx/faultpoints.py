@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..core.faultsites import (
     ALL_SITES,
     CRASH_SITES,
+    DAEMON_SITES,
     KILL_SITES,
     activate,
     crash_point,
@@ -19,4 +20,4 @@ from ..core.faultsites import (
 )
 
 __all__ = ["crash_point", "activate", "deactivate", "CRASH_SITES",
-           "KILL_SITES", "ALL_SITES"]
+           "KILL_SITES", "DAEMON_SITES", "ALL_SITES"]

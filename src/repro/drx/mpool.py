@@ -691,6 +691,27 @@ class Mpool:
             crash_point("mpool.flush.after_writeback")
             self.store.flush()
 
+    def abandon(self) -> None:
+        """Forget every page and pending prefetch WITHOUT writing
+        anything back — the simulated-crash path.
+
+        Background write-backs already in flight are awaited (they were
+        issued before the crash instant; whether they land is the
+        store's business, exactly as a real kernel may or may not have
+        completed a queued write), but no *new* write-back is started
+        and every dirty page is dropped on the floor.  Used by
+        ``DRXFile.abandon()`` when the serve daemon dies abruptly.
+        """
+        with self._lock:
+            self._pf_discard(wait=True)
+            for fut, _pages in list(self._wb):
+                try:
+                    fut.result()
+                except Exception:       # noqa: BLE001 - crash path
+                    pass
+            self._wb.clear()
+            self._pages = OrderedDict()
+
     def invalidate(self) -> None:
         """Drop every unpinned page (dirty ones are written back first,
         in sorted coalesced runs); pending background I/O is retired."""

@@ -54,7 +54,8 @@ from typing import Callable, Sequence
 
 from ..core.errors import ChecksumError, CrashError, DRXError, DRXFileError, PFSError
 from . import faultpoints
-from .faultpoints import ALL_SITES, CRASH_SITES, KILL_SITES, crash_point
+from .faultpoints import (ALL_SITES, CRASH_SITES, DAEMON_SITES, KILL_SITES,
+                          crash_point)
 from .storage import ByteStore, Extent
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "FaultRule",
     "FaultInjector",
     "RetryingByteStore",
+    "BackoffPolicy",
     "ChecksumGuard",
     "ScrubReport",
     "is_transient",
@@ -69,6 +71,7 @@ __all__ = [
     "crash_point",
     "CRASH_SITES",
     "KILL_SITES",
+    "DAEMON_SITES",
     "ALL_SITES",
 ]
 
@@ -421,6 +424,42 @@ class FaultInjector(ByteStore):
 
 
 # ---------------------------------------------------------------------------
+# retry backoff policy
+# ---------------------------------------------------------------------------
+
+class BackoffPolicy:
+    """The library-wide retry backoff: bounded exponential growth with
+    deterministic, seeded jitter.
+
+    The delay for attempt *n* (counting from 1) is ``base_delay *
+    2**(n-1)`` capped at ``max_delay`` and scaled by a jitter factor in
+    ``[0.5, 1.5)`` drawn from a seeded RNG — deterministic for a given
+    seed, so tests and benchmarks replay identically.  Shared by
+    :class:`RetryingByteStore` (store-level retries) and the serve
+    client stub (:class:`repro.serve.DRXClient`), so the whole stack
+    retries with one policy instead of ad-hoc timers.
+    """
+
+    def __init__(self, base_delay: float = 0.0005,
+                 max_delay: float = 0.05, seed: int = 0) -> None:
+        if base_delay < 0 or max_delay < 0:
+            raise DRXFileError("backoff delays must be >= 0")
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Sleep duration before re-issuing attempt ``attempt`` (>= 1).
+
+        Each call advances the jitter RNG, so successive retries of one
+        schedule never collide even at the cap.
+        """
+        base = min(self.max_delay,
+                   self.base_delay * (2 ** (max(1, attempt) - 1)))
+        return base * (0.5 + self._rng.random())
+
+
+# ---------------------------------------------------------------------------
 # retrying store decorator
 # ---------------------------------------------------------------------------
 
@@ -452,9 +491,9 @@ class RetryingByteStore(ByteStore):
             raise DRXFileError(f"max_retries must be >= 0, got {max_retries}")
         self._inner = inner
         self.max_retries = max_retries
+        self.backoff = BackoffPolicy(base_delay, max_delay, seed)
         self.base_delay = base_delay
         self.max_delay = max_delay
-        self._rng = random.Random(seed)
         self._sleep = time.sleep if sleep is None else sleep
         self._classify = classify
         self.stats = inner.stats
@@ -476,9 +515,7 @@ class RetryingByteStore(ByteStore):
                     raise
                 tries += 1
                 self.stats.retries += 1
-                delay = min(self.max_delay,
-                            self.base_delay * (2 ** (tries - 1)))
-                self._sleep(delay * (0.5 + self._rng.random()))
+                self._sleep(self.backoff.delay(tries))
 
     # -- reads (with length verification) ----------------------------------
     def read(self, offset: int, length: int) -> bytes:

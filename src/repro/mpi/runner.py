@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import traceback
 from typing import Any, Callable
 
 from ..core.errors import MPIAbort, MPIError
+from ..core.watchdog import default_watchdog
 from .comm import Intracomm, World
 
 __all__ = ["mpiexec", "SPMDFailure", "DEFAULT_TIMEOUT_ENV"]
@@ -117,20 +119,35 @@ def mpiexec(nprocs: int, fn: Callable[..., Any], *args: Any,
                          daemon=True)
         for r in range(nprocs)
     ]
+
+    # The deadlock watchdog rides the process-wide shared watchdog
+    # thread (repro.core.watchdog — the same machinery the serve daemon
+    # uses for request deadlines).  The callback snapshots who was
+    # blocked in what BEFORE the abort wakes them, then aborts the
+    # world so every hung rank unwinds.
+    fired: dict[str, Any] = {}
+
+    def on_expire() -> None:
+        fired["stuck"] = [t.name for t in threads if t.is_alive()]
+        fired["blocked"] = world.blocked_collectives()
+        world.abort("watchdog timeout")
+
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout)
-    stuck = [t.name for t in threads if t.is_alive()]
-    if stuck:
-        # snapshot who was blocked in what BEFORE the abort wakes them
-        blocked = world.blocked_collectives()
-        world.abort("watchdog timeout")
+    handle = default_watchdog().schedule(timeout, on_expire)
+    try:
+        # grace past the watchdog instant: aborted ranks need a moment
+        # to unwind, and genuinely-finished ranks join immediately
+        limit = time.monotonic() + timeout + 10.0
         for t in threads:
-            t.join(5.0)
+            t.join(max(0.0, limit - time.monotonic()))
+    finally:
+        default_watchdog().cancel(handle)
+    if fired and fired["stuck"]:
         raise MPIError(
             f"deadlock suspected: ranks still blocked after {timeout}s: "
-            f"{', '.join(stuck)}; {_describe_blocked(blocked)}"
+            f"{', '.join(fired['stuck'])}; "
+            f"{_describe_blocked(fired['blocked'])}"
         )
 
     real = {r: e for r, e in failures.items() if not isinstance(e, MPIAbort)}

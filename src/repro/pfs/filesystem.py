@@ -216,6 +216,32 @@ class ParallelFileSystem:
                 total.add(f.cstats)
         return total
 
+    def stats_summary(self) -> dict:
+        """A JSON-able snapshot of this *shared instance*'s counters.
+
+        The serve daemon multiplexes many clients onto one
+        ``ParallelFileSystem``; this is the shape its ``stats`` protocol
+        verb (and ``drx-serve --dump-stats``) exports, so operators see
+        the aggregate load every tenant put on the shared substrate.
+        """
+        import dataclasses
+        total = self.total_stats()
+        alive = [s.server_id for s in self.servers if s.alive]
+        return {
+            "nservers": self.nservers,
+            "stripe_size": self.stripe_size,
+            "replication": self.replication,
+            "alive_servers": alive,
+            "files": len(self._files),
+            "total": {**dataclasses.asdict(total),
+                      "requests": total.requests,
+                      "bytes_moved": total.bytes_moved},
+            "per_server": [dataclasses.asdict(s)
+                           for s in self.per_server_stats()],
+            "replica": dataclasses.asdict(self.replica_stats()),
+            "collective": dataclasses.asdict(self.collective_stats()),
+        }
+
     def reset_stats(self) -> None:
         for s in self.servers:
             s.stats.reset()

@@ -1,0 +1,41 @@
+"""The multi-tenant array service layer.
+
+A daemon (:class:`DRXServer`) exposes the DRX array operations —
+open / create / read / write / extend / flush / snapshot / scrub —
+over a length-framed binary protocol (:mod:`repro.serve.protocol`),
+multiplexing many concurrent clients onto shared Mpool, executor, and
+(optionally) :class:`~repro.pfs.filesystem.ParallelFileSystem`
+instances.  The robustness contract:
+
+* per-request **deadlines**, propagated client → server → store and
+  enforced mid-flight via the shared
+  :mod:`repro.core.watchdog` machinery;
+* **admission control** — bounded in-flight per client and globally,
+  bounded queueing, explicit ``RETRY_LATER`` backpressure;
+* per-chunk **range locking** — disjoint writers run concurrently,
+  overlapping writers serialize deterministically;
+* **graceful drain** on SIGTERM and abrupt-kill chaos coverage via the
+  ``server.kill.daemon.*`` fault sites.
+
+:class:`DRXClient` is the retrying stub (transient-vs-fatal
+classification, shared backoff policy, deadline ownership).
+"""
+
+from .client import DRXClient
+from .locks import ArrayRWLock, ChunkLocks
+from .protocol import MAX_FRAME, ConnectionClosed, ProtocolError
+from .qos import ClientQoS, QoSRegistry
+from .server import CancelGateStore, DRXServer
+
+__all__ = [
+    "DRXServer",
+    "DRXClient",
+    "ArrayRWLock",
+    "ChunkLocks",
+    "ClientQoS",
+    "QoSRegistry",
+    "CancelGateStore",
+    "ProtocolError",
+    "ConnectionClosed",
+    "MAX_FRAME",
+]

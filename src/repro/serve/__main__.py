@@ -1,0 +1,5 @@
+"""``python -m repro.serve`` — the :mod:`repro.serve.cli` entry point."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""``drx-serve`` — run the array service daemon, or query one.
+
+Serve a directory of ``.xmd``/``.xta`` pairs::
+
+    drx-serve --root /data/arrays --port 7870
+
+Serve a fresh simulated parallel file system (demos, soak rigs)::
+
+    drx-serve --pfs 4 --port 7870
+
+Query a running daemon's QoS / substrate counters as JSON::
+
+    drx-serve --host 127.0.0.1 --port 7870 --dump-stats
+
+The daemon drains gracefully on SIGTERM / SIGINT: it stops accepting,
+answers queued admissions with ``RETRY_LATER``, finishes (or
+deadlines-out) in-flight requests, flushes every array, and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="drx-serve",
+        description="multi-tenant DRX array service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed on start)")
+    backend = p.add_mutually_exclusive_group()
+    backend.add_argument("--root", metavar="DIR",
+                         help="serve the .xmd/.xta arrays in DIR")
+    backend.add_argument("--pfs", type=int, metavar="NSERVERS",
+                         help="serve a fresh in-memory parallel file "
+                              "system with NSERVERS I/O servers")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="global in-flight request limit")
+    p.add_argument("--per-client", type=int, default=4,
+                   help="per-client in-flight request limit")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="admission queue depth before RETRY_LATER")
+    p.add_argument("--dump-stats", action="store_true",
+                   help="query a RUNNING daemon at --host/--port and "
+                        "print its stats snapshot as JSON")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="request deadline for --dump-stats")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.dump_stats:
+        from .client import DRXClient
+        if args.port == 0:
+            print("drx-serve: --dump-stats needs --port", file=sys.stderr)
+            return 2
+        with DRXClient((args.host, args.port), client_id="drx-serve-cli",
+                       timeout=args.timeout) as client:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+
+    from .server import DRXServer
+    if args.pfs is not None:
+        from ..pfs import ParallelFileSystem
+        server = DRXServer(fs=ParallelFileSystem(nservers=args.pfs),
+                           host=args.host, port=args.port,
+                           max_inflight=args.max_inflight,
+                           max_inflight_per_client=args.per_client,
+                           max_queue=args.max_queue)
+    else:
+        root = args.root if args.root is not None else "."
+        server = DRXServer(root=root, host=args.host, port=args.port,
+                           max_inflight=args.max_inflight,
+                           max_inflight_per_client=args.per_client,
+                           max_queue=args.max_queue)
+    server.install_signal_handlers()
+    server.start()
+    host, port = server.address
+    print(f"drx-serve: listening on {host}:{port}", flush=True)
+    server.wait()
+    print("drx-serve: drained, bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":      # pragma: no cover - module smoke entry
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""The client stub for the array service daemon.
+
+:class:`DRXClient` wraps one TCP connection to a :class:`DRXServer`
+with the retry discipline the rest of the stack already uses:
+
+* **Transient vs fatal.**  Connection loss, protocol desync, socket
+  timeouts, ``RETRY_LATER`` backpressure and server errors whose
+  ``transient`` flag is set (the server-side
+  :func:`~repro.drx.resilience.is_transient` classification shipped in
+  the ``ERR`` frame) are retried; everything else raises immediately.
+* **Backoff.**  Retries sleep per the shared
+  :class:`~repro.drx.resilience.BackoffPolicy` — bounded exponential
+  backoff with deterministic seeded jitter, the exact policy
+  :class:`~repro.drx.resilience.RetryingByteStore` applies to store
+  faults, so client behaviour replays identically for a given seed.
+* **Deadlines.**  The caller's budget is owned client-side as a
+  :class:`~repro.core.watchdog.Deadline`; each attempt ships the
+  *remaining* budget to the server (which enforces it mid-flight) and
+  bounds its own socket waits with it.  A ``DEADLINE`` reply — or local
+  expiry between retries — raises
+  :class:`~repro.core.errors.DeadlineError`; the budget is spent, so
+  the stub never retries past it.
+
+Each request counts its ``attempt`` number in the header, so the
+daemon's per-client QoS records show how often this client was forced
+to retry.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from ..core.errors import DeadlineError, ServeError
+from ..core.watchdog import Deadline
+from ..drx.resilience import BackoffPolicy
+from .protocol import (
+    DEADLINE,
+    ERR,
+    MAX_FRAME,
+    OK,
+    REQ,
+    RETRY_LATER,
+    ConnectionClosed,
+    ProtocolError,
+    decode_error,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["DRXClient"]
+
+#: Slack added to the socket timeout over the request deadline, so the
+#: server-side DEADLINE frame (sent *at* expiry) can still arrive.
+_SOCKET_GRACE = 1.0
+#: Socket timeout for requests without a deadline.
+_DEFAULT_SOCKET_TIMEOUT = 30.0
+
+
+class DRXClient:
+    """A retrying, deadline-aware connection to one array daemon."""
+
+    def __init__(self, address: tuple[str, int], client_id: str = "anon",
+                 timeout: float | None = None, max_retries: int = 8,
+                 backoff: BackoffPolicy | None = None, seed: int = 0,
+                 max_frame: int = MAX_FRAME,
+                 sleep=time.sleep) -> None:
+        self.address = (address[0], int(address[1]))
+        self.client_id = client_id
+        self.timeout = timeout          #: default per-request budget
+        self.max_retries = max_retries
+        self.backoff = backoff if backoff is not None \
+            else BackoffPolicy(base_delay=0.005, max_delay=0.25, seed=seed)
+        self.max_frame = max_frame
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        #: lifetime counters mirrored client-side
+        self.retries = 0
+        self.retry_later_seen = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "DRXClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _connection(self, budget: float | None) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                self.address,
+                timeout=budget + _SOCKET_GRACE if budget is not None
+                else _DEFAULT_SOCKET_TIMEOUT)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    # ------------------------------------------------------------------
+    def request(self, verb: str, header: dict | None = None,
+                payload: bytes = b"",
+                timeout: float | None = None) -> tuple[dict, bytes]:
+        """Issue one request, retrying transient failures with backoff.
+
+        Returns ``(header, payload)`` of the ``OK`` reply.  Raises
+        :class:`DeadlineError` when the budget runs out (server- or
+        client-side), :class:`ServeError` for fatal server errors.
+        """
+        deadline = Deadline(timeout if timeout is not None
+                            else self.timeout)
+        attempt = 0
+        last: Exception | None = None
+        while True:
+            budget = deadline.remaining()
+            if budget is not None and budget <= 0:
+                raise DeadlineError(
+                    f"deadline exceeded during {verb} request"
+                    + (f" (last failure: {last})" if last else ""))
+            req = dict(header or {})
+            req["verb"] = verb
+            req["client"] = self.client_id
+            req["attempt"] = attempt
+            if budget is not None:
+                req["timeout"] = budget
+            try:
+                sock = self._connection(budget)
+                sock.settimeout(budget + _SOCKET_GRACE
+                                if budget is not None
+                                else _DEFAULT_SOCKET_TIMEOUT)
+                send_frame(sock, REQ, req, payload)
+                kind, rhdr, rpayload = recv_frame(sock, self.max_frame)
+            except socket.timeout as exc:
+                self._drop_connection()
+                last = exc
+            except (ConnectionClosed, ProtocolError, OSError) as exc:
+                # a dying/restarting daemon or a torn frame: reconnect
+                self._drop_connection()
+                last = exc
+            else:
+                if kind == OK:
+                    return rhdr, rpayload
+                if kind == DEADLINE:
+                    raise DeadlineError(
+                        rhdr.get("message", "deadline exceeded"))
+                if kind == RETRY_LATER:
+                    self.retry_later_seen += 1
+                    last = ServeError(
+                        f"server busy: {rhdr.get('reason', '?')}",
+                        kind="RetryLater", transient=True)
+                elif kind == ERR:
+                    err = decode_error(rhdr)
+                    if not err.transient:
+                        raise err
+                    last = err
+                else:
+                    self._drop_connection()
+                    last = ProtocolError(f"unexpected reply kind {kind}")
+            attempt += 1
+            if attempt > self.max_retries:
+                raise last if last is not None else ServeError(
+                    f"{verb} failed after {self.max_retries} retries")
+            self.retries += 1
+            self._sleep(self.backoff.delay(attempt))
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def ping(self, echo=None, timeout: float | None = None) -> dict:
+        return self.request("ping", {"echo": echo}, timeout=timeout)[0]
+
+    def open(self, name: str, timeout: float | None = None) -> dict:
+        return self.request("open", {"name": name}, timeout=timeout)[0]
+
+    def create(self, name: str, bounds, chunk, dtype: str = "<f8",
+               checksums: bool = False, codec: str = "none",
+               exists_ok: bool = False,
+               timeout: float | None = None) -> dict:
+        return self.request("create", {
+            "name": name, "bounds": list(bounds), "chunk": list(chunk),
+            "dtype": dtype, "checksums": checksums, "codec": codec,
+            "exists_ok": exists_ok}, timeout=timeout)[0]
+
+    def read(self, name: str, lo, hi,
+             timeout: float | None = None) -> np.ndarray:
+        hdr, payload = self.request(
+            "read", {"name": name, "lo": list(lo), "hi": list(hi)},
+            timeout=timeout)
+        arr = np.frombuffer(payload, dtype=hdr["dtype"])
+        return arr.reshape(hdr["shape"]).copy()
+
+    def write(self, name: str, lo, values,
+              timeout: float | None = None, _delay: float = 0.0) -> dict:
+        values = np.ascontiguousarray(values)
+        header = {"name": name, "lo": list(lo),
+                  "shape": list(values.shape),
+                  "dtype": values.dtype.str}
+        if _delay:
+            header["_delay"] = _delay
+        return self.request("write", header, values.tobytes(),
+                            timeout=timeout)[0]
+
+    def extend(self, name: str, dim: int | None = None,
+               by: int | None = None, to=None,
+               timeout: float | None = None) -> dict:
+        if to is not None:
+            header = {"name": name, "to": list(to)}
+        else:
+            header = {"name": name, "dim": int(dim), "by": int(by)}
+        return self.request("extend", header, timeout=timeout)[0]
+
+    def flush(self, name: str, timeout: float | None = None) -> dict:
+        return self.request("flush", {"name": name}, timeout=timeout)[0]
+
+    def snapshot(self, name: str, dest: str,
+                 timeout: float | None = None) -> dict:
+        return self.request("snapshot", {"name": name, "dest": dest},
+                            timeout=timeout)[0]
+
+    def scrub(self, name: str, timeout: float | None = None) -> dict:
+        return self.request("scrub", {"name": name}, timeout=timeout)[0]
+
+    def stats(self, timeout: float | None = None) -> dict:
+        return self.request("stats", timeout=timeout)[0]
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> dict:
+        return self.request("shutdown", {"drain": drain},
+                            timeout=timeout)[0]

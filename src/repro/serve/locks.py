@@ -1,0 +1,148 @@
+"""Range locking for the serve daemon.
+
+Two layers, always taken in the same order:
+
+1. :class:`ArrayRWLock` — one per open array.  Data-plane verbs
+   (``read`` / ``write``) take it *shared*; structural verbs
+   (``extend`` / ``snapshot`` / ``flush`` / ``scrub``) take it
+   *exclusive*, because they change the shape or touch every chunk.
+2. :class:`ChunkLocks` — per-chunk exclusive locks keyed by the
+   chunk's linear address.  A writer locks exactly the chunks its
+   bounding box covers, **in ascending address order**; a reader does
+   the same.  The global ascending-address discipline makes lock
+   acquisition a total order, so two requests can never hold pieces of
+   each other's ranges — deadlock is impossible by construction, and
+   overlapping writers serialize while disjoint writers proceed fully
+   concurrently.
+
+Every blocking wait is *scope-aware*: it polls the request's
+:class:`~repro.core.watchdog.CancelScope` so a deadline that expires
+while the request is parked on a lock raises
+:class:`~repro.core.errors.DeadlineError` instead of waiting forever —
+lock waits count against the deadline exactly like I/O does.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.watchdog import CancelScope
+
+__all__ = ["ArrayRWLock", "ChunkLocks"]
+
+#: Upper bound for one condition wait while parked on a lock; short
+#: enough that cancellation is noticed promptly even if the notify is
+#: missed, long enough to stay off the scheduler's back.
+_WAIT_SLICE = 0.05
+
+
+def _wait(cond: threading.Condition, scope: CancelScope | None,
+          what: str) -> None:
+    """One bounded wait on ``cond``, honouring ``scope``."""
+    if scope is None:
+        cond.wait(_WAIT_SLICE)
+        return
+    scope.check(what)
+    remaining = scope.remaining()
+    slice_ = _WAIT_SLICE if remaining is None else max(
+        0.001, min(_WAIT_SLICE, remaining))
+    cond.wait(slice_)
+    scope.check(what)
+
+
+class ArrayRWLock:
+    """A writer-preferring shared/exclusive lock with cancellable waits.
+
+    Writer preference keeps structural verbs (extend, snapshot) from
+    starving behind a steady stream of readers: once an exclusive
+    request is queued, new shared acquisitions wait behind it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self, scope: CancelScope | None = None) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                _wait(self._cond, scope, "array shared-lock wait")
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self, scope: CancelScope | None = None) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    _wait(self._cond, scope, "array exclusive-lock wait")
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class ChunkLocks:
+    """Exclusive per-chunk locks keyed by linear chunk address.
+
+    :meth:`acquire` takes every requested address in ascending order —
+    the system-wide total order that makes deadlock structurally
+    impossible.  On cancellation mid-acquisition, every address already
+    taken is released before the :class:`DeadlineError` propagates, so
+    an expired request never leaves a lock behind.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._held: dict[int, object] = {}    # address -> owner token
+
+    def acquire(self, addresses: list[int], owner: object,
+                scope: CancelScope | None = None) -> list[int]:
+        """Lock ``addresses`` for ``owner``; returns the sorted list
+        actually taken (pass it to :meth:`release`)."""
+        taken: list[int] = []
+        try:
+            for addr in sorted(set(addresses)):
+                with self._cond:
+                    while addr in self._held:
+                        _wait(self._cond, scope,
+                              f"chunk lock wait (address {addr})")
+                    self._held[addr] = owner
+                taken.append(addr)
+        except BaseException:
+            self.release(taken)
+            raise
+        return taken
+
+    def release(self, addresses: list[int]) -> None:
+        if not addresses:
+            return
+        with self._cond:
+            for addr in addresses:
+                self._held.pop(addr, None)
+            self._cond.notify_all()
+
+    def release_owner(self, owner: object) -> int:
+        """Drop every lock ``owner`` still holds (abrupt-disconnect
+        cleanup); returns how many were released."""
+        with self._cond:
+            stale = [a for a, o in self._held.items() if o is owner]
+            for addr in stale:
+                del self._held[addr]
+            if stale:
+                self._cond.notify_all()
+            return len(stale)
+
+    def held(self) -> int:
+        with self._cond:
+            return len(self._held)

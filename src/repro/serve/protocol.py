@@ -1,0 +1,168 @@
+"""The drx-serve wire protocol: length-framed binary messages.
+
+Frame layout (all integers big-endian, no padding)::
+
+    +------------+--------+--------------+----------------+-----------+
+    | body_len   | kind   | header_len   | header (JSON)  | payload   |
+    | uint32     | uint8  | uint32       | header_len B   | rest      |
+    +------------+--------+--------------+----------------+-----------+
+
+``body_len`` counts everything after itself (``1 + 4 + header_len +
+payload_len``), so a reader always knows how many bytes to consume
+before dispatching — there is no sniffing and no resynchronization.
+The *header* is a UTF-8 JSON object carrying the verb and its scalar
+parameters; the *payload* is raw array bytes (C-order element data for
+``read`` responses and ``write`` requests, empty otherwise).  Keeping
+bulk data out of JSON keeps the framing overhead per megabyte moved at
+a few dozen bytes.
+
+Frame kinds:
+
+``REQ``
+    Client → server.  Header: ``verb`` (one of :data:`VERBS`),
+    ``client`` (tenant identity for QoS/admission accounting),
+    ``attempt`` (0 for the first try; retries increment it so the
+    server can count forced retries per client), ``timeout`` (the
+    request's remaining deadline budget in seconds — the *client*
+    owns the deadline and ships the remaining budget, the server
+    enforces it), plus verb-specific fields.
+``OK``
+    Success.  Verb-specific header + optional payload.
+``ERR``
+    Failure.  Header: ``error`` (exception class name), ``message``,
+    ``transient`` (the server-side
+    :func:`repro.drx.resilience.is_transient` classification — the
+    client stub retries transient failures and surfaces fatal ones).
+``RETRY_LATER``
+    Admission control refused the request instead of queueing it
+    unboundedly.  Header: ``reason``.  Always treated as transient.
+``DEADLINE``
+    The request's deadline expired server-side (queued or mid-flight).
+    Header: ``message``.  The client raises
+    :class:`~repro.core.errors.DeadlineError` — the budget is spent,
+    retrying is the caller's decision, not the stub's.
+
+Oversize frames are rejected *before* buffering (the daemon reads the
+length prefix, sees it exceeds ``max_frame``, errors out and drops the
+connection) so a misbehaving client cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..core.errors import DRXError, ServeError
+from ..drx.resilience import is_transient
+
+__all__ = [
+    "REQ", "OK", "ERR", "RETRY_LATER", "DEADLINE",
+    "KIND_NAMES", "VERBS", "MAX_FRAME",
+    "ProtocolError", "ConnectionClosed",
+    "send_frame", "recv_frame", "encode_error", "decode_error",
+]
+
+REQ = 1
+OK = 2
+ERR = 3
+RETRY_LATER = 4
+DEADLINE = 5
+
+KIND_NAMES = {REQ: "REQ", OK: "OK", ERR: "ERR",
+              RETRY_LATER: "RETRY_LATER", DEADLINE: "DEADLINE"}
+
+#: Every verb the daemon dispatches.
+VERBS = frozenset({
+    "ping", "open", "create", "read", "write", "extend", "flush",
+    "snapshot", "scrub", "stats", "shutdown",
+})
+
+#: Default per-frame size cap (64 MiB): bigger transfers must be split
+#: into multiple requests — bounded buffering is the point.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEAD = struct.Struct("!IBI")       # body_len, kind, header_len
+
+
+class ProtocolError(DRXError):
+    """Malformed frame / protocol misuse.  Fatal: the connection is
+    unrecoverable mid-stream, but a *reconnect* may succeed, so the
+    client stub treats it as transient at the connection level."""
+
+    transient = True
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer went away mid-frame (or before one).  Transient: the
+    daemon may be restarting — the stub reconnects and retries."""
+
+
+def send_frame(sock: socket.socket, kind: int, header: dict,
+               payload: bytes | memoryview = b"") -> None:
+    """Serialize and send one frame (blocking, whole frame)."""
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body_len = 1 + 4 + len(raw) + len(payload)
+    sock.sendall(_HEAD.pack(body_len, kind, len(raw)) + raw)
+    if len(payload):
+        sock.sendall(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    parts: list[bytes] = []
+    got = 0
+    while got < n:
+        piece = sock.recv(min(n - got, 1 << 20))
+        if not piece:
+            raise ConnectionClosed(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        parts.append(piece)
+        got += len(piece)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket,
+               max_frame: int = MAX_FRAME) -> tuple[int, dict, bytes]:
+    """Receive one frame; returns ``(kind, header, payload)``.
+
+    Raises :class:`ConnectionClosed` on EOF (clean EOF *between* frames
+    included — the caller distinguishes by catching it around the first
+    read) and :class:`ProtocolError` on malformed or oversize frames.
+    """
+    head = _recv_exact(sock, _HEAD.size)
+    body_len, kind, header_len = _HEAD.unpack(head)
+    if body_len > max_frame:
+        raise ProtocolError(
+            f"frame of {body_len} bytes exceeds the {max_frame}-byte cap")
+    if body_len < 1 + 4 + header_len:
+        raise ProtocolError(
+            f"inconsistent frame: body {body_len} < header {header_len}")
+    if kind not in KIND_NAMES:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    rest = _recv_exact(sock, body_len - 1 - 4)
+    try:
+        header = json.loads(rest[:header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return kind, header, rest[header_len:]
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Serialize a server-side failure for an ``ERR`` frame."""
+    return {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "transient": bool(is_transient(exc)),
+    }
+
+
+def decode_error(header: dict) -> ServeError:
+    """Reconstruct a transported failure client-side."""
+    return ServeError(
+        f"{header.get('error', 'ServeError')}: "
+        f"{header.get('message', 'unknown server error')}",
+        kind=str(header.get("error", "ServeError")),
+        transient=bool(header.get("transient", False)),
+    )

@@ -1,0 +1,118 @@
+"""Per-tenant quality-of-service accounting for the serve daemon.
+
+Every request carries a ``client`` identity; the daemon keeps one
+:class:`ClientQoS` record per identity plus server-wide aggregates.
+The counters answer the operator questions the multi-tenant setting
+raises: *who* is loading the shared substrate, who is being throttled
+by admission control, who is missing deadlines, and how long requests
+sit queued before an in-flight slot frees up.
+
+Counter conservation is a hard invariant the soak test asserts::
+
+    requests == ok + errors + retry_later + deadline_misses
+
+i.e. every data-plane request received is counted exactly once on
+arrival and exactly once by outcome.  All mutation therefore goes
+through :meth:`ClientQoS.bump` under a per-record lock — bare ``+=``
+from many connection threads would drop counts.
+
+Snapshots are plain JSON-able dicts — the ``stats`` protocol verb and
+``drx-serve --dump-stats`` both export them verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ClientQoS", "QoSRegistry"]
+
+_COUNTERS = ("requests", "ok", "errors", "retry_later", "deadline_misses",
+             "retries", "bytes_read", "bytes_written")
+
+
+class ClientQoS:
+    """Cumulative counters for one client identity (thread-safe)."""
+
+    __slots__ = _COUNTERS + ("queue_wait", "inflight_hw",
+                             "_inflight", "_lock")
+
+    def __init__(self) -> None:
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+        self.queue_wait = 0.0      #: summed seconds waiting for admission
+        self.inflight_hw = 0       #: high-water mark of own in-flight
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    def bump(self, *, queue_wait: float = 0.0, **deltas: int) -> None:
+        """Add ``deltas`` to the named counters atomically."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in _COUNTERS:
+                    raise AttributeError(f"no QoS counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+            self.queue_wait += queue_wait
+
+    def enter_inflight(self) -> None:
+        with self._lock:
+            self._inflight += 1
+            if self._inflight > self.inflight_hw:
+                self.inflight_hw = self._inflight
+
+    def exit_inflight(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            snap = {name: getattr(self, name) for name in _COUNTERS}
+            snap["queue_wait"] = self.queue_wait
+            snap["inflight_hw"] = self.inflight_hw
+        return snap
+
+
+class QoSRegistry:
+    """Thread-safe registry of per-client and aggregate QoS counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._clients: dict[str, ClientQoS] = {}
+        #: server-wide admission-queue depth high-water mark
+        self.queue_depth_hw = 0
+        #: server-wide in-flight high-water mark
+        self.inflight_hw = 0
+
+    def client(self, name: str) -> ClientQoS:
+        with self._lock:
+            qos = self._clients.get(name)
+            if qos is None:
+                qos = self._clients[name] = ClientQoS()
+            return qos
+
+    def note_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.queue_depth_hw:
+                self.queue_depth_hw = depth
+
+    def note_inflight(self, inflight: int) -> None:
+        with self._lock:
+            if inflight > self.inflight_hw:
+                self.inflight_hw = inflight
+
+    def snapshot(self) -> dict:
+        """JSON-able per-client + aggregate counters."""
+        with self._lock:
+            records = sorted(self._clients.items())
+            queue_depth_hw = self.queue_depth_hw
+            inflight_hw = self.inflight_hw
+        clients = {name: qos.snapshot() for name, qos in records}
+        totals = {name: 0 for name in _COUNTERS}
+        for snap in clients.values():
+            for name in totals:
+                totals[name] += snap[name]
+        return {
+            "clients": clients,
+            "totals": totals,
+            "queue_depth_hw": queue_depth_hw,
+            "inflight_hw": inflight_hw,
+        }

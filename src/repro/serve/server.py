@@ -1,0 +1,930 @@
+"""The multi-tenant array service daemon.
+
+:class:`DRXServer` listens on a TCP socket, speaks the
+:mod:`repro.serve.protocol` framing, and multiplexes many concurrent
+clients onto **shared** substrate: one set of open
+:class:`~repro.drx.drxfile.DRXFile` handles (each with its Mpool buffer
+cache and executor wiring), optionally one shared
+:class:`~repro.pfs.filesystem.ParallelFileSystem`.  The design
+commitments, in the order a request meets them:
+
+*Admission control.*  A request first claims an in-flight slot —
+bounded per client and globally.  Waiters park on a condition variable
+in a **bounded** queue; when the queue itself is full (or the daemon is
+draining) the request is refused with an explicit ``RETRY_LATER`` frame
+instead of buffering without bound.  Queue wait is charged to the
+request's deadline and to the client's QoS record.
+
+*Deadlines.*  The client ships its remaining budget with each request;
+the daemon turns it into a :class:`~repro.core.watchdog.CancelScope`
+and schedules one entry on the process-wide
+:func:`~repro.core.watchdog.default_watchdog` — the same monitor thread
+the MPI deadlock watchdog uses — whose callback cancels the scope.
+Every blocking point (admission wait, lock wait, store operation via
+:class:`CancelGateStore`, simulated computation) checkpoints the scope,
+so expiry aborts the request mid-flight rather than after the fact.  A
+mutation cancelled mid-apply is rolled back from its pre-image before
+the ``DEADLINE`` frame is sent.
+
+*Range locking.*  Data-plane verbs take the array's
+:class:`~repro.serve.locks.ArrayRWLock` shared plus exclusive
+:class:`~repro.serve.locks.ChunkLocks` on exactly the chunks their box
+covers, in ascending linear-address order; structural verbs (extend,
+flush, snapshot, scrub) take the array lock exclusive.  Disjoint
+writers proceed concurrently; overlapping writers serialize, and each
+applied mutation gets a per-array sequence number so clients can
+observe the serialization order.
+
+*Graceful drain.*  ``shutdown(drain=True)`` (also SIGTERM) stops
+accepting, refuses new admissions with ``RETRY_LATER``, lets in-flight
+requests finish or deadline out, then flushes and closes every array —
+acknowledged writes are durable.  :meth:`DRXServer.kill` is the abrupt
+path: scopes cancelled, sockets torn down, arrays *abandoned* (dirty
+cache dropped, no flush) — the crash the chaos suite recovers from.
+
+*Chaos.*  The ``server.kill.daemon.*`` fault sites of
+:data:`~repro.core.faultsites.DAEMON_SITES` fire at the request
+life-cycle boundaries (admitted / locked / applied / drain.flush); a
+:class:`~repro.drx.resilience.FaultPlan` crash rule at any of them
+makes the daemon die abruptly at that instant via :meth:`kill`.
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core import faultsites
+from ..core.errors import (
+    CrashError,
+    DeadlineError,
+    RetryLater,
+    ServeError,
+)
+from ..core.executor import IOExecutor
+from ..core.faultsites import crash_point
+from ..core.watchdog import CancelScope, Deadline, Watchdog, default_watchdog
+from ..drx.drxfile import DRXFile
+from ..drx.storage import ByteStore
+from .locks import ArrayRWLock, ChunkLocks, _wait
+from .protocol import (
+    DEADLINE,
+    ERR,
+    MAX_FRAME,
+    OK,
+    REQ,
+    RETRY_LATER,
+    VERBS,
+    ConnectionClosed,
+    ProtocolError,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
+from .qos import QoSRegistry
+
+__all__ = ["DRXServer", "CancelGateStore", "current_scope"]
+
+#: Array names are identifiers, never paths: first character
+#: alphanumeric, then alphanumerics plus ``._-`` — no separators, so a
+#: root-directory server cannot be walked out of its root.
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,127}\Z")
+
+#: Verbs answered without claiming an admission slot: they are cheap,
+#: must work while the daemon is saturated (that is their whole point),
+#: and never touch array data.
+_CONTROL_VERBS = frozenset({"ping", "stats", "shutdown"})
+
+#: Slice length for simulated request computation (``_delay`` header),
+#: short enough that cancellation lands promptly.
+_DELAY_SLICE = 0.005
+
+_scope_local = threading.local()
+
+
+def current_scope() -> CancelScope | None:
+    """The :class:`CancelScope` of the request running on this thread
+    (``None`` outside a request — e.g. Mpool background write-behind)."""
+    return getattr(_scope_local, "value", None)
+
+
+class CancelGateStore(ByteStore):
+    """A :class:`ByteStore` decorator that checkpoints the current
+    request's :class:`CancelScope` before every transfer.
+
+    This is how a deadline propagates *into* the storage stack: the
+    daemon opens every array with this wrapper, the request's scope is
+    installed thread-locally for the duration of the handler, and any
+    store operation issued after expiry raises
+    :class:`~repro.core.errors.DeadlineError` instead of doing the I/O.
+    Operations issued from background threads (read-ahead, write-behind)
+    carry no scope and pass through ungated.
+    """
+
+    def __init__(self, inner: ByteStore, role: str = "data") -> None:
+        super().__init__()
+        self._inner = inner
+        self.role = role
+        self.stats = inner.stats
+        self.deterministic_only = getattr(inner, "deterministic_only", False)
+
+    def _gate(self, what: str) -> None:
+        scope = current_scope()
+        if scope is not None:
+            scope.check(f"{self.role} store {what}")
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._gate("read")
+        return self._inner.read(offset, length)
+
+    def write(self, offset: int, data) -> None:
+        self._gate("write")
+        self._inner.write(offset, data)
+
+    def readv(self, extents) -> bytes:
+        self._gate("readv")
+        return self._inner.readv(extents)
+
+    def writev(self, extents, data) -> None:
+        self._gate("writev")
+        self._inner.writev(extents, data)
+
+    def replace(self, data) -> None:
+        # deliberately ungated: replace() is the crash-consistent
+        # meta-data commit — once entered it must complete, a deadline
+        # must not tear a commit in half
+        self._inner.replace(data)
+
+    def read_alternates(self, offset: int, length: int) -> list[bytes]:
+        return self._inner.read_alternates(offset, length)
+
+    def repair(self, offset: int, data) -> None:
+        self._inner.repair(offset, data)
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def truncate(self, size: int) -> None:
+        self._inner.truncate(size)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class Admission:
+    """Bounded in-flight slots with a bounded wait queue.
+
+    ``admit`` returns the queue wait in seconds; it raises
+    :class:`RetryLater` when the queue is full or the daemon is
+    draining, and :class:`DeadlineError` when the request's scope
+    expires while parked.
+    """
+
+    def __init__(self, qos: QoSRegistry, max_inflight: int,
+                 max_inflight_per_client: int, max_queue: int) -> None:
+        self.qos = qos
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_per_client = max(1, int(max_inflight_per_client))
+        self.max_queue = max(0, int(max_queue))
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._per_client: dict[str, int] = {}
+        self._queued = 0
+        self.draining = False
+
+    def admit(self, client: str, scope: CancelScope | None) -> float:
+        t0 = time.monotonic()
+        with self._cond:
+            if self.draining:
+                raise RetryLater("server draining")
+            must_wait = (self._inflight >= self.max_inflight
+                         or self._per_client.get(client, 0)
+                         >= self.max_per_client)
+            if must_wait and self._queued >= self.max_queue:
+                raise RetryLater(
+                    f"admission queue full ({self._queued} waiting)")
+            self._queued += 1
+            self.qos.note_queue_depth(self._queued)
+            try:
+                while (self._inflight >= self.max_inflight
+                       or self._per_client.get(client, 0)
+                       >= self.max_per_client):
+                    if self.draining:
+                        raise RetryLater("server draining")
+                    _wait(self._cond, scope, "admission wait")
+            finally:
+                self._queued -= 1
+            self._inflight += 1
+            self._per_client[client] = self._per_client.get(client, 0) + 1
+            self.qos.note_inflight(self._inflight)
+        return time.monotonic() - t0
+
+    def release(self, client: str) -> None:
+        with self._cond:
+            self._inflight -= 1
+            n = self._per_client.get(client, 0) - 1
+            if n <= 0:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = n
+            self._cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def start_draining(self) -> None:
+        with self._cond:
+            self.draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Wait for every in-flight request to finish; True on idle."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(0.05, remaining))
+            return True
+
+
+class _ArrayEntry:
+    """One open array plus its service-layer state."""
+
+    def __init__(self, name: str, file: DRXFile) -> None:
+        self.name = name
+        self.file = file
+        self.rw = ArrayRWLock()
+        self.chunks = ChunkLocks()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+
+    def next_seq(self) -> int:
+        """Per-array apply sequence number, claimed while the mutation's
+        chunk locks are still held — the serialization order overlapping
+        writers observe."""
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+
+def _box_addresses(file: DRXFile, lo: Sequence[int],
+                   hi: Sequence[int]) -> list[int]:
+    """Linear addresses of every chunk the box ``[lo, hi)`` touches."""
+    from itertools import product
+
+    if any(h <= l for l, h in zip(lo, hi)):
+        return []
+    ranges = [range(l // c, (h - 1) // c + 1)
+              for l, h, c in zip(lo, hi, file.chunk_shape)]
+    return [file.meta.eci.address(ci) for ci in product(*ranges)]
+
+
+class DRXServer:
+    """A thread-per-connection array service over shared DRX state.
+
+    Exactly one of ``root`` (a host directory of ``.xmd``/``.xta``
+    pairs) or ``fs`` (a shared
+    :class:`~repro.pfs.filesystem.ParallelFileSystem`) backs the
+    arrays.  ``port=0`` binds an ephemeral port — read it back from
+    :attr:`address` after :meth:`start`.
+    """
+
+    RUNNING, DRAINING, DEAD = "running", "draining", "dead"
+
+    def __init__(self, root=None, fs=None, host: str = "127.0.0.1",
+                 port: int = 0, max_inflight: int = 8,
+                 max_inflight_per_client: int = 4,
+                 max_queue: int = 16, max_frame: int = MAX_FRAME,
+                 cache_pages: int = 64, drain_timeout: float = 10.0,
+                 watchdog: Watchdog | None = None,
+                 use_executor: bool = True) -> None:
+        if (root is None) == (fs is None):
+            raise ServeError("exactly one of root= or fs= must be given")
+        self.root = root
+        self.fs = fs
+        self.host = host
+        self._port = port
+        self.max_frame = max_frame
+        self.cache_pages = cache_pages
+        self.drain_timeout = drain_timeout
+        self.qos = QoSRegistry()
+        self.admission = Admission(self.qos, max_inflight,
+                                   max_inflight_per_client, max_queue)
+        self._watchdog = watchdog if watchdog is not None \
+            else default_watchdog()
+        #: the "serve" executor tier: admitted requests execute here,
+        #: sized to the global in-flight limit so an admitted request
+        #: never waits for a worker (see the tier note in
+        #: :mod:`repro.core.executor`)
+        self._exec: IOExecutor | None = (
+            IOExecutor(max_inflight, name="serve") if use_executor else None)
+        self._arrays: dict[str, _ArrayEntry] = {}
+        self._arrays_lock = threading.Lock()
+        self._state = self.RUNNING
+        self._state_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conn_socks: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._scopes: set[CancelScope] = set()
+        self._scopes_lock = threading.Lock()
+        self._handlers: dict[str, Callable] = {
+            "open": self._op_open, "create": self._op_create,
+            "read": self._op_read, "write": self._op_write,
+            "extend": self._op_extend, "flush": self._op_flush,
+            "snapshot": self._op_snapshot, "scrub": self._op_scrub,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DRXServer":
+        """Bind, listen, and start accepting in a background thread."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._port))
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="drx-serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self._port)
+
+    @property
+    def state(self) -> str:
+        with self._state_lock:
+            return self._state
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM / SIGINT → graceful drain (main thread only)."""
+        import signal
+
+        def on_signal(signum, frame):
+            threading.Thread(target=self.shutdown,
+                             kwargs={"drain": True},
+                             name="drx-serve-drain", daemon=True).start()
+
+        signal.signal(signal.SIGTERM, on_signal)
+        signal.signal(signal.SIGINT, on_signal)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the daemon is dead; True if it is."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.state != self.DEAD:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    def shutdown(self, drain: bool = True,
+                 drain_timeout: float | None = None) -> None:
+        """Stop the daemon.
+
+        ``drain=True`` is the graceful path: stop accepting, refuse new
+        admissions with ``RETRY_LATER``, let in-flight requests finish
+        (or deadline out, bounded by ``drain_timeout``), fire the
+        ``server.kill.daemon.drain.flush`` chaos site, then flush and
+        close every array so acknowledged writes are durable.
+        ``drain=False`` delegates to :meth:`kill`.
+        """
+        if not drain:
+            self.kill()
+            return
+        with self._state_lock:
+            if self._state != self.RUNNING:
+                return
+            self._state = self.DRAINING
+        self.admission.start_draining()
+        self._close_listener()
+        budget = self.drain_timeout if drain_timeout is None \
+            else drain_timeout
+        if not self.admission.wait_idle(budget):
+            # deadline-out the stragglers: cancel their scopes and give
+            # them a moment to unwind through their checkpoints
+            self._cancel_all_scopes("server draining")
+            self.admission.wait_idle(1.0)
+        try:
+            crash_point("server.kill.daemon.drain.flush")
+        except CrashError:
+            self.kill()
+            return
+        with self._arrays_lock:
+            entries = list(self._arrays.values())
+            self._arrays.clear()
+        for entry in entries:
+            entry.file.close()
+        if self._exec is not None:
+            self._exec.shutdown(wait=True)
+        with self._state_lock:
+            self._state = self.DEAD
+        self._close_connections()
+
+    def kill(self) -> None:
+        """Abrupt death: no flush, no goodbye.
+
+        Scopes are cancelled (in-flight work aborts at its next
+        checkpoint), queued-but-unstarted executor work is dropped,
+        sockets are torn down mid-frame, and every array is *abandoned*
+        — dirty cached pages vanish exactly as they would in a process
+        kill.  What this leaves on disk is whatever the store protocols
+        had committed: the chaos suite restarts a fresh daemon on the
+        same substrate and asserts recovery.
+        """
+        with self._state_lock:
+            if self._state == self.DEAD:
+                return
+            self._state = self.DEAD
+        self.admission.start_draining()
+        self._cancel_all_scopes("server killed")
+        self._close_listener()
+        self._close_connections()
+        if self._exec is not None:
+            self._exec.shutdown(wait=False, cancel_futures=True)
+        with self._arrays_lock:
+            entries = list(self._arrays.values())
+            self._arrays.clear()
+        for entry in entries:
+            entry.file.abandon()
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def _close_connections(self) -> None:
+        with self._conn_lock:
+            socks = list(self._conn_socks)
+        for s in socks:
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                s.close()
+            except OSError:
+                pass
+
+    def _cancel_all_scopes(self, reason: str) -> None:
+        with self._scopes_lock:
+            scopes = list(self._scopes)
+        for scope in scopes:
+            scope.cancel(reason)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self.state == self.RUNNING:
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._conn_lock:
+                if self.state != self.RUNNING:
+                    sock.close()
+                    return
+                self._conn_socks.add(sock)
+                t = threading.Thread(target=self._serve_connection,
+                                     args=(sock,),
+                                     name="drx-serve-conn", daemon=True)
+                self._conn_threads.append(t)
+            t.start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        owner = object()     # lock-ownership token for disconnect cleanup
+        try:
+            while self.state != self.DEAD:
+                kind, header, payload = recv_frame(sock, self.max_frame)
+                if kind != REQ:
+                    raise ProtocolError(
+                        f"expected REQ, got kind {kind}")
+                reply = self._handle_request(header, payload, owner)
+                send_frame(sock, *reply)
+        except ConnectionClosed:
+            pass                      # client went away — normal
+        except (ProtocolError, OSError):
+            pass                      # garbage or torn socket: drop it
+        except CrashError:
+            self.kill()               # chaos site fired: die abruptly
+        finally:
+            self._release_owner(owner)
+            with self._conn_lock:
+                self._conn_socks.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _release_owner(self, owner: object) -> None:
+        """Abrupt-disconnect cleanup: drop any chunk locks the
+        connection still holds (normal paths release via finally; this
+        is the backstop for a thread torn down mid-acquisition)."""
+        with self._arrays_lock:
+            entries = list(self._arrays.values())
+        for entry in entries:
+            entry.chunks.release_owner(owner)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _handle_request(self, header: dict, payload: bytes,
+                        owner: object) -> tuple[int, dict, bytes]:
+        verb = header.get("verb")
+        client = str(header.get("client", "anon"))
+        if verb not in VERBS:
+            return (ERR, encode_error(
+                ServeError(f"unknown verb {verb!r}")), b"")
+        if verb in _CONTROL_VERBS:
+            try:
+                hdr, pl = self._control(verb, header)
+                return (OK, hdr, pl)
+            except Exception as exc:   # noqa: BLE001 - transported
+                return (ERR, encode_error(exc), b"")
+
+        qos = self.qos.client(client)
+        qos.bump(requests=1)
+        if int(header.get("attempt", 0)) > 0:
+            qos.bump(retries=1)
+        timeout = header.get("timeout")
+        scope = CancelScope(Deadline(timeout))
+        wd_handle = None
+        if timeout is not None:
+            wd_handle = self._watchdog.schedule(
+                float(timeout),
+                lambda: scope.cancel("deadline exceeded"))
+        with self._scopes_lock:
+            self._scopes.add(scope)
+        admitted = False
+        try:
+            t_adm = time.monotonic()
+            try:
+                wait = self.admission.admit(client, scope)
+            except RetryLater as exc:
+                qos.bump(retry_later=1)
+                return (RETRY_LATER, {"reason": exc.reason}, b"")
+            except DeadlineError as exc:
+                # the whole budget was spent parked in the queue —
+                # charge it so the operator sees *where* time went
+                qos.bump(deadline_misses=1,
+                         queue_wait=time.monotonic() - t_adm)
+                return (DEADLINE, {"message": str(exc)}, b"")
+            admitted = True
+            qos.bump(queue_wait=wait)
+            qos.enter_inflight()
+            try:
+                crash_point("server.kill.daemon.admitted")
+                hdr, pl = self._execute(verb, header, payload, owner,
+                                        scope)
+                qos.bump(ok=1,
+                         bytes_read=len(pl) if verb == "read" else 0,
+                         bytes_written=(len(payload)
+                                        if verb == "write" else 0))
+                return (OK, hdr, pl)
+            except DeadlineError as exc:
+                qos.bump(deadline_misses=1)
+                return (DEADLINE, {"message": str(exc)}, b"")
+            except CrashError:
+                raise
+            except Exception as exc:   # noqa: BLE001 - transported
+                qos.bump(errors=1)
+                return (ERR, encode_error(exc), b"")
+        finally:
+            if admitted:
+                qos.exit_inflight()
+                self.admission.release(client)
+            with self._scopes_lock:
+                self._scopes.discard(scope)
+            if wd_handle is not None:
+                self._watchdog.cancel(wd_handle)
+
+    def _execute(self, verb: str, header: dict, payload: bytes,
+                 owner: object, scope: CancelScope) -> tuple[dict, bytes]:
+        """Run one admitted request on the serve executor tier (inline
+        while a fault plan is armed, to keep chaos schedules
+        deterministic)."""
+        def run() -> tuple[dict, bytes]:
+            _scope_local.value = scope
+            try:
+                scope.check(f"{verb} dispatch")
+                return self._handlers[verb](header, payload, owner, scope)
+            finally:
+                _scope_local.value = None
+
+        if self._exec is None or faultsites.any_active():
+            return run()
+        return self._exec.result(self._exec.submit(run))
+
+    @staticmethod
+    def _simulate_delay(header: dict, scope: CancelScope) -> None:
+        """Test hook: a ``_delay`` header simulates slow server-side
+        work *inside the request's locked region*, sliced so deadline
+        cancellation lands mid-way.  Read/write run it while holding
+        their chunk locks — how the suite makes lock overlap, admission
+        saturation, and mid-mutation deadlines observable."""
+        delay = float(header.get("_delay", 0.0))
+        end = time.monotonic() + delay
+        while time.monotonic() < end:
+            scope.check("simulated computation")
+            time.sleep(min(_DELAY_SLICE, max(0.0, end - time.monotonic())))
+
+    # ------------------------------------------------------------------
+    # control-plane verbs (no admission slot)
+    # ------------------------------------------------------------------
+    def _control(self, verb: str, header: dict) -> tuple[dict, bytes]:
+        if verb == "ping":
+            return ({"pong": True, "state": self.state,
+                     "echo": header.get("echo")}, b"")
+        if verb == "stats":
+            return (self.stats_snapshot(), b"")
+        # shutdown: acknowledge first, then drain in the background so
+        # the requesting client gets its reply before the socket dies
+        drain = bool(header.get("drain", True))
+        threading.Thread(target=self.shutdown, kwargs={"drain": drain},
+                         name="drx-serve-shutdown", daemon=True).start()
+        return ({"stopping": True, "drain": drain}, b"")
+
+    def stats_snapshot(self) -> dict:
+        """JSON-able daemon-wide statistics (the ``stats`` verb)."""
+        with self._arrays_lock:
+            names = sorted(self._arrays)
+            locks_held = sum(e.chunks.held()
+                             for e in self._arrays.values())
+        snap = {
+            "state": self.state,
+            "address": list(self.address),
+            "arrays": names,
+            "inflight": self.admission.inflight,
+            "queued": self.admission.queued,
+            "chunk_locks_held": locks_held,
+            "limits": {
+                "max_inflight": self.admission.max_inflight,
+                "max_inflight_per_client": self.admission.max_per_client,
+                "max_queue": self.admission.max_queue,
+            },
+            "qos": self.qos.snapshot(),
+            "watchdog": {
+                "scheduled": self._watchdog.stats.scheduled,
+                "fired": self._watchdog.stats.fired,
+                "cancelled": self._watchdog.stats.cancelled,
+            },
+        }
+        if self.fs is not None:
+            snap["pfs"] = self.fs.stats_summary()
+        return snap
+
+    # ------------------------------------------------------------------
+    # array table
+    # ------------------------------------------------------------------
+    def _check_name(self, name) -> str:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ServeError(f"invalid array name {name!r}")
+        return name
+
+    def _store_wrapper(self, store: ByteStore, role: str) -> ByteStore:
+        return CancelGateStore(store, role)
+
+    def _entry(self, name: str) -> _ArrayEntry:
+        """The open-array entry for ``name``, opening lazily."""
+        name = self._check_name(name)
+        with self._arrays_lock:
+            entry = self._arrays.get(name)
+            if entry is not None:
+                return entry
+            if self.fs is not None:
+                if not self.fs.exists(name + DRXFile.XMD_SUFFIX):
+                    # a PFSError would read as transient to the client;
+                    # a missing array is permanent — fail fatally
+                    raise ServeError(f"no array named {name!r}",
+                                     kind="DRXFileNotFoundError")
+                file = DRXFile.open_pfs(
+                    self.fs, name, "r+", cache_pages=self.cache_pages,
+                    store_wrapper=self._store_wrapper)
+            else:
+                import pathlib
+                file = DRXFile.open(
+                    pathlib.Path(self.root) / name, "r+",
+                    cache_pages=self.cache_pages,
+                    store_wrapper=self._store_wrapper)
+            entry = _ArrayEntry(name, file)
+            self._arrays[name] = entry
+            return entry
+
+    def _info(self, entry: _ArrayEntry) -> dict:
+        f = entry.file
+        return {
+            "name": entry.name,
+            "shape": list(f.shape),
+            "chunk_shape": list(f.chunk_shape),
+            "dtype": f.dtype.str,
+            "num_chunks": f.num_chunks,
+            "codec": f.codec,
+            "checksums": f.checksums_enabled,
+            "commit_epoch": f.commit_epoch,
+        }
+
+    # ------------------------------------------------------------------
+    # data-plane verbs
+    # ------------------------------------------------------------------
+    def _op_open(self, header, payload, owner, scope):
+        return (self._info(self._entry(header["name"])), b"")
+
+    def _op_create(self, header, payload, owner, scope):
+        name = self._check_name(header["name"])
+        with self._arrays_lock:
+            exists = name in self._arrays
+        if not exists:
+            if self.fs is not None:
+                exists = self.fs.exists(name + DRXFile.XMD_SUFFIX)
+            else:
+                import pathlib
+                p = pathlib.Path(self.root) / name
+                exists = p.with_name(p.name + DRXFile.XMD_SUFFIX).exists()
+        if exists:
+            if header.get("exists_ok"):
+                return (self._info(self._entry(name)), b"")
+            raise ServeError(f"array {name!r} already exists",
+                             kind="DRXFileExistsError")
+        bounds = [int(b) for b in header["bounds"]]
+        chunk = [int(c) for c in header["chunk"]]
+        kwargs = dict(dtype=header.get("dtype", "<f8"),
+                      checksums=bool(header.get("checksums", False)),
+                      codec=header.get("codec", "none"),
+                      cache_pages=self.cache_pages,
+                      store_wrapper=self._store_wrapper)
+        if self.fs is not None:
+            file = DRXFile.create_pfs(self.fs, name, bounds, chunk,
+                                      **kwargs)
+        else:
+            import pathlib
+            file = DRXFile.create(pathlib.Path(self.root) / name,
+                                  bounds, chunk, **kwargs)
+        entry = _ArrayEntry(name, file)
+        with self._arrays_lock:
+            self._arrays[name] = entry
+        return (self._info(entry), b"")
+
+    def _op_read(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        lo = [int(x) for x in header["lo"]]
+        hi = [int(x) for x in header["hi"]]
+        entry.rw.acquire_shared(scope)
+        try:
+            taken = entry.chunks.acquire(
+                _box_addresses(entry.file, lo, hi), owner, scope)
+            try:
+                data = entry.file.read(lo, hi)
+                self._simulate_delay(header, scope)
+            finally:
+                entry.chunks.release(taken)
+        finally:
+            entry.rw.release_shared()
+        return ({"shape": list(data.shape), "dtype": data.dtype.str},
+                data.tobytes())
+
+    def _op_write(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        lo = [int(x) for x in header["lo"]]
+        shape = [int(x) for x in header["shape"]]
+        values = np.frombuffer(payload, dtype=header["dtype"])
+        values = values.reshape(shape)
+        hi = [l + s for l, s in zip(lo, shape)]
+        entry.rw.acquire_shared(scope)
+        try:
+            taken = entry.chunks.acquire(
+                _box_addresses(entry.file, lo, hi), owner, scope)
+            try:
+                crash_point("server.kill.daemon.locked")
+                # pre-image for rollback: a deadline that fires before
+                # the mutation is acknowledged must not leave a
+                # half-applied (or applied-but-unacked) box behind
+                pre = entry.file.read(lo, hi)
+                try:
+                    entry.file.write(lo, values)
+                    self._simulate_delay(header, scope)
+                    crash_point("server.kill.daemon.applied")
+                except DeadlineError:
+                    self._rollback(entry, lo, pre)
+                    raise
+                seq = entry.next_seq()
+            finally:
+                entry.chunks.release(taken)
+        finally:
+            entry.rw.release_shared()
+        return ({"seq": seq, "nbytes": len(payload)}, b"")
+
+    @staticmethod
+    def _rollback(entry: _ArrayEntry, lo, pre) -> None:
+        """Restore a mutation's pre-image, immune to the (already
+        expired) request scope."""
+        saved = current_scope()
+        _scope_local.value = None
+        try:
+            entry.file.write(lo, pre)
+        finally:
+            _scope_local.value = saved
+
+    def _op_extend(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        entry.rw.acquire_exclusive(scope)
+        try:
+            crash_point("server.kill.daemon.locked")
+            if "to" in header:
+                # absolute-shape form: idempotent, chaos-safe to retry
+                to = [int(x) for x in header["to"]]
+                if len(to) != entry.file.rank:
+                    raise ServeError(
+                        f"extend to= rank {len(to)} != {entry.file.rank}")
+                for dim, target in enumerate(to):
+                    by = target - entry.file.shape[dim]
+                    if by > 0:
+                        entry.file.extend(dim, by)
+            else:
+                entry.file.extend(int(header["dim"]), int(header["by"]))
+            crash_point("server.kill.daemon.applied")
+            seq = entry.next_seq()
+        finally:
+            entry.rw.release_exclusive()
+        return ({"seq": seq, "shape": list(entry.file.shape)}, b"")
+
+    def _op_flush(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        entry.rw.acquire_exclusive(scope)
+        try:
+            entry.file.flush()
+        finally:
+            entry.rw.release_exclusive()
+        return ({"commit_epoch": entry.file.commit_epoch}, b"")
+
+    def _op_snapshot(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        dest = self._check_name(header["dest"])
+        entry.rw.acquire_exclusive(scope)
+        try:
+            src = entry.file
+            src.flush()
+            kwargs = dict(dtype=src.dtype,
+                          checksums=src.checksums_enabled,
+                          codec=src.codec,
+                          cache_pages=self.cache_pages,
+                          store_wrapper=self._store_wrapper)
+            if self.fs is not None:
+                copy = DRXFile.create_pfs(self.fs, dest, src.shape,
+                                          src.chunk_shape, **kwargs)
+            else:
+                import pathlib
+                copy = DRXFile.create(pathlib.Path(self.root) / dest,
+                                      src.shape, src.chunk_shape,
+                                      **kwargs)
+            try:
+                copy.write([0] * src.rank, src.read_all())
+            finally:
+                copy.close()
+        finally:
+            entry.rw.release_exclusive()
+        return ({"dest": dest, "shape": list(entry.file.shape)}, b"")
+
+    def _op_scrub(self, header, payload, owner, scope):
+        entry = self._entry(header["name"])
+        entry.rw.acquire_exclusive(scope)
+        try:
+            report = entry.file.scrub()
+        finally:
+            entry.rw.release_exclusive()
+        return ({"total_chunks": report.total_chunks,
+                 "checked": report.checked,
+                 "corrupt": list(report.corrupt),
+                 "unverified": report.unverified,
+                 "ok": report.ok}, b"")
