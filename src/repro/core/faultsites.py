@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Protocol
 
 __all__ = ["crash_point", "activate", "deactivate", "any_active",
-           "CRASH_SITES", "KILL_SITES", "DAEMON_SITES", "ALL_SITES"]
+           "CRASH_SITES", "KILL_SITES", "DAEMON_SITES", "NET_SITES",
+           "ALL_SITES"]
 
 
 #: Every named crash site, with the on-disk state a crash there leaves.
@@ -124,17 +125,43 @@ DAEMON_SITES: dict[str, str] = {
     "server.kill.daemon.locked":
         "range locks held, store not yet touched: the mutation never "
         "started",
+    "server.kill.daemon.journaled":
+        "the mutation's BEGIN/DATA intent is in the write-ahead journal "
+        "(not yet fsynced), the Mpool untouched: no COMMIT record, so "
+        "recovery discards the transaction and the client's retry "
+        "applies it exactly once",
     "server.kill.daemon.applied":
-        "mutation applied to the shared store, acknowledgement not yet "
-        "sent: the client must treat the silence as failure and re-issue",
+        "mutation applied to the shared store and its COMMIT record "
+        "appended, acknowledgement not yet sent: recovery replays the "
+        "committed transaction and answers the client's retry from the "
+        "recovered dedup table",
     "server.kill.daemon.drain.flush":
         "graceful drain finished the in-flight work, arrays not yet "
         "flushed/committed: unacknowledged state may be lost, "
-        "acknowledged-and-committed state survives",
+        "acknowledged (journal-committed) state is replayed on recovery",
+}
+
+#: Named sites at the daemon's network boundary — the instants where a
+#: request or its acknowledgement exists on exactly one side of the
+#: wire.  Chaos rules here model `kill -9` in the lost-request /
+#: lost-ack windows; :class:`repro.serve.netfault.FaultySocket` covers
+#: the corruption (bit flip / torn frame / delay) side of the same
+#: boundary client-side.
+NET_SITES: dict[str, str] = {
+    "serve.net.recv.request":
+        "a complete request frame was received and CRC-verified, "
+        "nothing dispatched yet: the client gets no reply and must "
+        "re-issue under the same idempotency key",
+    "serve.net.send.reply":
+        "the reply is computed (journal synced for mutations), the OK "
+        "frame not yet on the wire: the classic lost-ack window — the "
+        "retried request must be answered from the dedup table, never "
+        "re-applied",
 }
 
 #: The union the dispatcher validates against.
-ALL_SITES: dict[str, str] = {**CRASH_SITES, **KILL_SITES, **DAEMON_SITES}
+ALL_SITES: dict[str, str] = {**CRASH_SITES, **KILL_SITES, **DAEMON_SITES,
+                             **NET_SITES}
 
 
 class _Plan(Protocol):  # pragma: no cover - typing aid only

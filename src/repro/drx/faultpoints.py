@@ -14,10 +14,11 @@ from ..core.faultsites import (
     CRASH_SITES,
     DAEMON_SITES,
     KILL_SITES,
+    NET_SITES,
     activate,
     crash_point,
     deactivate,
 )
 
 __all__ = ["crash_point", "activate", "deactivate", "CRASH_SITES",
-           "KILL_SITES", "DAEMON_SITES", "ALL_SITES"]
+           "KILL_SITES", "DAEMON_SITES", "NET_SITES", "ALL_SITES"]

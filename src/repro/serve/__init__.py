@@ -15,16 +15,30 @@ instances.  The robustness contract:
 * per-chunk **range locking** — disjoint writers run concurrently,
   overlapping writers serialize deterministically;
 * **graceful drain** on SIGTERM and abrupt-kill chaos coverage via the
-  ``server.kill.daemon.*`` fault sites.
+  ``server.kill.daemon.*`` and ``serve.net.*`` fault sites;
+* **crash durability and exactly-once** — a per-array write-ahead
+  journal (:mod:`repro.serve.journal`) group-commit fsynced before
+  every OK, replayed on restart by :mod:`repro.serve.recovery`, with
+  ``(client, sid, seq)`` idempotency keys deduping retried mutations
+  across reconnects and daemon restarts.
 
 :class:`DRXClient` is the retrying stub (transient-vs-fatal
-classification, shared backoff policy, deadline ownership).
+classification, shared backoff policy, deadline ownership,
+reconnect-with-resume under a stable idempotency key).
 """
 
 from .client import DRXClient
+from .journal import JOURNAL_SUFFIX, DedupTable, Journal, JournalStats
 from .locks import ArrayRWLock, ChunkLocks
-from .protocol import MAX_FRAME, ConnectionClosed, ProtocolError
+from .netfault import FaultySocket
+from .protocol import (
+    KEYED_VERBS,
+    MAX_FRAME,
+    ConnectionClosed,
+    ProtocolError,
+)
 from .qos import ClientQoS, QoSRegistry
+from .recovery import RecoveryReport, recover, scan_journal
 from .server import CancelGateStore, DRXServer
 
 __all__ = [
@@ -38,4 +52,13 @@ __all__ = [
     "ProtocolError",
     "ConnectionClosed",
     "MAX_FRAME",
+    "KEYED_VERBS",
+    "JOURNAL_SUFFIX",
+    "Journal",
+    "JournalStats",
+    "DedupTable",
+    "RecoveryReport",
+    "recover",
+    "scan_journal",
+    "FaultySocket",
 ]

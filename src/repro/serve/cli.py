@@ -12,9 +12,20 @@ Query a running daemon's QoS / substrate counters as JSON::
 
     drx-serve --host 127.0.0.1 --port 7870 --dump-stats
 
+Recover eagerly after a crash (every array's journal is scanned,
+committed transactions replayed, the summary printed) instead of
+lazily on first open::
+
+    drx-serve --root /data/arrays --recover
+
+Durability knobs: ``--no-journal`` trades crash durability for write
+latency, ``--journal-window`` batches group commits, and
+``--checkpoint-interval`` bounds journal growth between flushes.
+
 The daemon drains gracefully on SIGTERM / SIGINT: it stops accepting,
 answers queued admissions with ``RETRY_LATER``, finishes (or
-deadlines-out) in-flight requests, flushes every array, and exits 0.
+deadlines-out) in-flight requests, flushes every array, rotates every
+journal, and exits 0.
 """
 
 from __future__ import annotations
@@ -45,9 +56,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-client in-flight request limit")
     p.add_argument("--max-queue", type=int, default=16,
                    help="admission queue depth before RETRY_LATER")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the write-ahead journal (acknowledged "
+                        "writes may be lost on kill -9)")
+    p.add_argument("--journal-window", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="group-commit window: how long a sync leader "
+                        "waits for more committers before fsyncing")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="periodically flush arrays and truncate their "
+                        "journals (default: only on flush/drain)")
+    p.add_argument("--recover", action="store_true",
+                   help="recover every array in the backing store at "
+                        "startup (replay journals eagerly) and print "
+                        "the per-array summary")
     p.add_argument("--dump-stats", action="store_true",
                    help="query a RUNNING daemon at --host/--port and "
-                        "print its stats snapshot as JSON")
+                        "print its stats snapshot as JSON (includes "
+                        "per-array journal/recovery counters)")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="request deadline for --dump-stats")
     return p
@@ -67,21 +94,26 @@ def main(argv=None) -> int:
         return 0
 
     from .server import DRXServer
+    kwargs = dict(host=args.host, port=args.port,
+                  max_inflight=args.max_inflight,
+                  max_inflight_per_client=args.per_client,
+                  max_queue=args.max_queue,
+                  journal=not args.no_journal,
+                  journal_window=args.journal_window,
+                  checkpoint_interval=args.checkpoint_interval)
     if args.pfs is not None:
         from ..pfs import ParallelFileSystem
         server = DRXServer(fs=ParallelFileSystem(nservers=args.pfs),
-                           host=args.host, port=args.port,
-                           max_inflight=args.max_inflight,
-                           max_inflight_per_client=args.per_client,
-                           max_queue=args.max_queue)
+                           **kwargs)
     else:
         root = args.root if args.root is not None else "."
-        server = DRXServer(root=root, host=args.host, port=args.port,
-                           max_inflight=args.max_inflight,
-                           max_inflight_per_client=args.per_client,
-                           max_queue=args.max_queue)
+        server = DRXServer(root=root, **kwargs)
     server.install_signal_handlers()
     server.start()
+    if args.recover:
+        summary = server.recover_all()
+        print(json.dumps({"recovered": summary}, indent=2,
+                         sort_keys=True), flush=True)
     host, port = server.address
     print(f"drx-serve: listening on {host}:{port}", flush=True)
     server.wait()

@@ -20,16 +20,37 @@ with the retry discipline the rest of the stack already uses:
   expiry between retries — raises
   :class:`~repro.core.errors.DeadlineError`; the budget is spent, so
   the stub never retries past it.
+* **Reconnect-with-resume, exactly once.**  Mutating verbs
+  (:data:`~repro.serve.protocol.KEYED_VERBS`) are stamped with an
+  idempotency key — ``(client_id, sid, seq)``, where ``sid`` is this
+  stub instance's opaque session token and ``seq`` its monotonic
+  request counter — assigned **once** per logical request, before the
+  first attempt, and re-sent verbatim on every retry and reconnect.  A
+  retry whose original OK frame was lost (torn wire, daemon kill
+  between apply and send) is answered from the server's dedup table,
+  so the mutation is applied exactly once no matter how many times the
+  wire failed.
 
 Each request counts its ``attempt`` number in the header, so the
 daemon's per-client QoS records show how often this client was forced
 to retry.
+
+Retry accounting (pinned by a regression test): ``max_retries=N``
+means **N + 1 total attempts** — one initial try plus N retries.  The
+attempt counter increments *before* the give-up check and the backoff
+sleep, so the loop raises after attempt ``N + 1`` fails (``attempt >
+max_retries`` with ``attempt == N + 1``) and the first sleep is
+``BackoffPolicy.delay(1)`` — the policy's base delay, not the doubled
+``delay(2)`` an off-by-one would produce.
 """
 
 from __future__ import annotations
 
+import itertools
 import socket
+import threading
 import time
+import uuid
 
 import numpy as np
 
@@ -39,6 +60,7 @@ from ..drx.resilience import BackoffPolicy
 from .protocol import (
     DEADLINE,
     ERR,
+    KEYED_VERBS,
     MAX_FRAME,
     OK,
     REQ,
@@ -66,7 +88,7 @@ class DRXClient:
                  timeout: float | None = None, max_retries: int = 8,
                  backoff: BackoffPolicy | None = None, seed: int = 0,
                  max_frame: int = MAX_FRAME,
-                 sleep=time.sleep) -> None:
+                 sleep=time.sleep, socket_wrapper=None) -> None:
         self.address = (address[0], int(address[1]))
         self.client_id = client_id
         self.timeout = timeout          #: default per-request budget
@@ -75,7 +97,15 @@ class DRXClient:
             else BackoffPolicy(base_delay=0.005, max_delay=0.25, seed=seed)
         self.max_frame = max_frame
         self._sleep = sleep
+        #: test hook: wraps each fresh connection (fault injection)
+        self._socket_wrapper = socket_wrapper
         self._sock: socket.socket | None = None
+        #: idempotency-key state: a session token unique to this stub
+        #: instance (two stubs sharing a client_id must not collide)
+        #: plus a monotonic per-request counter
+        self.session = uuid.uuid4().hex[:12]
+        self._seq = itertools.count(1)
+        self._seq_lock = threading.Lock()
         #: lifetime counters mirrored client-side
         self.retries = 0
         self.retry_later_seen = 0
@@ -105,6 +135,8 @@ class DRXClient:
                 timeout=budget + _SOCKET_GRACE if budget is not None
                 else _DEFAULT_SOCKET_TIMEOUT)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self._socket_wrapper is not None:
+                sock = self._socket_wrapper(sock)
             self._sock = sock
         return self._sock
 
@@ -120,6 +152,14 @@ class DRXClient:
         """
         deadline = Deadline(timeout if timeout is not None
                             else self.timeout)
+        # the idempotency key is fixed BEFORE the attempt loop: every
+        # retry — including reconnect-with-resume after a daemon
+        # restart — re-issues the in-flight request under the same
+        # (client, sid, seq), so the server dedups replays exactly-once
+        idem = None
+        if verb in KEYED_VERBS and "seq" not in (header or {}):
+            with self._seq_lock:
+                idem = next(self._seq)
         attempt = 0
         last: Exception | None = None
         while True:
@@ -132,6 +172,9 @@ class DRXClient:
             req["verb"] = verb
             req["client"] = self.client_id
             req["attempt"] = attempt
+            if idem is not None:
+                req["sid"] = self.session
+                req["seq"] = idem
             if budget is not None:
                 req["timeout"] = budget
             try:
@@ -167,6 +210,9 @@ class DRXClient:
                 else:
                     self._drop_connection()
                     last = ProtocolError(f"unexpected reply kind {kind}")
+            # accounting contract (see module docstring): attempt is
+            # incremented before the give-up check, so max_retries=N
+            # yields N+1 total attempts and the first sleep is delay(1)
             attempt += 1
             if attempt > self.max_retries:
                 raise last if last is not None else ServeError(

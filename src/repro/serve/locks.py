@@ -56,6 +56,13 @@ class ArrayRWLock:
     Writer preference keeps structural verbs (extend, snapshot) from
     starving behind a steady stream of readers: once an exclusive
     request is queued, new shared acquisitions wait behind it.
+
+    Holds are optionally attributed to an ``owner`` token (the serve
+    daemon passes its per-connection token), so
+    :meth:`release_owner` can reclaim whatever a connection torn down
+    between acquiring this lock and its chunk locks still holds — the
+    same abrupt-disconnect backstop :meth:`ChunkLocks.release_owner`
+    provides one layer down.
     """
 
     def __init__(self) -> None:
@@ -63,20 +70,35 @@ class ArrayRWLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self._shared_owners: dict[int, int] = {}   # id(owner) -> holds
+        self._writer_owner: int | None = None
 
-    def acquire_shared(self, scope: CancelScope | None = None) -> None:
+    def acquire_shared(self, scope: CancelScope | None = None,
+                       owner: object | None = None) -> None:
         with self._cond:
             while self._writer or self._writers_waiting:
                 _wait(self._cond, scope, "array shared-lock wait")
             self._readers += 1
+            if owner is not None:
+                key = id(owner)
+                self._shared_owners[key] = \
+                    self._shared_owners.get(key, 0) + 1
 
-    def release_shared(self) -> None:
+    def release_shared(self, owner: object | None = None) -> None:
         with self._cond:
             self._readers -= 1
+            if owner is not None:
+                key = id(owner)
+                n = self._shared_owners.get(key, 0) - 1
+                if n <= 0:
+                    self._shared_owners.pop(key, None)
+                else:
+                    self._shared_owners[key] = n
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_exclusive(self, scope: CancelScope | None = None) -> None:
+    def acquire_exclusive(self, scope: CancelScope | None = None,
+                          owner: object | None = None) -> None:
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -85,11 +107,33 @@ class ArrayRWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+            self._writer_owner = id(owner) if owner is not None else None
 
     def release_exclusive(self) -> None:
         with self._cond:
             self._writer = False
+            self._writer_owner = None
             self._cond.notify_all()
+
+    def release_owner(self, owner: object) -> int:
+        """Drop every hold attributed to ``owner`` (abrupt-disconnect
+        cleanup); returns how many holds were reclaimed."""
+        with self._cond:
+            reclaimed = self._shared_owners.pop(id(owner), 0)
+            if reclaimed:
+                self._readers -= reclaimed
+            if self._writer and self._writer_owner == id(owner):
+                self._writer = False
+                self._writer_owner = None
+                reclaimed += 1
+            if reclaimed:
+                self._cond.notify_all()
+            return reclaimed
+
+    def held(self) -> tuple[int, bool]:
+        """(shared holds, exclusive held) — observability for tests."""
+        with self._cond:
+            return self._readers, self._writer
 
 
 class ChunkLocks:

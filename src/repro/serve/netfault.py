@@ -1,0 +1,146 @@
+"""Seeded network fault injection for the serve transport.
+
+:class:`FaultySocket` wraps a connected socket and mangles traffic on a
+deterministic, seeded schedule — the network-layer sibling of the
+storage stack's :class:`~repro.drx.resilience.FaultInjector`.  Tests
+wrap a client's connection (``DRXClient(socket_wrapper=...)``) and arm
+rules; the frame-level CRC32 in :mod:`repro.serve.protocol` must catch
+every corruption, the stub's reconnect-with-resume must retry under the
+request's original idempotency key, and the server's dedup table must
+keep the retried mutation exactly-once.
+
+Fault kinds (armed per direction, fire on the Nth following op):
+
+``bitflip``
+    XOR one bit — position chosen by the seeded RNG — in the buffer
+    being sent (or received).  Undetectable without the frame CRC.
+``torn``
+    Forward only a seeded fraction of the buffer, then close the
+    socket: a frame torn mid-wire.
+``disconnect``
+    Close the socket instead of transferring anything.
+``delay``
+    Sleep before forwarding — delayed bytes that push a peer into its
+    socket timeout.
+
+The server-side counterparts are the ``serve.net.*`` fault *sites* in
+:mod:`repro.core.faultsites`: the daemon announces the
+received-but-not-dispatched and computed-but-not-sent instants of every
+request, and a chaos ``crash`` rule there kills the whole daemon in the
+lost-request / lost-ack window.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from collections import deque
+
+__all__ = ["FaultySocket"]
+
+
+class FaultySocket:
+    """A socket proxy that corrupts traffic on an armed schedule.
+
+    Unarmed it is a transparent passthrough.  Rules fire at most once,
+    in arming order per direction; ``after`` counts how many ops
+    (``sendall`` / ``recv`` calls) pass untouched first.
+    """
+
+    def __init__(self, sock: socket.socket, seed: int = 0) -> None:
+        self._sock = sock
+        self.rng = random.Random(seed)
+        self._send_rules: deque[dict] = deque()
+        self._recv_rules: deque[dict] = deque()
+        self.sends = 0              #: sendall ops seen
+        self.recvs = 0              #: recv ops seen
+        self.injected = 0           #: rules fired
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm_send(self, kind: str, after: int = 0, **kw) -> "FaultySocket":
+        self._send_rules.append({"kind": kind, "after": int(after), **kw})
+        return self
+
+    def arm_recv(self, kind: str, after: int = 0, **kw) -> "FaultySocket":
+        self._recv_rules.append({"kind": kind, "after": int(after), **kw})
+        return self
+
+    def _due(self, rules: deque, seen: int) -> dict | None:
+        if rules and seen >= rules[0]["after"]:
+            self.injected += 1
+            return rules.popleft()
+        return None
+
+    def _mangle(self, rule: dict, data: bytes) -> bytes | None:
+        """Apply ``rule`` to an outgoing/incoming buffer; ``None`` means
+        the socket was closed instead of transferring."""
+        kind = rule["kind"]
+        if kind == "delay":
+            time.sleep(float(rule.get("seconds", 0.05)))
+            return data
+        if kind == "disconnect":
+            self.close()
+            return None
+        if kind == "torn":
+            keep = int(len(data) * float(rule.get("keep", 0.5)))
+            return data[:max(0, min(keep, len(data) - 1))]
+        if kind == "bitflip":
+            if not data:
+                return data
+            buf = bytearray(data)
+            pos = self.rng.randrange(len(buf))
+            buf[pos] ^= 1 << self.rng.randrange(8)
+            return bytes(buf)
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # socket surface the protocol layer uses
+    # ------------------------------------------------------------------
+    def sendall(self, data) -> None:
+        self.sends += 1
+        rule = self._due(self._send_rules, self.sends)
+        if rule is None:
+            self._sock.sendall(data)
+            return
+        mangled = self._mangle(rule, bytes(data))
+        if mangled is None:
+            raise OSError("faulty socket: injected disconnect mid-send")
+        self._sock.sendall(mangled)
+        if rule["kind"] == "torn":
+            self.close()
+            raise OSError("faulty socket: frame torn mid-send")
+
+    def recv(self, n: int) -> bytes:
+        self.recvs += 1
+        rule = self._due(self._recv_rules, self.recvs)
+        if rule is None:
+            return self._sock.recv(n)
+        if rule["kind"] == "disconnect":
+            self.close()
+            return b""
+        data = self._sock.recv(n)
+        mangled = self._mangle(rule, data)
+        if mangled is None:
+            return b""
+        if rule["kind"] == "torn":
+            self.close()
+            return mangled
+        return mangled
+
+    def settimeout(self, value) -> None:
+        self._sock.settimeout(value)
+
+    def setsockopt(self, *args) -> None:
+        self._sock.setsockopt(*args)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)

@@ -2,19 +2,23 @@
 
 Frame layout (all integers big-endian, no padding)::
 
-    +------------+--------+--------------+----------------+-----------+
-    | body_len   | kind   | header_len   | header (JSON)  | payload   |
-    | uint32     | uint8  | uint32       | header_len B   | rest      |
-    +------------+--------+--------------+----------------+-----------+
+    +----------+-------+--------+------------+---------------+---------+
+    | body_len | kind  | crc32  | header_len | header (JSON) | payload |
+    | uint32   | uint8 | uint32 | uint32     | header_len B  | rest    |
+    +----------+-------+--------+------------+---------------+---------+
 
-``body_len`` counts everything after itself (``1 + 4 + header_len +
-payload_len``), so a reader always knows how many bytes to consume
+``body_len`` counts everything after itself (``1 + 4 + 4 + header_len
++ payload_len``), so a reader always knows how many bytes to consume
 before dispatching — there is no sniffing and no resynchronization.
-The *header* is a UTF-8 JSON object carrying the verb and its scalar
-parameters; the *payload* is raw array bytes (C-order element data for
-``read`` responses and ``write`` requests, empty otherwise).  Keeping
-bulk data out of JSON keeps the framing overhead per megabyte moved at
-a few dozen bytes.
+``crc32`` covers the header and payload bytes: a bit flipped anywhere
+on the wire (see :class:`repro.serve.netfault.FaultySocket`) fails the
+check and the receiver raises :class:`ProtocolError` instead of acting
+on corrupt data — the sender's retry layer reconnects and re-issues
+under the request's idempotency key.  The *header* is a UTF-8 JSON
+object carrying the verb and its scalar parameters; the *payload* is
+raw array bytes (C-order element data for ``read`` responses and
+``write`` requests, empty otherwise).  Keeping bulk data out of JSON
+keeps the framing overhead per megabyte moved at a few dozen bytes.
 
 Frame kinds:
 
@@ -25,7 +29,13 @@ Frame kinds:
     server can count forced retries per client), ``timeout`` (the
     request's remaining deadline budget in seconds — the *client*
     owns the deadline and ships the remaining budget, the server
-    enforces it), plus verb-specific fields.
+    enforces it), plus verb-specific fields.  Mutating verbs
+    (:data:`KEYED_VERBS`) additionally carry the idempotency key:
+    ``sid`` (an opaque per-stub session token) and ``seq`` (the stub's
+    monotonic request number) — assigned **once** per logical request
+    and re-sent verbatim on every retry/reconnect, so the server's
+    dedup table can answer a replay with the cached result instead of
+    re-applying the mutation.
 ``OK``
     Success.  Verb-specific header + optional payload.
 ``ERR``
@@ -52,13 +62,14 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import zlib
 
 from ..core.errors import DRXError, ServeError
 from ..drx.resilience import is_transient
 
 __all__ = [
     "REQ", "OK", "ERR", "RETRY_LATER", "DEADLINE",
-    "KIND_NAMES", "VERBS", "MAX_FRAME",
+    "KIND_NAMES", "VERBS", "KEYED_VERBS", "MAX_FRAME",
     "ProtocolError", "ConnectionClosed",
     "send_frame", "recv_frame", "encode_error", "decode_error",
 ]
@@ -78,11 +89,15 @@ VERBS = frozenset({
     "snapshot", "scrub", "stats", "shutdown",
 })
 
+#: Mutating verbs the client stamps with an idempotency key — exactly
+#: the verbs the server journals and dedups.
+KEYED_VERBS = frozenset({"write", "extend"})
+
 #: Default per-frame size cap (64 MiB): bigger transfers must be split
 #: into multiple requests — bounded buffering is the point.
 MAX_FRAME = 64 * 1024 * 1024
 
-_HEAD = struct.Struct("!IBI")       # body_len, kind, header_len
+_HEAD = struct.Struct("!IBII")      # body_len, kind, crc32, header_len
 
 
 class ProtocolError(DRXError):
@@ -102,8 +117,12 @@ def send_frame(sock: socket.socket, kind: int, header: dict,
                payload: bytes | memoryview = b"") -> None:
     """Serialize and send one frame (blocking, whole frame)."""
     raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    body_len = 1 + 4 + len(raw) + len(payload)
-    sock.sendall(_HEAD.pack(body_len, kind, len(raw)) + raw)
+    crc = zlib.crc32(raw)
+    if len(payload):
+        crc = zlib.crc32(payload, crc)
+    body_len = 1 + 4 + 4 + len(raw) + len(payload)
+    sock.sendall(_HEAD.pack(body_len, kind, crc & 0xFFFFFFFF, len(raw))
+                 + raw)
     if len(payload):
         sock.sendall(payload)
 
@@ -130,16 +149,19 @@ def recv_frame(sock: socket.socket,
     read) and :class:`ProtocolError` on malformed or oversize frames.
     """
     head = _recv_exact(sock, _HEAD.size)
-    body_len, kind, header_len = _HEAD.unpack(head)
+    body_len, kind, crc, header_len = _HEAD.unpack(head)
     if body_len > max_frame:
         raise ProtocolError(
             f"frame of {body_len} bytes exceeds the {max_frame}-byte cap")
-    if body_len < 1 + 4 + header_len:
+    if body_len < 1 + 4 + 4 + header_len:
         raise ProtocolError(
             f"inconsistent frame: body {body_len} < header {header_len}")
     if kind not in KIND_NAMES:
         raise ProtocolError(f"unknown frame kind {kind}")
-    rest = _recv_exact(sock, body_len - 1 - 4)
+    rest = _recv_exact(sock, body_len - 1 - 4 - 4)
+    if zlib.crc32(rest) & 0xFFFFFFFF != crc:
+        raise ProtocolError(
+            "frame CRC mismatch: corrupted on the wire")
     try:
         header = json.loads(rest[:header_len].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -12,9 +12,14 @@ Counter conservation is a hard invariant the soak test asserts::
     requests == ok + errors + retry_later + deadline_misses
 
 i.e. every data-plane request received is counted exactly once on
-arrival and exactly once by outcome.  All mutation therefore goes
-through :meth:`ClientQoS.bump` under a per-record lock — bare ``+=``
-from many connection threads would drop counts.
+arrival and exactly once by outcome.  A *replayed* retry answered from
+the dedup table is still one arrival with one outcome (``ok``) — it
+additionally bumps ``dedup_hits``, so the conservation law holds under
+retries and reconnects while the operator can still see how many
+acknowledgements were served from cache instead of re-applied.  All
+mutation therefore goes through :meth:`ClientQoS.bump` under a
+per-record lock — bare ``+=`` from many connection threads would drop
+counts.
 
 Snapshots are plain JSON-able dicts — the ``stats`` protocol verb and
 ``drx-serve --dump-stats`` both export them verbatim.
@@ -27,7 +32,7 @@ import threading
 __all__ = ["ClientQoS", "QoSRegistry"]
 
 _COUNTERS = ("requests", "ok", "errors", "retry_later", "deadline_misses",
-             "retries", "bytes_read", "bytes_written")
+             "retries", "dedup_hits", "bytes_read", "bytes_written")
 
 
 class ClientQoS:

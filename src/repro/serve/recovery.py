@@ -1,0 +1,147 @@
+"""Crash recovery for journaled arrays (daemon open path).
+
+The algorithm, run before an array is served after a restart:
+
+1. **Scan** the journal byte-for-byte with
+   :func:`~repro.serve.journal.decode_record`.  Every record is
+   independently length- and CRC-checked; the scan stops at the first
+   record that does not verify — everything beyond is the *torn tail*
+   a crash mid-append left and is discarded (an fsync boundary
+   guarantees nothing before the last acknowledged COMMIT is in that
+   tail).
+2. **Assemble transactions.**  BEGIN/DATA/COMMIT records are grouped by
+   transaction id.  A transaction without a COMMIT record was never
+   acknowledged (a crash beat the apply, or a deadline rolled it back)
+   — it is *discarded*, never replayed.
+3. **Replay** committed transactions in record order (equal to the
+   lock-serialization order, see the ordering rules in
+   :mod:`repro.serve.journal`) against the freshly opened
+   :class:`~repro.drx.drxfile.DRXFile`: ``write`` re-applies its
+   payload box, ``extend`` grows to the journaled *absolute* shape —
+   both idempotent, so replaying state the crash already made durable
+   is harmless.  The file is then flushed, making the replay itself
+   durable.
+4. **Re-seed the dedup table** from CHECKPOINT and COMMIT records, so a
+   client retrying a request whose OK frame the crash swallowed is
+   answered from cache instead of re-applied — exactly-once across
+   restarts.
+
+The caller (the daemon's array-open path) rotates the journal after a
+successful recovery, so each crash's records are replayed exactly once.
+"""
+
+from __future__ import annotations
+
+from ..drx.drxfile import DRXFile
+from ..drx.storage import ByteStore
+from .journal import BEGIN, CHECKPOINT, COMMIT, DATA, decode_record
+
+__all__ = ["RecoveryReport", "scan_journal", "recover"]
+
+
+class RecoveryReport:
+    """What one recovery pass found and did (JSON-able)."""
+
+    __slots__ = ("valid_end", "torn_bytes", "records", "committed",
+                 "replayed", "discarded_txns", "dedup",
+                 "checkpoint_epoch", "max_txn")
+
+    def __init__(self) -> None:
+        self.valid_end = 0          #: offset where valid records stop
+        self.torn_bytes = 0         #: discarded torn-tail bytes
+        self.records = 0            #: valid records scanned
+        self.committed = 0          #: transactions with a COMMIT record
+        self.replayed = 0           #: transactions re-applied to the file
+        self.discarded_txns = 0     #: BEGINs without a COMMIT
+        self.dedup: dict = {}       #: recovered idempotency-key snapshot
+        self.checkpoint_epoch = 0   #: epoch of the latest CHECKPOINT seen
+        self.max_txn = 0            #: highest transaction id seen
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def scan_journal(store: ByteStore) -> tuple[list, RecoveryReport]:
+    """Parse every valid record; stop at the torn tail.
+
+    Returns ``(records, report)`` where ``records`` is the ordered list
+    of ``(rtype, header, payload)`` triples and ``report`` has the scan
+    counters filled in (transaction fields still zero).
+    """
+    blob = store.read(0, store.size)
+    records: list = []
+    report = RecoveryReport()
+    offset = 0
+    while True:
+        decoded = decode_record(blob, offset)
+        if decoded is None:
+            break
+        rtype, header, payload, offset = decoded
+        records.append((rtype, header, payload))
+    report.valid_end = offset
+    report.torn_bytes = len(blob) - offset
+    report.records = len(records)
+    return records, report
+
+
+def _dedup_key_rest(key: list) -> tuple[str, str]:
+    import json
+    return str(key[0]), json.dumps(list(key)[1:], separators=(",", ":"))
+
+
+def recover(file: DRXFile, store: ByteStore) -> RecoveryReport:
+    """Scan ``store``, replay committed-but-possibly-unapplied
+    transactions into ``file``, and return the report (including the
+    recovered dedup snapshot).  Flushes ``file`` iff anything was
+    replayed.  Does **not** rotate the journal — the caller does, so a
+    crash mid-recovery just recovers again."""
+    records, report = scan_journal(store)
+    begins: dict[int, dict] = {}
+    payloads: dict[int, bytes] = {}
+    committed: list[tuple[dict, dict]] = []     # (begin_header, result)
+    for rtype, header, payload in records:
+        if rtype == CHECKPOINT:
+            # a checkpoint supersedes everything before it
+            report.dedup = dict(header.get("dedup", {}))
+            report.checkpoint_epoch = int(header.get("epoch", 0))
+            begins.clear()
+            payloads.clear()
+            committed.clear()
+        elif rtype == BEGIN:
+            begins[int(header["txn"])] = header
+        elif rtype == DATA:
+            payloads[int(header["txn"])] = payload
+        elif rtype == COMMIT:
+            txn = int(header["txn"])
+            begin = begins.pop(txn, None)
+            if begin is None:
+                continue            # COMMIT for a checkpointed txn
+            committed.append((begin, header.get("result", {})))
+            key = header.get("key") or begin.get("key")
+            if key:
+                client, rest = _dedup_key_rest(key)
+                report.dedup.setdefault(client, []).append(
+                    [rest, dict(header.get("result", {}))])
+        report.max_txn = max(report.max_txn,
+                             int(header.get("txn", 0) or 0))
+    report.committed = len(committed)
+    report.discarded_txns = len(begins)
+
+    for begin, _result in committed:
+        verb = begin.get("verb")
+        txn = int(begin["txn"])
+        if verb == "write":
+            import numpy as np
+            values = np.frombuffer(
+                payloads.get(txn, b""), dtype=begin["dtype"])
+            values = values.reshape([int(s) for s in begin["shape"]])
+            file.write([int(x) for x in begin["lo"]], values)
+        elif verb == "extend":
+            for dim, target in enumerate(int(x) for x in begin["to"]):
+                by = target - file.shape[dim]
+                if by > 0:
+                    file.extend(dim, by)
+        report.replayed += 1
+    if report.replayed:
+        file.flush()
+    return report

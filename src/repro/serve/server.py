@@ -35,16 +35,35 @@ writers proceed concurrently; overlapping writers serialize, and each
 applied mutation gets a per-array sequence number so clients can
 observe the serialization order.
 
+*Durability and exactly-once.*  Every mutating request (``write`` /
+``extend``) is journaled: its intent (BEGIN/DATA records) is appended
+to the array's write-ahead journal (:mod:`repro.serve.journal`)
+*before* the mutation touches the Mpool, its COMMIT record — carrying
+the result and the request's idempotency key — before the range locks
+drop, and the journal is group-commit fsynced before the OK frame is
+sent.  Restart recovery (:mod:`repro.serve.recovery`) replays committed
+transactions and re-seeds the dedup table, so a ``kill -9`` at any
+fault site loses no acknowledged write, and a client retrying a request
+whose OK frame was lost is answered from cache instead of re-applied.
+A watchdog-driven checkpoint (``checkpoint_interval``) — and every
+explicit ``flush`` — truncates the journal once the array itself is
+durable.
+
 *Graceful drain.*  ``shutdown(drain=True)`` (also SIGTERM) stops
 accepting, refuses new admissions with ``RETRY_LATER``, lets in-flight
 requests finish or deadline out, then flushes and closes every array —
 acknowledged writes are durable.  :meth:`DRXServer.kill` is the abrupt
 path: scopes cancelled, sockets torn down, arrays *abandoned* (dirty
-cache dropped, no flush) — the crash the chaos suite recovers from.
+cache dropped, no flush) — the crash the chaos suite recovers from;
+only the journal (already appended, synced per acknowledgement)
+survives it, which is the whole point.
 
 *Chaos.*  The ``server.kill.daemon.*`` fault sites of
 :data:`~repro.core.faultsites.DAEMON_SITES` fire at the request
-life-cycle boundaries (admitted / locked / applied / drain.flush); a
+life-cycle boundaries (admitted / locked / journaled / applied /
+drain.flush), and the ``serve.net.*`` sites of
+:data:`~repro.core.faultsites.NET_SITES` at the network boundary
+(request received / reply not yet sent); a
 :class:`~repro.drx.resilience.FaultPlan` crash rule at any of them
 makes the daemon die abruptly at that instant via :meth:`kill`.
 """
@@ -63,6 +82,7 @@ from ..core import faultsites
 from ..core.errors import (
     CrashError,
     DeadlineError,
+    DRXFileError,
     RetryLater,
     ServeError,
 )
@@ -70,7 +90,8 @@ from ..core.executor import IOExecutor
 from ..core.faultsites import crash_point
 from ..core.watchdog import CancelScope, Deadline, Watchdog, default_watchdog
 from ..drx.drxfile import DRXFile
-from ..drx.storage import ByteStore
+from ..drx.storage import ByteStore, PFSByteStore, PosixByteStore
+from .journal import JOURNAL_SUFFIX, DedupTable, Journal
 from .locks import ArrayRWLock, ChunkLocks, _wait
 from .protocol import (
     DEADLINE,
@@ -87,6 +108,7 @@ from .protocol import (
     send_frame,
 )
 from .qos import QoSRegistry
+from .recovery import recover
 
 __all__ = ["DRXServer", "CancelGateStore", "current_scope"]
 
@@ -212,17 +234,21 @@ class Admission:
             if must_wait and self._queued >= self.max_queue:
                 raise RetryLater(
                     f"admission queue full ({self._queued} waiting)")
-            self._queued += 1
-            self.qos.note_queue_depth(self._queued)
-            try:
-                while (self._inflight >= self.max_inflight
-                       or self._per_client.get(client, 0)
-                       >= self.max_per_client):
-                    if self.draining:
-                        raise RetryLater("server draining")
-                    _wait(self._cond, scope, "admission wait")
-            finally:
-                self._queued -= 1
+            if must_wait:
+                # only genuine waiters count toward the queue bound — a
+                # request sailing straight into a free slot must not
+                # transiently inflate the depth high-water mark
+                self._queued += 1
+                self.qos.note_queue_depth(self._queued)
+                try:
+                    while (self._inflight >= self.max_inflight
+                           or self._per_client.get(client, 0)
+                           >= self.max_per_client):
+                        if self.draining:
+                            raise RetryLater("server draining")
+                        _wait(self._cond, scope, "admission wait")
+                finally:
+                    self._queued -= 1
             self._inflight += 1
             self._per_client[client] = self._per_client.get(client, 0) + 1
             self.qos.note_inflight(self._inflight)
@@ -273,6 +299,9 @@ class _ArrayEntry:
         self.file = file
         self.rw = ArrayRWLock()
         self.chunks = ChunkLocks()
+        self.journal: Journal | None = None
+        self.dedup = DedupTable()
+        self.recovery: dict | None = None    #: last recovery summary
         self._seq = 0
         self._seq_lock = threading.Lock()
 
@@ -315,7 +344,9 @@ class DRXServer:
                  max_queue: int = 16, max_frame: int = MAX_FRAME,
                  cache_pages: int = 64, drain_timeout: float = 10.0,
                  watchdog: Watchdog | None = None,
-                 use_executor: bool = True) -> None:
+                 use_executor: bool = True, journal: bool = True,
+                 journal_window: float = 0.0,
+                 checkpoint_interval: float | None = None) -> None:
         if (root is None) == (fs is None):
             raise ServeError("exactly one of root= or fs= must be given")
         self.root = root
@@ -325,6 +356,11 @@ class DRXServer:
         self.max_frame = max_frame
         self.cache_pages = cache_pages
         self.drain_timeout = drain_timeout
+        self.journal_enabled = bool(journal)
+        self.journal_window = float(journal_window)
+        self.checkpoint_interval = checkpoint_interval
+        self._ckpt_handle = None
+        self.checkpoints = 0
         self.qos = QoSRegistry()
         self.admission = Admission(self.qos, max_inflight,
                                    max_inflight_per_client, max_queue)
@@ -369,6 +405,7 @@ class DRXServer:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="drx-serve-accept", daemon=True)
         self._accept_thread.start()
+        self._schedule_checkpoint()
         return self
 
     @property
@@ -428,6 +465,7 @@ class DRXServer:
             # them a moment to unwind through their checkpoints
             self._cancel_all_scopes("server draining")
             self.admission.wait_idle(1.0)
+        self._cancel_checkpoint()
         try:
             crash_point("server.kill.daemon.drain.flush")
         except CrashError:
@@ -438,6 +476,12 @@ class DRXServer:
             self._arrays.clear()
         for entry in entries:
             entry.file.close()
+            if entry.journal is not None:
+                # everything journaled is now durable in the array —
+                # leave a clean checkpoint carrying the dedup table
+                entry.journal.rotate(entry.dedup.snapshot(),
+                                     entry.file.commit_epoch)
+                entry.journal.close()
         if self._exec is not None:
             self._exec.shutdown(wait=True)
         with self._state_lock:
@@ -460,6 +504,7 @@ class DRXServer:
                 return
             self._state = self.DEAD
         self.admission.start_draining()
+        self._cancel_checkpoint()
         self._cancel_all_scopes("server killed")
         self._close_listener()
         self._close_connections()
@@ -470,6 +515,10 @@ class DRXServer:
             self._arrays.clear()
         for entry in entries:
             entry.file.abandon()
+            if entry.journal is not None:
+                # no rotate, no fsync: the journal keeps exactly what
+                # sync() already made durable — recovery's input
+                entry.journal.close()
 
     def _close_listener(self) -> None:
         listener, self._listener = self._listener, None
@@ -497,6 +546,63 @@ class DRXServer:
             scopes = list(self._scopes)
         for scope in scopes:
             scope.cancel(reason)
+
+    # ------------------------------------------------------------------
+    # journal checkpointing
+    # ------------------------------------------------------------------
+    def _schedule_checkpoint(self) -> None:
+        if not self.journal_enabled or not self.checkpoint_interval:
+            return
+        if self.state != self.RUNNING:
+            return
+
+        def fire():
+            # watchdog callbacks must stay brief: hand the flush work
+            # to a throwaway thread, which reschedules when done
+            threading.Thread(target=self._checkpoint_fired,
+                             name="drx-serve-ckpt", daemon=True).start()
+
+        self._ckpt_handle = self._watchdog.schedule(
+            float(self.checkpoint_interval), fire)
+
+    def _cancel_checkpoint(self) -> None:
+        handle, self._ckpt_handle = self._ckpt_handle, None
+        if handle is not None:
+            self._watchdog.cancel(handle)
+
+    def _checkpoint_fired(self) -> None:
+        try:
+            if self.state == self.RUNNING:
+                self.checkpoint()
+        finally:
+            if self.state == self.RUNNING:
+                self._schedule_checkpoint()
+
+    def checkpoint(self) -> dict:
+        """Flush every open array and truncate its journal down to one
+        CHECKPOINT record (carrying the dedup table forward).
+
+        Runs under each array's exclusive lock, so no mutation is
+        between its journal append and its apply while the journal
+        rewrites.  Returns ``{name: journal bytes dropped}``.
+        """
+        dropped: dict[str, int] = {}
+        with self._arrays_lock:
+            entries = list(self._arrays.values())
+        for entry in entries:
+            if entry.journal is None:
+                continue
+            entry.rw.acquire_exclusive()
+            try:
+                before = entry.journal.size
+                entry.file.flush()
+                entry.journal.rotate(entry.dedup.snapshot(),
+                                     entry.file.commit_epoch)
+                dropped[entry.name] = before - entry.journal.size
+            finally:
+                entry.rw.release_exclusive()
+        self.checkpoints += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # connection handling
@@ -528,10 +634,18 @@ class DRXServer:
         try:
             while self.state != self.DEAD:
                 kind, header, payload = recv_frame(sock, self.max_frame)
+                # lost-request window: frame received (CRC-verified),
+                # nothing dispatched — a kill here must be invisible
+                # after the client re-issues under the same key
+                crash_point("serve.net.recv.request")
                 if kind != REQ:
                     raise ProtocolError(
                         f"expected REQ, got kind {kind}")
                 reply = self._handle_request(header, payload, owner)
+                # lost-ack window: mutation applied and journal-synced,
+                # OK not yet on the wire — the retry must be answered
+                # from the dedup table, never re-applied
+                crash_point("serve.net.send.reply")
                 send_frame(sock, *reply)
         except ConnectionClosed:
             pass                      # client went away — normal
@@ -549,13 +663,15 @@ class DRXServer:
                 pass
 
     def _release_owner(self, owner: object) -> None:
-        """Abrupt-disconnect cleanup: drop any chunk locks the
-        connection still holds (normal paths release via finally; this
-        is the backstop for a thread torn down mid-acquisition)."""
+        """Abrupt-disconnect cleanup: drop any chunk locks *and* array
+        RW holds the connection still owns (normal paths release via
+        finally; this is the backstop for a thread torn down between
+        acquiring the array lock and its chunk locks)."""
         with self._arrays_lock:
             entries = list(self._arrays.values())
         for entry in entries:
             entry.chunks.release_owner(owner)
+            entry.rw.release_owner(owner)
 
     # ------------------------------------------------------------------
     # request handling
@@ -682,6 +798,18 @@ class DRXServer:
             names = sorted(self._arrays)
             locks_held = sum(e.chunks.held()
                              for e in self._arrays.values())
+            entries = list(self._arrays.values())
+        journal = {}
+        for e in entries:
+            if e.journal is None:
+                continue
+            journal[e.name] = {
+                "size": e.journal.size,
+                "stats": e.journal.stats.snapshot(),
+                "dedup_entries": len(e.dedup),
+                "dedup_hits": e.dedup.hits,
+                "recovery": e.recovery,
+            }
         snap = {
             "state": self.state,
             "address": list(self.address),
@@ -694,6 +822,8 @@ class DRXServer:
                 "max_inflight_per_client": self.admission.max_per_client,
                 "max_queue": self.admission.max_queue,
             },
+            "journal": journal,
+            "checkpoints": self.checkpoints,
             "qos": self.qos.snapshot(),
             "watchdog": {
                 "scheduled": self._watchdog.stats.scheduled,
@@ -716,8 +846,46 @@ class DRXServer:
     def _store_wrapper(self, store: ByteStore, role: str) -> ByteStore:
         return CancelGateStore(store, role)
 
+    def _journal_store(self, name: str) -> ByteStore:
+        """Open (or create) the array's ``.xj`` journal store — raw, not
+        Mpool-buffered and not deadline-gated: journal appends for an
+        acknowledged mutation must land even if the *next* request's
+        scope has expired, and abandoning the buffer cache on
+        :meth:`kill` must not touch what :meth:`Journal.sync` already
+        made durable."""
+        if self.fs is not None:
+            return PFSByteStore(
+                self.fs.open_or_create(name + JOURNAL_SUFFIX))
+        import pathlib
+        path = pathlib.Path(self.root) / (name + JOURNAL_SUFFIX)
+        try:
+            return PosixByteStore(path, "r+")
+        except DRXFileError:
+            return PosixByteStore(path, "x+")
+
+    def _attach_journal(self, entry: _ArrayEntry) -> None:
+        """Recover then journal ``entry`` (the daemon-open path): scan
+        the journal, replay committed-but-unapplied transactions,
+        re-seed the dedup table, and restart the journal from a clean
+        checkpoint so each crash's records replay exactly once."""
+        if not self.journal_enabled:
+            return
+        store = self._journal_store(entry.name)
+        report = recover(entry.file, store)
+        entry.dedup.seed(report.dedup)
+        entry.journal = Journal(store, start=report.valid_end,
+                                start_txn=report.max_txn,
+                                group_window=self.journal_window)
+        entry.journal.stats.recovered_txns = report.replayed
+        entry.journal.stats.discarded_txns = report.discarded_txns
+        entry.journal.stats.torn_bytes = report.torn_bytes
+        entry.journal.rotate(entry.dedup.snapshot(),
+                             entry.file.commit_epoch)
+        entry.recovery = report.snapshot()
+
     def _entry(self, name: str) -> _ArrayEntry:
-        """The open-array entry for ``name``, opening lazily."""
+        """The open-array entry for ``name``, opening lazily (which runs
+        crash recovery on the array's journal first)."""
         name = self._check_name(name)
         with self._arrays_lock:
             entry = self._arrays.get(name)
@@ -739,8 +907,25 @@ class DRXServer:
                     cache_pages=self.cache_pages,
                     store_wrapper=self._store_wrapper)
             entry = _ArrayEntry(name, file)
+            self._attach_journal(entry)
             self._arrays[name] = entry
             return entry
+
+    def recover_all(self) -> dict:
+        """Eagerly open — and thereby crash-recover — every array in
+        the backing store (``drx-serve --recover``).  Returns
+        ``{name: recovery summary}``."""
+        if self.fs is not None:
+            names = [n[:-len(DRXFile.XMD_SUFFIX)]
+                     for n in self.fs.listdir()
+                     if n.endswith(DRXFile.XMD_SUFFIX)]
+        else:
+            import pathlib
+            names = [p.name[:-len(DRXFile.XMD_SUFFIX)]
+                     for p in pathlib.Path(self.root).glob(
+                         "*" + DRXFile.XMD_SUFFIX)]
+        return {name: dict(self._entry(name).recovery or {})
+                for name in sorted(names)}
 
     def _info(self, entry: _ArrayEntry) -> dict:
         f = entry.file
@@ -792,15 +977,37 @@ class DRXServer:
             file = DRXFile.create(pathlib.Path(self.root) / name,
                                   bounds, chunk, **kwargs)
         entry = _ArrayEntry(name, file)
+        self._attach_journal(entry)
         with self._arrays_lock:
             self._arrays[name] = entry
         return (self._info(entry), b"")
+
+    @staticmethod
+    def _idem_key(header: dict) -> tuple[str, str, int] | None:
+        """The request's ``(client, sid, seq)`` idempotency key, or
+        ``None`` for an unkeyed (pre-exactly-once) client."""
+        if "sid" in header and "seq" in header:
+            return (str(header.get("client", "anon")),
+                    str(header["sid"]), int(header["seq"]))
+        return None
+
+    def _dedup_claim(self, entry: _ArrayEntry, key, header: dict,
+                     scope: CancelScope) -> dict | None:
+        """Claim ``key`` for this attempt; returns the cached result
+        when this is a replayed retry (counted in ``dedup_hits``)."""
+        if key is None:
+            return None
+        cached = entry.dedup.claim(key, scope)
+        if cached is not None:
+            self.qos.client(str(header.get("client", "anon"))).bump(
+                dedup_hits=1)
+        return cached
 
     def _op_read(self, header, payload, owner, scope):
         entry = self._entry(header["name"])
         lo = [int(x) for x in header["lo"]]
         hi = [int(x) for x in header["hi"]]
-        entry.rw.acquire_shared(scope)
+        entry.rw.acquire_shared(scope, owner)
         try:
             taken = entry.chunks.acquire(
                 _box_addresses(entry.file, lo, hi), owner, scope)
@@ -810,7 +1017,7 @@ class DRXServer:
             finally:
                 entry.chunks.release(taken)
         finally:
-            entry.rw.release_shared()
+            entry.rw.release_shared(owner)
         return ({"shape": list(data.shape), "dtype": data.dtype.str},
                 data.tobytes())
 
@@ -821,29 +1028,59 @@ class DRXServer:
         values = np.frombuffer(payload, dtype=header["dtype"])
         values = values.reshape(shape)
         hi = [l + s for l, s in zip(lo, shape)]
-        entry.rw.acquire_shared(scope)
+        key = self._idem_key(header)
+        cached = self._dedup_claim(entry, key, header, scope)
+        if cached is not None:
+            return (cached, b"")
+        done = False
         try:
-            taken = entry.chunks.acquire(
-                _box_addresses(entry.file, lo, hi), owner, scope)
+            lsn = None
+            entry.rw.acquire_shared(scope, owner)
             try:
-                crash_point("server.kill.daemon.locked")
-                # pre-image for rollback: a deadline that fires before
-                # the mutation is acknowledged must not leave a
-                # half-applied (or applied-but-unacked) box behind
-                pre = entry.file.read(lo, hi)
+                taken = entry.chunks.acquire(
+                    _box_addresses(entry.file, lo, hi), owner, scope)
                 try:
-                    entry.file.write(lo, values)
-                    self._simulate_delay(header, scope)
+                    crash_point("server.kill.daemon.locked")
+                    if entry.journal is not None:
+                        # redo logging: intent + payload hit the journal
+                        # before the Mpool sees the mutation
+                        txn = entry.journal.begin(
+                            "write", key,
+                            {"lo": lo, "shape": shape,
+                             "dtype": header["dtype"]}, payload)
+                    crash_point("server.kill.daemon.journaled")
+                    # pre-image for rollback: a deadline that fires
+                    # before the mutation is acknowledged must not leave
+                    # a half-applied (or applied-but-unacked) box behind
+                    pre = entry.file.read(lo, hi)
+                    try:
+                        entry.file.write(lo, values)
+                        self._simulate_delay(header, scope)
+                    except DeadlineError:
+                        # no COMMIT record: recovery discards the txn
+                        self._rollback(entry, lo, pre)
+                        raise
+                    seq = entry.next_seq()
+                    result = {"seq": seq, "nbytes": len(payload)}
+                    if entry.journal is not None:
+                        lsn = entry.journal.commit(txn, key, result)
                     crash_point("server.kill.daemon.applied")
-                except DeadlineError:
-                    self._rollback(entry, lo, pre)
-                    raise
-                seq = entry.next_seq()
+                finally:
+                    entry.chunks.release(taken)
             finally:
-                entry.chunks.release(taken)
+                entry.rw.release_shared(owner)
+            if lsn is not None:
+                # group commit *after* the locks drop, *before* OK
+                entry.journal.sync(lsn)
+            if key is not None:
+                # only after the covering sync: a replayed retry must
+                # never be acked from cache before its COMMIT is durable
+                entry.dedup.fulfill(key, result)
+            done = True
+            return (result, b"")
         finally:
-            entry.rw.release_shared()
-        return ({"seq": seq, "nbytes": len(payload)}, b"")
+            if not done and key is not None:
+                entry.dedup.abandon(key)
 
     @staticmethod
     def _rollback(entry: _ArrayEntry, lo, pre) -> None:
@@ -858,32 +1095,69 @@ class DRXServer:
 
     def _op_extend(self, header, payload, owner, scope):
         entry = self._entry(header["name"])
-        entry.rw.acquire_exclusive(scope)
+        key = self._idem_key(header)
+        cached = self._dedup_claim(entry, key, header, scope)
+        if cached is not None:
+            return (cached, b"")
+        done = False
         try:
-            crash_point("server.kill.daemon.locked")
-            if "to" in header:
-                # absolute-shape form: idempotent, chaos-safe to retry
-                to = [int(x) for x in header["to"]]
-                if len(to) != entry.file.rank:
-                    raise ServeError(
-                        f"extend to= rank {len(to)} != {entry.file.rank}")
+            entry.rw.acquire_exclusive(scope, owner)
+            try:
+                crash_point("server.kill.daemon.locked")
+                if "to" in header:
+                    # absolute-shape form: idempotent as given
+                    to = [int(x) for x in header["to"]]
+                    if len(to) != entry.file.rank:
+                        raise ServeError(
+                            f"extend to= rank {len(to)} != "
+                            f"{entry.file.rank}")
+                else:
+                    # relative form: resolved to an absolute target
+                    # under the exclusive lock, so the journaled intent
+                    # — and any retry answered from the dedup table —
+                    # is idempotent even though dim/by is not
+                    to = list(entry.file.shape)
+                    to[int(header["dim"])] += int(header["by"])
+                seq = entry.next_seq()
+                result = {"seq": seq,
+                          "shape": [max(s, t) for s, t
+                                    in zip(entry.file.shape, to)]}
+                if entry.journal is not None:
+                    # intent logging, not redo: extend's apply is itself
+                    # an immediate durable metadata commit, so the
+                    # journal COMMIT must be durable *first* — a crash
+                    # in between replays the (idempotent) absolute
+                    # target and answers the retry from the recovered
+                    # dedup table, never re-extends
+                    txn = entry.journal.begin("extend", key, {"to": to})
+                    entry.journal.sync(
+                        entry.journal.commit(txn, key, result))
+                crash_point("server.kill.daemon.journaled")
                 for dim, target in enumerate(to):
                     by = target - entry.file.shape[dim]
                     if by > 0:
                         entry.file.extend(dim, by)
-            else:
-                entry.file.extend(int(header["dim"]), int(header["by"]))
-            crash_point("server.kill.daemon.applied")
-            seq = entry.next_seq()
+                crash_point("server.kill.daemon.applied")
+            finally:
+                entry.rw.release_exclusive()
+            if key is not None:
+                entry.dedup.fulfill(key, result)
+            done = True
+            return (result, b"")
         finally:
-            entry.rw.release_exclusive()
-        return ({"seq": seq, "shape": list(entry.file.shape)}, b"")
+            if not done and key is not None:
+                entry.dedup.abandon(key)
 
     def _op_flush(self, header, payload, owner, scope):
         entry = self._entry(header["name"])
-        entry.rw.acquire_exclusive(scope)
+        entry.rw.acquire_exclusive(scope, owner)
         try:
             entry.file.flush()
+            if entry.journal is not None:
+                # the array is durable: truncate the journal to a clean
+                # checkpoint (carrying the dedup table forward)
+                entry.journal.rotate(entry.dedup.snapshot(),
+                                     entry.file.commit_epoch)
         finally:
             entry.rw.release_exclusive()
         return ({"commit_epoch": entry.file.commit_epoch}, b"")

@@ -100,7 +100,7 @@ class TestProtocol:
         try:
             # hand-craft a length prefix claiming 1 GiB: the receiver
             # must reject on the prefix alone
-            a.sendall(struct.pack("!IBI", 1 << 30, protocol.REQ, 5))
+            a.sendall(struct.pack("!IBII", 1 << 30, protocol.REQ, 0, 5))
             with pytest.raises(protocol.ProtocolError, match="cap"):
                 protocol.recv_frame(b, max_frame=1 << 20)
         finally:
@@ -110,7 +110,7 @@ class TestProtocol:
     def test_truncated_frame_is_connection_closed(self):
         a, b = socket.socketpair()
         try:
-            a.sendall(struct.pack("!IBI", 100, protocol.REQ, 10))
+            a.sendall(struct.pack("!IBII", 100, protocol.REQ, 0, 10))
             a.close()
             with pytest.raises(protocol.ConnectionClosed):
                 protocol.recv_frame(b)
@@ -637,8 +637,8 @@ class TestDrainAndDisconnect:
                 c.create("h", [4], [2])
             # open a raw connection, send half a frame, vanish
             raw = socket.create_connection(srv.address)
-            raw.sendall(struct.pack("!IBI", 64, protocol.REQ, 32))
-            raw.sendall(b"{")          # 1 of 59 remaining bytes
+            raw.sendall(struct.pack("!IBII", 64, protocol.REQ, 0, 32))
+            raw.sendall(b"{")          # 1 of 55 remaining bytes
             raw.close()
             time.sleep(0.2)
             # the daemon is unbothered: no lock leaked, still serving
@@ -701,6 +701,7 @@ class TestChaosDaemonKill:
         assert set(DAEMON_SITES) == {
             "server.kill.daemon.admitted",
             "server.kill.daemon.locked",
+            "server.kill.daemon.journaled",
             "server.kill.daemon.applied",
             "server.kill.daemon.drain.flush",
         }
