@@ -35,6 +35,13 @@ Record types, one mutation = one *transaction*:
     durable dedup table: recovery re-seeds ``key → result`` from them,
     so a retry replayed after a crash is answered from cache instead of
     re-applied.
+``ABORT``
+    Cancels an already-committed transaction whose apply then failed
+    in the live process (deadline, store fault).  The client was
+    answered with an error, so recovery must neither replay the
+    mutation nor seed the dedup table with a success result — the
+    ``extend`` path journals its COMMIT *before* applying (see the
+    ordering note there) and appends ABORT on apply failure.
 ``CHECKPOINT``
     Written alone by :meth:`Journal.rotate` after the array itself was
     flushed: everything the journal recorded is now durable in the
@@ -75,7 +82,7 @@ from ..drx.storage import ByteStore
 from .locks import _wait
 
 __all__ = [
-    "BEGIN", "DATA", "COMMIT", "CHECKPOINT", "RTYPE_NAMES",
+    "BEGIN", "DATA", "COMMIT", "CHECKPOINT", "ABORT", "RTYPE_NAMES",
     "JOURNAL_SUFFIX", "Journal", "JournalStats", "DedupTable",
     "encode_record", "decode_record",
 ]
@@ -84,9 +91,10 @@ BEGIN = 1
 DATA = 2
 COMMIT = 3
 CHECKPOINT = 4
+ABORT = 5
 
 RTYPE_NAMES = {BEGIN: "BEGIN", DATA: "DATA", COMMIT: "COMMIT",
-               CHECKPOINT: "CHECKPOINT"}
+               CHECKPOINT: "CHECKPOINT", ABORT: "ABORT"}
 
 #: The journal file lives next to the array's ``.xmd``/``.xta`` pair.
 JOURNAL_SUFFIX = ".xj"
@@ -176,6 +184,7 @@ class Journal:
         self._end = int(start)          #: append offset == next LSN
         self._synced = int(start)       #: highest durable LSN
         self._sync_leader = False
+        self._rot_epoch = 0             #: bumped by every rotate()
         self.group_window = float(group_window)
         self.stats = stats if stats is not None else JournalStats()
         self._txn = int(start_txn)      #: resume above recovered txn ids
@@ -229,9 +238,25 @@ class Journal:
             header["key"] = list(key)
         return self._append(encode_record(COMMIT, header), 1)
 
+    def abort(self, txn: int) -> int:
+        """Append ABORT for a committed-but-failed transaction; returns
+        the LSN to pass to :meth:`sync` so the cancellation is durable
+        before the error reaches the client."""
+        return self._append(encode_record(ABORT, {"txn": txn}), 1)
+
     def sync(self, lsn: int) -> None:
         """Group commit: return once every byte up to ``lsn`` is
-        durable, issuing at most one fsync per leader round."""
+        durable, issuing at most one fsync per leader round.
+
+        A leader round advances ``_synced`` only when its own flush
+        succeeded *and* no :meth:`rotate` intervened: a rotation
+        truncates the journal and resets the offsets, so the round's
+        captured ``end`` is stale — advancing to it would mark
+        fresh post-rotation appends durable without any fsync.  The
+        round still *returns* success after a rotation, because rotate
+        is only called once the array itself was flushed, which makes
+        every pre-rotation transaction durable in the array.
+        """
         with self._sync_cond:
             self.stats.sync_requests += 1
             while True:
@@ -242,6 +267,8 @@ class Journal:
                     self._sync_leader = True
                     break
                 self._sync_cond.wait(0.05)
+            epoch = self._rot_epoch
+        flushed = False
         try:
             if self.group_window > 0.0:
                 # let concurrent committers pile on before paying the
@@ -251,12 +278,17 @@ class Journal:
             with self._append_lock:
                 end = self._end
             self._store.flush()
+            flushed = True
         finally:
             with self._sync_cond:
                 self._sync_leader = False
-                if self._synced < end:
-                    self._synced = end
                 self.stats.syncs += 1
+                if flushed and epoch == self._rot_epoch \
+                        and self._synced < end:
+                    self._synced = end
+                # a failed flush leaves _synced put: a woken follower
+                # takes over the leader role and retries the fsync,
+                # while this caller sees the error and never acks
                 self._sync_cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -274,8 +306,14 @@ class Journal:
             self._store.replace(blob)
             self._store.flush()
             self._end = len(blob)
+            new_end = self._end
         with self._sync_cond:
-            self._synced = self._end
+            # invalidate any in-flight sync leader round: its captured
+            # pre-rotation end no longer names these bytes, so it must
+            # not advance _synced past the checkpoint
+            self._rot_epoch += 1
+            self._synced = new_end
+            self._sync_cond.notify_all()
         self.stats.rotations += 1
 
     def close(self) -> None:

@@ -12,7 +12,10 @@ The algorithm, run before an array is served after a restart:
 2. **Assemble transactions.**  BEGIN/DATA/COMMIT records are grouped by
    transaction id.  A transaction without a COMMIT record was never
    acknowledged (a crash beat the apply, or a deadline rolled it back)
-   — it is *discarded*, never replayed.
+   — it is *discarded*, never replayed.  So is a transaction with an
+   ABORT record: its COMMIT was journaled ahead of a failed apply
+   (the ``extend`` ordering) and the client was answered with an
+   error, so it must be neither replayed nor dedup-cached.
 3. **Replay** committed transactions in record order (equal to the
    lock-serialization order, see the ordering rules in
    :mod:`repro.serve.journal`) against the freshly opened
@@ -34,7 +37,7 @@ from __future__ import annotations
 
 from ..drx.drxfile import DRXFile
 from ..drx.storage import ByteStore
-from .journal import BEGIN, CHECKPOINT, COMMIT, DATA, decode_record
+from .journal import ABORT, BEGIN, CHECKPOINT, COMMIT, DATA, decode_record
 
 __all__ = ["RecoveryReport", "scan_journal", "recover"]
 
@@ -98,7 +101,12 @@ def recover(file: DRXFile, store: ByteStore) -> RecoveryReport:
     records, report = scan_journal(store)
     begins: dict[int, dict] = {}
     payloads: dict[int, bytes] = {}
-    committed: list[tuple[dict, dict]] = []     # (begin_header, result)
+    aborted: set[int] = set()
+    # (txn, begin_header, result, key) — dedup seeding waits until the
+    # aborted set is complete, so a committed-then-ABORTed transaction
+    # (its apply failed and the client saw the error) is neither
+    # replayed nor answered "ok" from the recovered cache
+    committed: list[tuple[int, dict, dict, list | None]] = []
     for rtype, header, payload in records:
         if rtype == CHECKPOINT:
             # a checkpoint supersedes everything before it
@@ -107,6 +115,7 @@ def recover(file: DRXFile, store: ByteStore) -> RecoveryReport:
             begins.clear()
             payloads.clear()
             committed.clear()
+            aborted.clear()
         elif rtype == BEGIN:
             begins[int(header["txn"])] = header
         elif rtype == DATA:
@@ -116,18 +125,22 @@ def recover(file: DRXFile, store: ByteStore) -> RecoveryReport:
             begin = begins.pop(txn, None)
             if begin is None:
                 continue            # COMMIT for a checkpointed txn
-            committed.append((begin, header.get("result", {})))
-            key = header.get("key") or begin.get("key")
-            if key:
-                client, rest = _dedup_key_rest(key)
-                report.dedup.setdefault(client, []).append(
-                    [rest, dict(header.get("result", {}))])
+            committed.append((txn, begin, header.get("result", {}),
+                              header.get("key") or begin.get("key")))
+        elif rtype == ABORT:
+            aborted.add(int(header["txn"]))
         report.max_txn = max(report.max_txn,
                              int(header.get("txn", 0) or 0))
+    committed = [c for c in committed if c[0] not in aborted]
+    for _txn, begin, result, key in committed:
+        if key:
+            client, rest = _dedup_key_rest(key)
+            report.dedup.setdefault(client, []).append(
+                [rest, dict(result)])
     report.committed = len(committed)
     report.discarded_txns = len(begins)
 
-    for begin, _result in committed:
+    for _txn, begin, _result, _key in committed:
         verb = begin.get("verb")
         txn = int(begin["txn"])
         if verb == "write":

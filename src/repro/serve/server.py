@@ -82,6 +82,7 @@ from ..core import faultsites
 from ..core.errors import (
     CrashError,
     DeadlineError,
+    DRXError,
     DRXFileError,
     RetryLater,
     ServeError,
@@ -574,6 +575,10 @@ class DRXServer:
         try:
             if self.state == self.RUNNING:
                 self.checkpoint()
+        except Exception:  # noqa: BLE001
+            # shutdown/kill can close files under a mid-flight
+            # checkpoint; the watchdog thread must survive that
+            pass
         finally:
             if self.state == self.RUNNING:
                 self._schedule_checkpoint()
@@ -592,12 +597,20 @@ class DRXServer:
         for entry in entries:
             if entry.journal is None:
                 continue
+            if self.state not in (self.RUNNING, self.DRAINING):
+                break
             entry.rw.acquire_exclusive()
             try:
                 before = entry.journal.size
-                entry.file.flush()
-                entry.journal.rotate(entry.dedup.snapshot(),
-                                     entry.file.commit_epoch)
+                try:
+                    entry.file.flush()
+                    entry.journal.rotate(entry.dedup.snapshot(),
+                                         entry.file.commit_epoch)
+                except (DRXError, OSError, ValueError):
+                    # a watchdog checkpoint racing shutdown/kill finds
+                    # the file closed (or abandoned) under it — skip
+                    # the entry; durability is the closer's problem now
+                    continue
                 dropped[entry.name] = before - entry.journal.size
             finally:
                 entry.rw.release_exclusive()
@@ -1104,6 +1117,10 @@ class DRXServer:
             entry.rw.acquire_exclusive(scope, owner)
             try:
                 crash_point("server.kill.daemon.locked")
+                # validate the target fully *before* journaling: once
+                # the COMMIT is durable, recovery will replay it, so a
+                # request that cannot apply must be rejected while the
+                # journal is still untouched
                 if "to" in header:
                     # absolute-shape form: idempotent as given
                     to = [int(x) for x in header["to"]]
@@ -1111,13 +1128,21 @@ class DRXServer:
                         raise ServeError(
                             f"extend to= rank {len(to)} != "
                             f"{entry.file.rank}")
+                    if any(t < 0 for t in to):
+                        raise ServeError(
+                            f"extend to= has negative bound: {to}")
                 else:
                     # relative form: resolved to an absolute target
                     # under the exclusive lock, so the journaled intent
                     # — and any retry answered from the dedup table —
                     # is idempotent even though dim/by is not
+                    dim = int(header["dim"])
+                    if not 0 <= dim < entry.file.rank:
+                        raise ServeError(
+                            f"extend dim {dim} out of range for rank "
+                            f"{entry.file.rank}")
                     to = list(entry.file.shape)
-                    to[int(header["dim"])] += int(header["by"])
+                    to[dim] += int(header["by"])
                 seq = entry.next_seq()
                 result = {"seq": seq,
                           "shape": [max(s, t) for s, t
@@ -1133,10 +1158,26 @@ class DRXServer:
                     entry.journal.sync(
                         entry.journal.commit(txn, key, result))
                 crash_point("server.kill.daemon.journaled")
-                for dim, target in enumerate(to):
-                    by = target - entry.file.shape[dim]
-                    if by > 0:
-                        entry.file.extend(dim, by)
+                try:
+                    for d, target in enumerate(to):
+                        by = target - entry.file.shape[d]
+                        if by > 0:
+                            entry.file.extend(d, by)
+                except Exception:
+                    # the COMMIT is already durable but the client will
+                    # see an error: journal a durable ABORT so recovery
+                    # neither replays the failed extend nor answers a
+                    # post-restart retry "ok" from the dedup cache (the
+                    # journal store is raw — not deadline-gated — so
+                    # this works even when a fired scope killed the
+                    # apply)
+                    if entry.journal is not None:
+                        try:
+                            entry.journal.sync(
+                                entry.journal.abort(txn))
+                        except Exception:  # noqa: BLE001
+                            pass  # journal torn down by a racing kill
+                    raise
                 crash_point("server.kill.daemon.applied")
             finally:
                 entry.rw.release_exclusive()

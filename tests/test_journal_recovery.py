@@ -40,6 +40,7 @@ from repro.drx.drxfile import DRXFile
 from repro.pfs import ParallelFileSystem
 from repro.serve import DRXClient, DRXServer, FaultySocket, protocol
 from repro.serve.journal import (
+    ABORT,
     BEGIN,
     CHECKPOINT,
     COMMIT,
@@ -138,6 +139,62 @@ class TestJournal:
         assert records[0][1]["dedup"] == {"c": [['["s",3]', {"seq": 4}]]}
         assert report.torn_bytes == 0
         assert j.stats.rotations == 1
+
+    def test_rotate_during_sync_keeps_new_appends_unsynced(self):
+        """A rotation landing while a sync leader's fsync is in flight
+        truncates the journal; the leader must not then resurrect its
+        stale pre-rotation offset as the durable watermark, or fresh
+        post-rotation appends would be acked without any fsync."""
+        store = MemoryByteStore()
+        j = Journal(store)
+        for i in range(4):                   # fatten the pre-rotation end
+            lsn = j.commit(j.begin("extend", ("c", "s", i),
+                                   {"to": [8 + i]}),
+                           ("c", "s", i), {"seq": i + 1})
+        real_flush = store.flush
+        fired = []
+
+        def flush_then_rotate():
+            real_flush()
+            if not fired:                    # rotate() flushes too
+                fired.append(True)
+                j.rotate({}, epoch=1)
+
+        store.flush = flush_then_rotate
+        try:
+            j.sync(lsn)                      # leader round, rotated mid-flight
+        finally:
+            store.flush = real_flush
+        # a fresh append (at a small post-rotation offset) must pay its
+        # own fsync — it must not be covered by the stale watermark
+        syncs = j.stats.syncs
+        lsn2 = j.commit(j.begin("extend", ("c", "s", 9), {"to": [32]}),
+                        ("c", "s", 9), {"seq": 9})
+        j.sync(lsn2)
+        assert j.stats.syncs == syncs + 1
+        assert j._synced == j.size
+
+    def test_failed_fsync_does_not_mark_bytes_durable(self):
+        store = MemoryByteStore()
+        j = Journal(store)
+        lsn = j.commit(j.begin("extend", ("c", "s", 0), {"to": [9]}),
+                       ("c", "s", 0), {"seq": 1})
+        real_flush = store.flush
+
+        def boom():
+            raise OSError("injected fsync failure")
+
+        store.flush = boom
+        with pytest.raises(OSError, match="injected"):
+            j.sync(lsn)
+        store.flush = real_flush
+        # the failure must not have advanced the durable watermark: the
+        # retry issues a real fsync instead of succeeding from cache
+        syncs = j.stats.syncs
+        j.sync(lsn)
+        assert j.stats.syncs == syncs + 1
+        assert j.stats.batched_syncs == 0
+        assert j._synced == j.size
 
     def test_group_commit_batches_concurrent_syncs(self):
         j = Journal(MemoryByteStore(), group_window=0.03)
@@ -277,6 +334,25 @@ class TestRecovery:
         finally:
             f.close()
 
+    def test_abort_cancels_committed_txn(self, tmp_path):
+        """COMMIT + ABORT == the apply failed after the commit was made
+        durable (the extend ordering): recovery must neither replay the
+        mutation nor seed the dedup table with its success result."""
+        store = MemoryByteStore()
+        j = Journal(store)
+        txn = j.begin("extend", ("c", "s", 1), {"to": [12, 8]})
+        j.commit(txn, ("c", "s", 1), {"seq": 1, "shape": [12, 8]})
+        j.sync(j.abort(txn))
+        f = self._file(tmp_path)
+        try:
+            report = recover(f, store)
+            assert report.replayed == 0
+            assert report.committed == 0
+            assert report.dedup == {}
+            assert list(f.shape) == [8, 8]       # not extended
+        finally:
+            f.close()
+
     def test_checkpoint_supersedes_prior_records(self, tmp_path):
         store = MemoryByteStore()
         j = Journal(store)
@@ -412,6 +488,84 @@ class TestKillRecover:
                     "never fired"
                 st = c.stats()
                 assert st["journal"]["a"]["stats"]["rotations"] >= 1
+        finally:
+            srv.shutdown(drain=True)
+
+    def test_checkpoint_tolerates_file_closed_under_it(self):
+        """A watchdog checkpoint can race shutdown/kill closing the
+        array files; it must skip the entry, not die with a traceback
+        in the drx-serve-ckpt thread."""
+        fs = ParallelFileSystem(nservers=3, stripe_size=1024)
+        srv = DRXServer(fs=fs).start()
+        try:
+            with make_client(srv, "w") as c:
+                c.create("a", [4], [2])
+                c.write("a", [0], np.ones(4))
+            srv._arrays["a"].file.close()     # what shutdown/kill does
+            dropped = srv.checkpoint()        # must not raise
+            assert "a" not in dropped
+        finally:
+            srv.kill()
+
+    def test_failed_extend_apply_not_replayed_or_cached(self, tmp_path):
+        """The extend path journals its COMMIT before applying; when
+        the apply then fails the client sees an error, so the durable
+        ABORT must keep recovery from replaying the extend or answering
+        a post-restart retry 'ok' from the dedup cache."""
+        srv = DRXServer(root=str(tmp_path)).start()
+        real_extend = DRXFile.extend
+        try:
+            with make_client(srv, "w", max_retries=0) as c:
+                c.create("a", [8], [4])
+                c.write("a", [0], np.ones(8))
+
+                def boom(self, dim, by):
+                    raise RuntimeError("injected apply fault")
+
+                DRXFile.extend = boom
+                try:
+                    with pytest.raises(ServeError, match="injected"):
+                        c.extend("a", dim=0, by=4)
+                finally:
+                    DRXFile.extend = real_extend
+            srv.kill()
+
+            srv2 = DRXServer(root=str(tmp_path)).start()
+            try:
+                report = srv2.recover_all()["a"]
+                assert report["replayed"] == 1       # just the write
+                assert report["committed"] == 1      # extend ABORTed
+                results = [r for entries in report["dedup"].values()
+                           for _rest, r in entries]
+                assert all("shape" not in r for r in results), \
+                    "failed extend leaked a success result into dedup"
+                with make_client(srv2, "r") as c2:
+                    assert c2.open("a")["shape"] == [8]   # not extended
+                    # the array is still writable and extendable
+                    assert c2.extend("a", dim=0, by=4)["shape"] == [12]
+            finally:
+                srv2.shutdown(drain=True)
+        finally:
+            DRXFile.extend = real_extend
+
+    def test_extend_validation_rejects_before_journaling(self):
+        fs = ParallelFileSystem(nservers=3, stripe_size=1024)
+        srv = DRXServer(fs=fs).start()
+        try:
+            with make_client(srv, "w", max_retries=0) as c:
+                c.create("a", [4, 4], [2, 2])
+                before = c.stats()["journal"]["a"]["stats"]["records"]
+                with pytest.raises(ServeError, match="out of range"):
+                    c.extend("a", dim=2, by=4)
+                with pytest.raises(ServeError, match="out of range"):
+                    c.extend("a", dim=-1, by=4)
+                with pytest.raises(ServeError, match="negative"):
+                    c.extend("a", to=[4, -2])
+                with pytest.raises(ServeError, match="rank"):
+                    c.extend("a", to=[4, 4, 4])
+                after = c.stats()["journal"]["a"]["stats"]["records"]
+                assert after == before, \
+                    "rejected extend must not touch the journal"
         finally:
             srv.shutdown(drain=True)
 
