@@ -24,10 +24,15 @@ instances.  The robustness contract:
 
 :class:`DRXClient` is the retrying stub (transient-vs-fatal
 classification, shared backoff policy, deadline ownership,
-reconnect-with-resume under a stable idempotency key).
+reconnect-with-resume under a stable idempotency key); its
+:class:`Pipeline` keeps many requests in flight per connection, and the
+``batch`` verb carries several ops in one frame.  :mod:`repro.serve.shard`
+scales the service *out*: N independent daemons behind a
+consistent-hash ring (:class:`HashRing` / :class:`ShardedClient`), each
+with its own journal, pool, and recovery domain.
 """
 
-from .client import DRXClient
+from .client import DRXClient, PendingReply, Pipeline
 from .journal import JOURNAL_SUFFIX, DedupTable, Journal, JournalStats
 from .locks import ArrayRWLock, ChunkLocks
 from .netfault import FaultySocket
@@ -40,10 +45,18 @@ from .protocol import (
 from .qos import ClientQoS, QoSRegistry
 from .recovery import RecoveryReport, recover, scan_journal
 from .server import CancelGateStore, DRXServer
+from .shard import HashRing, ShardedClient, ShardedPipeline, ShardSet, merge_stats
 
 __all__ = [
     "DRXServer",
     "DRXClient",
+    "Pipeline",
+    "PendingReply",
+    "HashRing",
+    "ShardedClient",
+    "ShardedPipeline",
+    "ShardSet",
+    "merge_stats",
     "ArrayRWLock",
     "ChunkLocks",
     "ClientQoS",

@@ -12,6 +12,12 @@ Query a running daemon's QoS / substrate counters as JSON::
 
     drx-serve --host 127.0.0.1 --port 7870 --dump-stats
 
+Observe a *shard set* as one system — pass several ``host:port``
+addresses and get each shard's snapshot plus the merged aggregate
+(summed QoS counters, max high-water marks, totalled journal gauges)::
+
+    drx-serve --dump-stats 127.0.0.1:7870 127.0.0.1:7871 127.0.0.1:7872
+
 Recover eagerly after a crash (every array's journal is scanned,
 committed transactions replayed, the summary printed) instead of
 lazily on first open::
@@ -72,12 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "startup (replay journals eagerly) and print "
                         "the per-array summary")
     p.add_argument("--dump-stats", action="store_true",
-                   help="query a RUNNING daemon at --host/--port and "
-                        "print its stats snapshot as JSON (includes "
-                        "per-array journal/recovery counters)")
+                   help="query RUNNING daemon(s) and print stats as "
+                        "JSON: one daemon at --host/--port, or several "
+                        "shards via positional host:port addresses "
+                        "(merged per-shard + aggregate snapshot)")
+    p.add_argument("addresses", nargs="*", metavar="HOST:PORT",
+                   help="shard addresses for --dump-stats (merged view)")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="request deadline for --dump-stats")
     return p
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad address {text!r} (want HOST:PORT)")
+    return (host or "127.0.0.1", int(port))
 
 
 def main(argv=None) -> int:
@@ -85,13 +101,35 @@ def main(argv=None) -> int:
 
     if args.dump_stats:
         from .client import DRXClient
-        if args.port == 0:
-            print("drx-serve: --dump-stats needs --port", file=sys.stderr)
+        if args.addresses:
+            try:
+                targets = [_parse_address(a) for a in args.addresses]
+            except ValueError as exc:
+                print(f"drx-serve: {exc}", file=sys.stderr)
+                return 2
+        elif args.port != 0:
+            targets = [(args.host, args.port)]
+        else:
+            print("drx-serve: --dump-stats needs --port or HOST:PORT "
+                  "addresses", file=sys.stderr)
             return 2
-        with DRXClient((args.host, args.port), client_id="drx-serve-cli",
-                       timeout=args.timeout) as client:
-            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        snaps = []
+        for address in targets:
+            with DRXClient(address, client_id="drx-serve-cli",
+                           timeout=args.timeout) as client:
+                snaps.append(client.stats())
+        if len(snaps) == 1:
+            print(json.dumps(snaps[0], indent=2, sort_keys=True))
+        else:
+            from .shard import merge_stats
+            print(json.dumps(merge_stats(snaps), indent=2,
+                             sort_keys=True))
         return 0
+
+    if args.addresses:
+        print("drx-serve: positional addresses only apply to "
+              "--dump-stats", file=sys.stderr)
+        return 2
 
     from .server import DRXServer
     kwargs = dict(host=args.host, port=args.port,

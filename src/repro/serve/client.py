@@ -58,6 +58,7 @@ from ..core.errors import DeadlineError, ServeError
 from ..core.watchdog import Deadline
 from ..drx.resilience import BackoffPolicy
 from .protocol import (
+    BATCHABLE_VERBS,
     DEADLINE,
     ERR,
     KEYED_VERBS,
@@ -70,15 +71,22 @@ from .protocol import (
     decode_error,
     recv_frame,
     send_frame,
+    split_payload,
 )
 
-__all__ = ["DRXClient"]
+__all__ = ["DRXClient", "Pipeline", "PendingReply"]
 
 #: Slack added to the socket timeout over the request deadline, so the
 #: server-side DEADLINE frame (sent *at* expiry) can still arrive.
 _SOCKET_GRACE = 1.0
 #: Socket timeout for requests without a deadline.
 _DEFAULT_SOCKET_TIMEOUT = 30.0
+
+
+def _decode_array(hdr: dict, payload) -> np.ndarray:
+    """A read reply's payload as a read-only zero-copy ndarray."""
+    arr = np.frombuffer(payload, dtype=hdr["dtype"])
+    return arr.reshape(hdr["shape"])
 
 
 class DRXClient:
@@ -88,8 +96,14 @@ class DRXClient:
                  timeout: float | None = None, max_retries: int = 8,
                  backoff: BackoffPolicy | None = None, seed: int = 0,
                  max_frame: int = MAX_FRAME,
-                 sleep=time.sleep, socket_wrapper=None) -> None:
+                 sleep=time.sleep, socket_wrapper=None,
+                 resolver=None) -> None:
         self.address = (address[0], int(address[1]))
+        #: optional ``() -> (host, port)`` consulted before every fresh
+        #: connection — a routing layer (the shard ring) owns the
+        #: address, so a reconnect after a shard failure re-resolves
+        #: instead of pinning the dead endpoint
+        self.resolver = resolver
         self.client_id = client_id
         self.timeout = timeout          #: default per-request budget
         self.max_retries = max_retries
@@ -128,16 +142,25 @@ class DRXClient:
             except OSError:
                 pass
 
+    def _new_socket(self, budget: float | None) -> socket.socket:
+        """One fresh connection: resolver-refreshed address, NODELAY,
+        wrapped by the fault-injection hook.  Shared by the synchronous
+        path and :class:`Pipeline`."""
+        if self.resolver is not None:
+            host, port = self.resolver()
+            self.address = (host, int(port))
+        sock = socket.create_connection(
+            self.address,
+            timeout=budget + _SOCKET_GRACE if budget is not None
+            else _DEFAULT_SOCKET_TIMEOUT)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self._socket_wrapper is not None:
+            sock = self._socket_wrapper(sock)
+        return sock
+
     def _connection(self, budget: float | None) -> socket.socket:
         if self._sock is None:
-            sock = socket.create_connection(
-                self.address,
-                timeout=budget + _SOCKET_GRACE if budget is not None
-                else _DEFAULT_SOCKET_TIMEOUT)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            if self._socket_wrapper is not None:
-                sock = self._socket_wrapper(sock)
-            self._sock = sock
+            self._sock = self._new_socket(budget)
         return self._sock
 
     # ------------------------------------------------------------------
@@ -240,11 +263,16 @@ class DRXClient:
 
     def read(self, name: str, lo, hi,
              timeout: float | None = None) -> np.ndarray:
+        """Read the box ``[lo, hi)``.
+
+        Zero-copy: the returned array is a **read-only** view over the
+        received reply payload (``np.frombuffer``, no copy) — callers
+        who need to mutate it make their own copy.
+        """
         hdr, payload = self.request(
             "read", {"name": name, "lo": list(lo), "hi": list(hi)},
             timeout=timeout)
-        arr = np.frombuffer(payload, dtype=hdr["dtype"])
-        return arr.reshape(hdr["shape"]).copy()
+        return _decode_array(hdr, payload)
 
     def write(self, name: str, lo, values,
               timeout: float | None = None, _delay: float = 0.0) -> dict:
@@ -284,3 +312,574 @@ class DRXClient:
                  timeout: float | None = None) -> dict:
         return self.request("shutdown", {"drain": drain},
                             timeout=timeout)[0]
+
+    # ------------------------------------------------------------------
+    # batching and pipelining
+    # ------------------------------------------------------------------
+    def _stamp_key(self, header: dict) -> None:
+        """Assign the idempotency key for a keyed verb, once, before
+        the first transmission — retries re-send it verbatim."""
+        if header.get("verb") in KEYED_VERBS and "seq" not in header:
+            with self._seq_lock:
+                header["sid"] = self.session
+                header["seq"] = next(self._seq)
+
+    def batch(self, ops, timeout: float | None = None,
+              return_exceptions: bool = False) -> list:
+        """Run several operations in one request frame (one round trip).
+
+        ``ops`` is a list of dicts, each carrying a ``verb`` (one of
+        :data:`~repro.serve.protocol.BATCHABLE_VERBS`), its verb
+        parameters, and optionally ``payload`` (raw bytes — a write's
+        array data).  Idempotency keys are stamped per keyed op before
+        the first transmission; a transport-level retry (or a partial
+        re-issue after per-op ``RETRY_LATER``) re-sends the original
+        keys, so mutations stay exactly-once even when a batch is torn
+        mid-wire.
+
+        Returns a list aligned with ``ops``: ``(header, payload)`` per
+        successful op (``payload`` is a zero-copy slice of the reply
+        frame).  Failed ops raise — or, with
+        ``return_exceptions=True``, appear as exception objects in the
+        returned list instead.
+        """
+        deadline = Deadline(timeout if timeout is not None
+                            else self.timeout)
+        prepared: list[tuple[dict, bytes]] = []
+        for op in ops:
+            oh = dict(op)
+            payload = bytes(oh.pop("payload", b""))
+            if oh.get("verb") not in BATCHABLE_VERBS:
+                raise ServeError(
+                    f"verb {oh.get('verb')!r} not allowed in a batch")
+            self._stamp_key(oh)
+            oh["nbytes"] = len(payload)
+            prepared.append((oh, payload))
+        outcomes: list = [None] * len(prepared)
+        pending = list(range(len(prepared)))
+        attempt = 0
+        while pending:
+            hdrs = [prepared[i][0] for i in pending]
+            body = b"".join(prepared[i][1] for i in pending)
+            rhdr, rpayload = self.request(
+                "batch", {"ops": hdrs}, body,
+                timeout=deadline.remaining())
+            results = rhdr["results"]
+            if len(results) != len(pending):
+                raise ProtocolError(
+                    f"batch reply carries {len(results)} results for "
+                    f"{len(pending)} ops")
+            pieces = split_payload(results, rpayload)
+            retry: list[int] = []
+            last: Exception | None = None
+            for idx, res, piece in zip(pending, results, pieces):
+                kind, h = int(res["kind"]), res["header"]
+                if kind == OK:
+                    outcomes[idx] = (h, piece)
+                elif kind == DEADLINE:
+                    outcomes[idx] = DeadlineError(
+                        h.get("message", "deadline exceeded"))
+                elif kind == RETRY_LATER:
+                    self.retry_later_seen += 1
+                    last = ServeError(
+                        f"server busy: {h.get('reason', '?')}",
+                        kind="RetryLater", transient=True)
+                    retry.append(idx)
+                else:
+                    err = decode_error(h)
+                    if err.transient:
+                        last = err
+                        retry.append(idx)
+                    else:
+                        outcomes[idx] = err
+            if retry:
+                attempt += 1
+                if attempt > self.max_retries:
+                    for idx in retry:
+                        outcomes[idx] = last
+                    retry = []
+                else:
+                    self.retries += 1
+                    self._sleep(self.backoff.delay(attempt))
+            pending = retry
+        if not return_exceptions:
+            for out in outcomes:
+                if isinstance(out, BaseException):
+                    raise out
+        return outcomes
+
+    def pipeline(self, depth: int = 64) -> "Pipeline":
+        """A pipelined connection: many requests in flight, responses
+        matched by sequence id (see :class:`Pipeline`)."""
+        return Pipeline(self, depth=depth)
+
+
+class PendingReply:
+    """The eventual reply to one pipelined request."""
+
+    __slots__ = ("verb", "rid", "_event", "_value", "_error", "_decode",
+                 "_deadline")
+
+    def __init__(self, verb: str, rid: int, deadline: Deadline,
+                 decode=None) -> None:
+        self.verb = verb
+        self.rid = rid
+        self._deadline = deadline
+        self._decode = decode
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until the reply lands; raises the transported failure.
+
+        The wait is bounded by the request's own deadline (raising
+        :class:`DeadlineError` on expiry) and, optionally, by
+        ``timeout`` seconds (raising :class:`TimeoutError`).
+        """
+        while not self._event.is_set():
+            budget = self._deadline.remaining()
+            if budget is not None and budget <= 0:
+                raise DeadlineError(
+                    f"deadline exceeded waiting for {self.verb} reply")
+            wait = _WAIT_POLL if budget is None else min(
+                _WAIT_POLL, budget)
+            if timeout is not None:
+                if timeout <= 0:
+                    raise TimeoutError(
+                        f"timed out waiting for {self.verb} reply")
+                wait = min(wait, timeout)
+                timeout -= wait
+            self._event.wait(wait + _SOCKET_GRACE
+                             if wait == budget else wait)
+        if self._error is not None:
+            raise self._error
+        if self._decode is not None:
+            value, self._decode = self._decode(*self._value), None
+            self._value = value
+        return self._value
+
+    # internal — called by the pipeline's receiver machinery
+    def _fulfill(self, hdr: dict, payload) -> None:
+        self._value = (hdr, payload)
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+
+#: Poll slice for PendingReply.result — bounds how late a deadline
+#: expiry with no server reply is noticed.
+_WAIT_POLL = 0.05
+
+
+class _PendingState:
+    """Pipeline-internal bookkeeping for one in-flight request."""
+
+    __slots__ = ("header", "payload", "deadline", "attempt", "last",
+                 "reply")
+
+    def __init__(self, header: dict, payload: bytes, deadline: Deadline,
+                 reply: PendingReply) -> None:
+        self.header = header
+        self.payload = payload
+        self.deadline = deadline
+        self.attempt = 0
+        self.last: BaseException | None = None
+        self.reply = reply
+
+
+class Pipeline:
+    """Many requests in flight on one connection, replies matched by id.
+
+    Each :meth:`submit` stamps the request with a connection-unique
+    ``rid`` and returns a :class:`PendingReply` immediately; a receiver
+    thread matches the server's (possibly out-of-order) replies back by
+    ``rid``.  The retry discipline mirrors :meth:`DRXClient.request`:
+
+    * **Reconnect-with-resume.**  A torn connection (daemon restart,
+      injected fault) fails nothing by itself: the receiver reconnects
+      — re-resolving the address through the owning client's
+      ``resolver``, so a shard that moved is found at its new home —
+      and re-sends every outstanding request in ``rid`` order under
+      its **original idempotency key**; the server's dedup table keeps
+      re-applied mutations exactly-once.
+    * **Per-request backpressure.**  ``RETRY_LATER`` (and transient
+      ERR) replies re-send just that request after the shared backoff,
+      leaving the rest of the window in flight.
+    * **Deadlines.**  Each request owns its budget; the remaining
+      budget ships with every (re)transmission and bounds the caller's
+      :meth:`PendingReply.result` wait.
+
+    Ordering: requests in one pipeline may *execute* in any order —
+    callers who need op B to observe op A must wait for A's reply
+    before submitting B (or put both in one ``batch`` frame, which
+    executes in list order).
+
+    ``depth`` bounds the in-flight window: past it, :meth:`submit`
+    blocks until a reply frees a slot.
+    """
+
+    def __init__(self, client: DRXClient, depth: int = 64) -> None:
+        self.client = client
+        self.depth = max(1, int(depth))
+        self._slots = threading.BoundedSemaphore(self.depth)
+        self._state = threading.Lock()   # outstanding dict + socket ref
+        self._send = threading.Lock()    # wire writes stay whole-frame
+        self._rid = itertools.count(1)
+        self._outstanding: dict[int, _PendingState] = {}
+        self._sock: socket.socket | None = None
+        self._recv: threading.Thread | None = None
+        self._closed = False
+        self._round = 0                  #: consecutive failed reconnects
+        self.resends = 0                 #: requests re-transmitted
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(drain=exc_type is None)
+
+    def submit(self, verb: str, header: dict | None = None,
+               payload: bytes = b"", timeout: float | None = None,
+               decode=None) -> PendingReply:
+        """Send one request without waiting; returns its
+        :class:`PendingReply`."""
+        if self._closed:
+            raise ServeError("pipeline is closed")
+        self._slots.acquire()
+        try:
+            deadline = Deadline(timeout if timeout is not None
+                                else self.client.timeout)
+            hdr = dict(header or {})
+            hdr["verb"] = verb
+            hdr["client"] = self.client.client_id
+            self.client._stamp_key(hdr)
+            with self._state:
+                rid = next(self._rid)
+                hdr["rid"] = rid
+                st = _PendingState(hdr, bytes(payload), deadline,
+                                   PendingReply(verb, rid, deadline,
+                                                decode))
+                self._outstanding[rid] = st
+                sock = self._sock
+        except BaseException:
+            self._slots.release()
+            raise
+        # connect/send BEFORE waking the receiver: a receiver that saw
+        # "no socket + outstanding" mid-first-connect would burn a
+        # spurious retry round on a request that never failed
+        if sock is None:
+            sock = self._try_connect()
+            if sock is None:
+                st.last = ConnectionClosed("connect failed")
+        if sock is not None:
+            try:
+                self._send_state(sock, st)
+            except (OSError, ProtocolError) as exc:
+                st.last = exc
+                self._connection_lost()
+        with self._state:
+            self._ensure_receiver()
+        # not sent yet?  The receiver's retry round re-sends it.
+        return st.reply
+
+    # ------------------------------------------------------------------
+    # convenience verbs (mirror DRXClient, returning PendingReply)
+    # ------------------------------------------------------------------
+    def ping(self, echo=None, timeout=None) -> PendingReply:
+        return self.submit("ping", {"echo": echo}, timeout=timeout,
+                           decode=lambda h, p: h)
+
+    def read(self, name: str, lo, hi, timeout=None) -> PendingReply:
+        return self.submit(
+            "read", {"name": name, "lo": list(lo), "hi": list(hi)},
+            timeout=timeout, decode=_decode_array)
+
+    def write(self, name: str, lo, values, timeout=None,
+              _delay: float = 0.0) -> PendingReply:
+        values = np.ascontiguousarray(values)
+        header = {"name": name, "lo": list(lo),
+                  "shape": list(values.shape),
+                  "dtype": values.dtype.str}
+        if _delay:
+            header["_delay"] = _delay
+        return self.submit("write", header, values.tobytes(),
+                           timeout=timeout, decode=lambda h, p: h)
+
+    def extend(self, name: str, dim=None, by=None, to=None,
+               timeout=None) -> PendingReply:
+        if to is not None:
+            header = {"name": name, "to": list(to)}
+        else:
+            header = {"name": name, "dim": int(dim), "by": int(by)}
+        return self.submit("extend", header, timeout=timeout,
+                           decode=lambda h, p: h)
+
+    def flush(self, name: str, timeout=None) -> PendingReply:
+        return self.submit("flush", {"name": name}, timeout=timeout,
+                           decode=lambda h, p: h)
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted request has its reply (or has
+        failed); per-reply failures surface from their own
+        :meth:`PendingReply.result` calls, not here."""
+        with self._state:
+            replies = [st.reply for st in self._outstanding.values()]
+        for reply in replies:
+            try:
+                reply.result(timeout=timeout)
+            except (DeadlineError, ServeError, ProtocolError, OSError,
+                    TimeoutError):
+                pass
+
+    def close(self, drain: bool = True,
+              timeout: float | None = None) -> None:
+        if drain and not self._closed:
+            self.drain(timeout=timeout)
+        with self._state:
+            self._closed = True
+            sock, self._sock = self._sock, None
+            for st in list(self._outstanding.values()):
+                self._finish_locked(
+                    st, error=st.last if st.last is not None
+                    else ConnectionClosed("pipeline closed"))
+            recv = self._recv
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if recv is not None and recv is not threading.current_thread():
+            recv.join(timeout=2.0)
+
+    @property
+    def outstanding(self) -> int:
+        with self._state:
+            return len(self._outstanding)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_receiver(self) -> None:
+        # caller holds self._state
+        if self._recv is None or not self._recv.is_alive():
+            self._recv = threading.Thread(
+                target=self._recv_loop, name="drx-pipeline-recv",
+                daemon=True)
+            self._recv.start()
+
+    def _try_connect(self) -> socket.socket | None:
+        """Connect (resolver-refreshed) and install the socket; returns
+        ``None`` on failure — the retry machinery takes over."""
+        try:
+            sock = self.client._new_socket(None)
+        except OSError:
+            return None
+        with self._state:
+            if self._closed:
+                pass
+            elif self._sock is None:
+                self._sock = sock
+                return sock
+            else:
+                sock, installed = self._sock, sock
+                try:
+                    installed.close()       # lost the race: keep first
+                except OSError:
+                    pass
+                return sock
+        try:
+            sock.close()
+        except OSError:
+            pass
+        return None
+
+    def _send_state(self, sock: socket.socket, st: _PendingState) -> None:
+        hdr = dict(st.header)
+        hdr["attempt"] = st.attempt
+        budget = st.deadline.remaining()
+        if budget is not None:
+            hdr["timeout"] = max(0.0, budget)
+        with self._send:
+            send_frame(sock, REQ, hdr, st.payload)
+
+    def _connection_lost(self) -> None:
+        with self._state:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _finish_locked(self, st: _PendingState, result=None,
+                       error=None) -> None:
+        # caller holds self._state
+        if self._outstanding.pop(st.header["rid"], None) is None:
+            return
+        if error is not None:
+            st.reply._fail(error)
+        else:
+            st.reply._fulfill(*result)
+        self._slots.release()
+
+    def _finish(self, st: _PendingState, result=None, error=None) -> None:
+        with self._state:
+            self._finish_locked(st, result, error)
+
+    def _recv_loop(self) -> None:
+        while True:
+            with self._state:
+                if self._closed and not self._outstanding:
+                    return
+                sock = self._sock
+                idle = not self._outstanding
+            if sock is None:
+                if idle and not self._closed:
+                    # nothing to recover: go dormant, submit() restarts
+                    with self._state:
+                        if not self._outstanding:
+                            self._recv = None
+                            return
+                    continue
+                if not self._retry_round():
+                    return
+                continue
+            try:
+                kind, hdr, payload = recv_frame(sock,
+                                                self.client.max_frame)
+            except (ConnectionClosed, ProtocolError, OSError,
+                    socket.timeout) as exc:
+                with self._state:
+                    for st in self._outstanding.values():
+                        st.last = exc
+                self._connection_lost()
+                continue
+            self._deliver(kind, hdr, payload)
+
+    def _retry_round(self) -> bool:
+        """One reconnect + resend-all round; ``False`` ends the
+        receiver."""
+        with self._state:
+            if self._closed:
+                for st in list(self._outstanding.values()):
+                    self._finish_locked(
+                        st, error=st.last if st.last is not None else
+                        ConnectionClosed("pipeline closed"))
+                return False
+            states = list(self._outstanding.values())
+            # cull requests out of budget before burning a reconnect
+            survivors = []
+            for st in states:
+                st.attempt += 1
+                remaining = st.deadline.remaining()
+                if remaining is not None and remaining <= 0:
+                    self._finish_locked(st, error=DeadlineError(
+                        f"deadline exceeded during {st.header['verb']} "
+                        f"retry" + (f" (last failure: {st.last})"
+                                    if st.last else "")))
+                elif st.attempt > self.client.max_retries:
+                    self._finish_locked(
+                        st, error=st.last if st.last is not None else
+                        ServeError(f"{st.header['verb']} failed after "
+                                   f"{self.client.max_retries} retries"))
+                else:
+                    survivors.append(st)
+        if not survivors:
+            return True          # loop re-checks: idle exit or closed
+        self._round += 1
+        self.client.retries += len(survivors)
+        self.resends += len(survivors)
+        self.client._sleep(self.client.backoff.delay(
+            min(self._round, 16)))
+        sock = self._try_connect()
+        if sock is None:
+            exc = ConnectionClosed("reconnect failed")
+            with self._state:
+                for st in survivors:
+                    if st.header["rid"] in self._outstanding:
+                        st.last = exc
+            return True
+        self._round = 0
+        # re-send in rid order under the ORIGINAL idempotency keys —
+        # the server answers already-applied mutations from its dedup
+        # table, so the wire failure is invisible in the array
+        for st in sorted(survivors, key=lambda s: s.header["rid"]):
+            with self._state:
+                if st.header["rid"] not in self._outstanding:
+                    continue
+            try:
+                self._send_state(sock, st)
+            except (OSError, ProtocolError):
+                self._connection_lost()
+                return True
+        return True
+
+    def _deliver(self, kind: int, hdr: dict, payload: bytes) -> None:
+        rid = hdr.get("rid")
+        with self._state:
+            st = self._outstanding.get(rid)
+        if st is None:
+            return          # late reply for an abandoned request: drop
+        if kind == OK:
+            self._finish(st, result=(hdr, payload))
+        elif kind == DEADLINE:
+            self._finish(st, error=DeadlineError(
+                hdr.get("message", "deadline exceeded")))
+        elif kind == RETRY_LATER:
+            self.client.retry_later_seen += 1
+            self._resend_later(st, ServeError(
+                f"server busy: {hdr.get('reason', '?')}",
+                kind="RetryLater", transient=True))
+        elif kind == ERR:
+            err = decode_error(hdr)
+            if err.transient:
+                self._resend_later(st, err)
+            else:
+                self._finish(st, error=err)
+        else:
+            with self._state:
+                for s in self._outstanding.values():
+                    s.last = ProtocolError(
+                        f"unexpected reply kind {kind}")
+            self._connection_lost()
+
+    def _resend_later(self, st: _PendingState, exc: Exception) -> None:
+        """Schedule one request's re-transmission after backoff, off
+        the receiver thread so other replies keep draining."""
+        st.last = exc
+        st.attempt += 1
+        if st.attempt > self.client.max_retries:
+            self._finish(st, error=exc)
+            return
+        remaining = st.deadline.remaining()
+        if remaining is not None and remaining <= 0:
+            self._finish(st, error=DeadlineError(
+                f"deadline exceeded during {st.header['verb']} retry "
+                f"(last failure: {exc})"))
+            return
+        self.client.retries += 1
+        self.resends += 1
+        delay = self.client.backoff.delay(st.attempt)
+        timer = threading.Timer(delay, self._resend_one, args=(st,))
+        timer.daemon = True
+        timer.start()
+
+    def _resend_one(self, st: _PendingState) -> None:
+        with self._state:
+            if st.header["rid"] not in self._outstanding:
+                return
+            sock = self._sock
+        if sock is None:
+            return           # the reconnect round will carry it
+        try:
+            self._send_state(sock, st)
+        except (OSError, ProtocolError):
+            self._connection_lost()

@@ -36,6 +36,32 @@ Frame kinds:
     and re-sent verbatim on every retry/reconnect, so the server's
     dedup table can answer a replay with the cached result instead of
     re-applying the mutation.
+
+Pipelining wire rules (many REQ frames in flight per connection):
+
+* A REQ carrying a ``rid`` (an integer unique among the connection's
+  in-flight requests) opts into out-of-order dispatch: the server may
+  execute it concurrently with other ``rid``-tagged requests from the
+  same connection and reply **in any order**; every reply frame — OK,
+  ERR, RETRY_LATER and DEADLINE alike — echoes the request's ``rid``
+  so the client matches responses to requests by id, never by
+  position.  Per-array lock ordering still serializes overlapping
+  mutations; disjoint requests overlap.
+* A REQ *without* ``rid`` is the legacy contract: processed in
+  arrival order, exactly one in-order reply before the next frame is
+  read.  The two styles may be mixed on one connection; a rid-less
+  request acts as a pipeline barrier (the reader blocks on it).
+* The ``batch`` verb carries several operations in **one** frame: the
+  header's ``ops`` list holds one sub-header per operation (its own
+  ``verb``, parameters, idempotency key, and ``nbytes`` — the length
+  of its slice of the concatenated request payload).  Sub-operations
+  execute in list order, each passing through admission, QoS,
+  deadline, and locking exactly as if it had arrived alone.  The OK
+  reply header's ``results`` list mirrors ``ops``: one
+  ``{"kind", "header", "nbytes"}`` entry per operation, with the
+  reply payloads concatenated in the same order.  A transport-level
+  retry of the whole batch is safe: keyed sub-operations are deduped
+  individually, so a batch torn mid-wire re-applies nothing.
 ``OK``
     Success.  Verb-specific header + optional payload.
 ``ERR``
@@ -69,9 +95,11 @@ from ..drx.resilience import is_transient
 
 __all__ = [
     "REQ", "OK", "ERR", "RETRY_LATER", "DEADLINE",
-    "KIND_NAMES", "VERBS", "KEYED_VERBS", "MAX_FRAME",
+    "KIND_NAMES", "VERBS", "KEYED_VERBS", "BATCHABLE_VERBS",
+    "MAX_FRAME", "MAX_BATCH_OPS",
     "ProtocolError", "ConnectionClosed",
     "send_frame", "recv_frame", "encode_error", "decode_error",
+    "split_payload",
 ]
 
 REQ = 1
@@ -86,12 +114,20 @@ KIND_NAMES = {REQ: "REQ", OK: "OK", ERR: "ERR",
 #: Every verb the daemon dispatches.
 VERBS = frozenset({
     "ping", "open", "create", "read", "write", "extend", "flush",
-    "snapshot", "scrub", "stats", "shutdown",
+    "snapshot", "scrub", "stats", "shutdown", "batch",
 })
 
 #: Mutating verbs the client stamps with an idempotency key — exactly
 #: the verbs the server journals and dedups.
 KEYED_VERBS = frozenset({"write", "extend"})
+
+#: Verbs allowed inside a ``batch`` frame: no nesting, and shutdown
+#: must stay a deliberate single-purpose request.
+BATCHABLE_VERBS = VERBS - {"batch", "shutdown"}
+
+#: Cap on operations per batch frame — bounded decode work per frame,
+#: same spirit as MAX_FRAME.
+MAX_BATCH_OPS = 1024
 
 #: Default per-frame size cap (64 MiB): bigger transfers must be split
 #: into multiple requests — bounded buffering is the point.
@@ -178,6 +214,31 @@ def encode_error(exc: BaseException) -> dict:
         "message": str(exc),
         "transient": bool(is_transient(exc)),
     }
+
+
+def split_payload(entries: list, payload: bytes) -> list[memoryview]:
+    """Slice a concatenated batch payload back into per-op pieces.
+
+    ``entries`` is the ``ops`` (request) or ``results`` (reply) list;
+    each entry's ``nbytes`` names its slice length.  Returns zero-copy
+    memoryviews in entry order.  Raises :class:`ProtocolError` when the
+    declared lengths disagree with the payload actually received.
+    """
+    view = memoryview(payload)
+    pieces: list[memoryview] = []
+    off = 0
+    for entry in entries:
+        nb = int(entry.get("nbytes", 0))
+        if nb < 0 or off + nb > len(view):
+            raise ProtocolError(
+                f"batch payload underrun: op wants {nb} bytes at "
+                f"offset {off} of {len(view)}")
+        pieces.append(view[off:off + nb])
+        off += nb
+    if off != len(view):
+        raise ProtocolError(
+            f"batch payload overrun: {len(view) - off} trailing bytes")
+    return pieces
 
 
 def decode_error(header: dict) -> ServeError:

@@ -12,7 +12,10 @@ Counter conservation is a hard invariant the soak test asserts::
     requests == ok + errors + retry_later + deadline_misses
 
 i.e. every data-plane request received is counted exactly once on
-arrival and exactly once by outcome.  A *replayed* retry answered from
+arrival and exactly once by outcome.  A ``batch`` frame is *not* a
+request of its own: each operation it carries is one arrival with one
+outcome (the frame itself only bumps the ``batches`` counter, which
+sits outside the law).  A *replayed* retry answered from
 the dedup table is still one arrival with one outcome (``ok``) — it
 additionally bumps ``dedup_hits``, so the conservation law holds under
 retries and reconnects while the operator can still see how many
@@ -32,7 +35,8 @@ import threading
 __all__ = ["ClientQoS", "QoSRegistry"]
 
 _COUNTERS = ("requests", "ok", "errors", "retry_later", "deadline_misses",
-             "retries", "dedup_hits", "bytes_read", "bytes_written")
+             "retries", "dedup_hits", "bytes_read", "bytes_written",
+             "batches")
 
 
 class ClientQoS:

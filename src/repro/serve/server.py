@@ -8,6 +8,18 @@ cache and executor wiring), optionally one shared
 :class:`~repro.pfs.filesystem.ParallelFileSystem`.  The design
 commitments, in the order a request meets them:
 
+*Pipelining.*  A request carrying a ``rid`` is dispatched to its own
+worker thread and answered **out of order** (the reply echoes the
+``rid``); the per-connection fan-out is capped by
+``max_conn_inflight`` (reader-side backpressure past it) and the
+work itself still funnels through admission control below.  Rid-less
+requests keep the legacy one-at-a-time in-order contract, which is
+also the path taken whenever chaos fault plans are armed — so kill
+schedules replay deterministically.  A ``batch`` frame carries many
+operations in one round trip; each passes through admission, QoS,
+deadline, and locking individually (see
+:mod:`repro.serve.protocol`).
+
 *Admission control.*  A request first claims an in-flight slot —
 bounded per client and globally.  Waiters park on a condition variable
 in a **bounded** queue; when the queue itself is full (or the daemon is
@@ -95,8 +107,10 @@ from ..drx.storage import ByteStore, PFSByteStore, PosixByteStore
 from .journal import JOURNAL_SUFFIX, DedupTable, Journal
 from .locks import ArrayRWLock, ChunkLocks, _wait
 from .protocol import (
+    BATCHABLE_VERBS,
     DEADLINE,
     ERR,
+    MAX_BATCH_OPS,
     MAX_FRAME,
     OK,
     REQ,
@@ -107,6 +121,7 @@ from .protocol import (
     encode_error,
     recv_frame,
     send_frame,
+    split_payload,
 )
 from .qos import QoSRegistry
 from .recovery import recover
@@ -263,7 +278,14 @@ class Admission:
                 self._per_client.pop(client, None)
             else:
                 self._per_client[client] = n
-            self._cond.notify_all()
+            # one release frees one global slot plus one unit of this
+            # client's budget, so at most a couple of waiters can
+            # become admissible — waking the whole queue is a
+            # thundering herd that costs more CPU than the requests
+            # themselves once hundreds of pipelined waiters park here.
+            # Waking too few is safe: admission waits poll on a
+            # bounded slice, so a missed wakeup self-heals.
+            self._cond.notify(8)
 
     @property
     def inflight(self) -> int:
@@ -347,7 +369,8 @@ class DRXServer:
                  watchdog: Watchdog | None = None,
                  use_executor: bool = True, journal: bool = True,
                  journal_window: float = 0.0,
-                 checkpoint_interval: float | None = None) -> None:
+                 checkpoint_interval: float | None = None,
+                 max_conn_inflight: int = 32) -> None:
         if (root is None) == (fs is None):
             raise ServeError("exactly one of root= or fs= must be given")
         self.root = root
@@ -355,6 +378,9 @@ class DRXServer:
         self.host = host
         self._port = port
         self.max_frame = max_frame
+        #: per-connection pipelined fan-out cap (reader-side
+        #: backpressure past it); admission still bounds actual work
+        self.max_conn_inflight = max(1, int(max_conn_inflight))
         self.cache_pages = cache_pages
         self.drain_timeout = drain_timeout
         self.journal_enabled = bool(journal)
@@ -644,6 +670,8 @@ class DRXServer:
 
     def _serve_connection(self, sock: socket.socket) -> None:
         owner = object()     # lock-ownership token for disconnect cleanup
+        send_lock = threading.Lock()    # interleaved replies stay framed
+        inflight = threading.Semaphore(self.max_conn_inflight)
         try:
             while self.state != self.DEAD:
                 kind, header, payload = recv_frame(sock, self.max_frame)
@@ -654,12 +682,28 @@ class DRXServer:
                 if kind != REQ:
                     raise ProtocolError(
                         f"expected REQ, got kind {kind}")
-                reply = self._handle_request(header, payload, owner)
-                # lost-ack window: mutation applied and journal-synced,
-                # OK not yet on the wire — the retry must be answered
-                # from the dedup table, never re-applied
-                crash_point("serve.net.send.reply")
-                send_frame(sock, *reply)
+                rid = header.get("rid")
+                if rid is None or faultsites.any_active():
+                    # legacy in-order contract — also the deterministic
+                    # path while chaos is armed, so kill-site schedules
+                    # replay exactly as scripted
+                    reply = self._dispatch(header, payload, owner)
+                    # lost-ack window: mutation applied and journal-
+                    # synced, OK not yet on the wire — the retry must be
+                    # answered from the dedup table, never re-applied
+                    crash_point("serve.net.send.reply")
+                    self._send_reply(sock, send_lock, rid, reply)
+                else:
+                    # pipelined: decode/dispatch/respond out of order.
+                    # The semaphore caps this connection's in-flight
+                    # fan-out; past the cap the reader parks here and
+                    # TCP backpressure does the rest.
+                    inflight.acquire()
+                    threading.Thread(
+                        target=self._pipelined_request,
+                        args=(sock, send_lock, inflight, header,
+                              payload, rid),
+                        name="drx-serve-op", daemon=True).start()
         except ConnectionClosed:
             pass                      # client went away — normal
         except (ProtocolError, OSError):
@@ -674,6 +718,90 @@ class DRXServer:
                 sock.close()
             except OSError:
                 pass
+
+    def _pipelined_request(self, sock: socket.socket,
+                           send_lock: threading.Lock,
+                           inflight: threading.Semaphore,
+                           header: dict, payload: bytes,
+                           rid) -> None:
+        """One rid-tagged request on its own worker thread: dispatch,
+        then reply out of order under the connection's send lock.  The
+        request gets a *private* owner token — its own locks release in
+        the handler's ``finally``; the backstop here reclaims whatever
+        a torn-down worker still held, without touching the locks of
+        sibling requests on the same connection."""
+        owner = object()
+        try:
+            reply = self._dispatch(header, payload, owner)
+            try:
+                self._send_reply(sock, send_lock, rid, reply)
+            except (ProtocolError, OSError):
+                # connection died under a completed request: the op is
+                # applied (and journaled) — the client's retry will be
+                # answered from the dedup table
+                pass
+        except CrashError:
+            self.kill()
+        finally:
+            self._release_owner(owner)
+            inflight.release()
+
+    @staticmethod
+    def _send_reply(sock: socket.socket, send_lock: threading.Lock,
+                    rid, reply: tuple[int, dict, bytes]) -> None:
+        kind, hdr, payload = reply
+        if rid is not None:
+            hdr = dict(hdr)
+            hdr["rid"] = rid
+        with send_lock:
+            send_frame(sock, kind, hdr, payload)
+
+    def _dispatch(self, header: dict, payload: bytes,
+                  owner: object) -> tuple[int, dict, bytes]:
+        if header.get("verb") == "batch":
+            return self._handle_batch(header, payload, owner)
+        return self._handle_request(header, payload, owner)
+
+    def _handle_batch(self, header: dict, payload: bytes,
+                      owner: object) -> tuple[int, dict, bytes]:
+        """Execute a batch frame: each op in list order, each passing
+        through admission, QoS, deadlines, and locking as if it had
+        arrived alone.  Per-op failures are carried in the ``results``
+        list — only a malformed batch envelope fails the frame."""
+        client = str(header.get("client", "anon"))
+        ops = header.get("ops")
+        if not isinstance(ops, list) or not ops:
+            return (ERR, encode_error(
+                ServeError("batch needs a non-empty ops list")), b"")
+        if len(ops) > MAX_BATCH_OPS:
+            return (ERR, encode_error(ServeError(
+                f"batch of {len(ops)} ops exceeds the "
+                f"{MAX_BATCH_OPS}-op cap")), b"")
+        try:
+            pieces = split_payload(ops, payload)
+        except ProtocolError as exc:
+            return (ERR, encode_error(exc), b"")
+        self.qos.client(client).bump(batches=1)
+        results: list[dict] = []
+        out: list[bytes] = []
+        for op, piece in zip(ops, pieces):
+            oh = dict(op)
+            oh.pop("nbytes", None)
+            oh.setdefault("client", client)
+            if "timeout" in header:
+                # the batch's remaining budget bounds every op in it
+                oh.setdefault("timeout", header["timeout"])
+            if "attempt" in header:
+                oh.setdefault("attempt", header["attempt"])
+            verb = oh.get("verb")
+            if verb not in BATCHABLE_VERBS:
+                k, h, p = (ERR, encode_error(ServeError(
+                    f"verb {verb!r} not allowed in a batch")), b"")
+            else:
+                k, h, p = self._handle_request(oh, bytes(piece), owner)
+            results.append({"kind": k, "header": h, "nbytes": len(p)})
+            out.append(p)
+        return (OK, {"results": results}, b"".join(out))
 
     def _release_owner(self, owner: object) -> None:
         """Abrupt-disconnect cleanup: drop any chunk locks *and* array

@@ -861,6 +861,232 @@ class TestStatsAndCLI:
 
 
 # ---------------------------------------------------------------------------
+# pipelining and batching
+# ---------------------------------------------------------------------------
+def conservation_holds(snap: dict) -> bool:
+    tot = snap["qos"]["totals"] if "qos" in snap else snap["totals"]
+    return tot["requests"] == (tot["ok"] + tot["errors"]
+                               + tot["retry_later"]
+                               + tot["deadline_misses"])
+
+
+class TestPipeline:
+    def test_many_in_flight_bit_identical(self):
+        with serve_ctx(max_inflight=8) as (srv, _):
+            with make_client(srv, "piped") as c:
+                rng = np.random.default_rng(SEED)
+                names = [f"p{i}" for i in range(4)]
+                blocks = {}
+                for n in names:
+                    c.create(n, [16, 16], [8, 8])
+                    blocks[n] = rng.random((16, 16))
+                with c.pipeline(depth=32) as pipe:
+                    pends = [pipe.write(n, (0, 0), blocks[n])
+                             for n in names]
+                    for p in pends:
+                        assert p.result()["nbytes"] == 16 * 16 * 8
+                    reads = [pipe.read(n, (0, 0), (16, 16))
+                             for n in names]
+                    for n, r in zip(names, reads):
+                        assert np.array_equal(r.result(), blocks[n]), n
+                    assert pipe.resends == 0
+            snap = srv.qos.snapshot()
+            assert conservation_holds({"qos": snap})
+            assert snap["totals"]["errors"] == 0
+
+    def test_replies_arrive_out_of_order(self):
+        """A slow write does not block a fast ping behind it — the
+        whole point of rid-tagged dispatch."""
+        with serve_ctx(max_inflight=4) as (srv, _):
+            with make_client(srv, "ooo") as c:
+                c.create("slow", [4, 4], [2, 2])
+                with c.pipeline(depth=4) as pipe:
+                    slow = pipe.submit(
+                        "write", {"name": "slow", "lo": [0, 0],
+                                  "shape": [4, 4], "dtype": "<f8",
+                                  "_delay": 0.5},
+                        np.ones((4, 4)).tobytes())
+                    fast = pipe.ping()
+                    assert fast.result()["pong"]
+                    assert not slow.done()   # overtaken on the wire
+                    assert slow.result()[0]["nbytes"] == 4 * 4 * 8
+
+    def test_retry_later_resends_one_request_not_the_window(self):
+        """Admission pushback on one request re-sends just that
+        request; siblings in the window are untouched."""
+        with serve_ctx(max_inflight=1, max_inflight_per_client=1,
+                       max_queue=0) as (srv, _):
+            with make_client(srv, "narrow", max_retries=60,
+                             seed=SEED) as c:
+                c.create("n", [8, 8], [4, 4])
+                with c.pipeline(depth=8) as pipe:
+                    pends = [pipe.submit(
+                        "write", {"name": "n", "lo": [0, 0],
+                                  "shape": [4, 4], "dtype": "<f8",
+                                  "_delay": 0.02},
+                        np.full((4, 4), float(i)).tobytes())
+                        for i in range(6)]
+                    for p in pends:
+                        assert p.result()[0]["nbytes"] == 4 * 4 * 8
+                    assert pipe.resends > 0
+            snap = srv.qos.snapshot()
+            assert snap["totals"]["retry_later"] > 0
+            assert conservation_holds({"qos": snap})
+
+    def test_pipeline_reconnects_and_dedups_exactly_once(self):
+        """The connection dies with extends outstanding: the receiver
+        reconnects and re-sends under the original keys — extends are
+        not idempotent, so exactly-once shows in the final shape."""
+        from repro.serve import FaultySocket
+
+        state = {"n": 0}
+
+        def wrapper(sock):
+            state["n"] += 1
+            fsock = FaultySocket(sock, seed=SEED)
+            if state["n"] == 1:
+                # sever the wire after a few replies have flowed
+                fsock.arm_recv("disconnect", after=4)
+            return fsock
+
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "setup") as s:
+                s.create("g", [4, 2], [2, 2])
+            nops = 8
+            with DRXClient(srv.address, client_id="pipefault",
+                           timeout=60.0, max_retries=60, seed=SEED,
+                           socket_wrapper=wrapper) as c:
+                with c.pipeline(depth=4) as pipe:
+                    pends = [pipe.extend("g", dim=0, by=1)
+                             for _ in range(nops)]
+                    shapes = [p.result()["shape"] for p in pends]
+                assert pipe.resends > 0
+                assert sorted(s[0] for s in shapes) == \
+                    list(range(5, 5 + nops))
+                assert c.open("g")["shape"] == [4 + nops, 2]
+            snap = srv.qos.snapshot()
+            assert conservation_holds({"qos": snap})
+            assert snap["totals"]["dedup_hits"] >= 1
+
+
+class TestBatch:
+    def test_one_frame_mixed_ops(self):
+        """create + write + read back in ONE round trip, list order."""
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "batcher") as c:
+                block = np.arange(16, dtype="<f8").reshape(4, 4)
+                outs = c.batch([
+                    {"verb": "create", "name": "bt", "bounds": [4, 4],
+                     "chunk": [2, 2], "dtype": "<f8",
+                     "checksums": False, "codec": "none",
+                     "exists_ok": False},
+                    {"verb": "write", "name": "bt", "lo": [0, 0],
+                     "shape": [4, 4], "dtype": "<f8",
+                     "payload": block.tobytes()},
+                    {"verb": "read", "name": "bt", "lo": [0, 0],
+                     "hi": [4, 4]},
+                ])
+                assert len(outs) == 3
+                hdr, payload = outs[2]
+                got = np.frombuffer(payload, dtype=hdr["dtype"]) \
+                    .reshape(hdr["shape"])
+                assert np.array_equal(got, block)
+            snap = srv.qos.snapshot()
+            rec = snap["clients"]["batcher"]
+            # one batch frame, three accounted requests
+            assert rec["batches"] == 1
+            assert rec["requests"] == 3
+            assert conservation_holds({"qos": snap})
+
+    def test_batch_verbs_gated(self):
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "gate") as c:
+                # client refuses nesting / shutdown locally
+                with pytest.raises(ServeError, match="not allowed"):
+                    c.batch([{"verb": "batch", "ops": []}])
+                with pytest.raises(ServeError, match="not allowed"):
+                    c.batch([{"verb": "shutdown"}])
+                # ... and the server gates them even from raw frames
+                hdr, _ = c.request(
+                    "batch",
+                    {"ops": [{"verb": "shutdown", "nbytes": 0}]})
+                assert hdr["results"][0]["kind"] == protocol.ERR
+                # malformed envelope: fatal, not per-op
+                with pytest.raises(ServeError, match="non-empty"):
+                    c.request("batch", {"ops": []})
+                assert srv.state == DRXServer.RUNNING
+
+    def test_mid_batch_disconnect_exactly_once(self):
+        """The batch REQ frame tears mid-wire, then — on retry — the
+        reply is lost too; both failures retry under the original
+        per-op keys, and every extend still lands exactly once."""
+        from repro.serve import FaultySocket
+
+        state = {"n": 0}
+
+        def wrapper(sock):
+            state["n"] += 1
+            fsock = FaultySocket(sock, seed=SEED)
+            if state["n"] == 1:
+                fsock.arm_send("torn", after=1, keep=0.5)
+            elif state["n"] == 2:
+                fsock.arm_recv("disconnect")
+            return fsock
+
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "setup") as s:
+                s.create("mb", [2, 2], [2, 2])
+            nops = 6
+            with DRXClient(srv.address, client_id="midbatch",
+                           timeout=60.0, max_retries=60, seed=SEED,
+                           socket_wrapper=wrapper) as c:
+                outs = c.batch([{"verb": "extend", "name": "mb",
+                                 "dim": 0, "by": 1}
+                                for _ in range(nops)])
+                shapes = [h["shape"][0] for h, _ in outs]
+                assert sorted(shapes) == list(range(3, 3 + nops))
+                assert c.open("mb")["shape"] == [2 + nops, 2]
+                assert c.retries >= 1
+            snap = srv.qos.snapshot()
+            assert conservation_holds({"qos": snap})
+            # the second connection's batch was answered from dedup
+            assert snap["totals"]["dedup_hits"] >= nops
+
+
+class TestZeroCopyRead:
+    def test_read_returns_view_not_copy(self):
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "zc") as c:
+                c.create("z", [8, 8], [4, 4])
+                block = np.arange(64, dtype="<f8").reshape(8, 8)
+                c.write("z", (0, 0), block)
+                got = c.read("z", (0, 0), (8, 8))
+                assert np.array_equal(got, block)
+                # the regression: a view over the reply payload, not a
+                # copy — np.frombuffer never owns (or copies) its data
+                assert not got.flags.owndata
+                assert got.base is not None
+                assert not got.flags.writeable
+                with pytest.raises(ValueError):
+                    got[0, 0] = 1.0
+                # callers who need to mutate copy explicitly
+                mine = got.copy()
+                mine[0, 0] = 1.0
+                assert got[0, 0] == 0.0
+
+    def test_pipelined_read_is_also_zero_copy(self):
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "zcp") as c:
+                c.create("zp", [4], [2])
+                c.write("zp", [0], np.ones(4))
+                with c.pipeline() as pipe:
+                    got = pipe.read("zp", [0], [4]).result()
+                assert np.array_equal(got, np.ones(4))
+                assert not got.flags.owndata
+                assert not got.flags.writeable
+
+
+# ---------------------------------------------------------------------------
 # soak: many clients, mixed ops, no deadlock, counters conserved
 # ---------------------------------------------------------------------------
 class TestSoak:
