@@ -63,6 +63,7 @@ from .protocol import (
     ERR,
     KEYED_VERBS,
     MAX_FRAME,
+    MAX_PIPELINE_DEPTH,
     OK,
     REQ,
     RETRY_LATER,
@@ -84,7 +85,9 @@ _DEFAULT_SOCKET_TIMEOUT = 30.0
 
 
 def _decode_array(hdr: dict, payload) -> np.ndarray:
-    """A read reply's payload as a read-only zero-copy ndarray."""
+    """A read reply's payload as a writable zero-copy ndarray (the
+    payload buffer is private to its reply frame, so mutating the
+    array is safe and cannot alias another reply's data)."""
     arr = np.frombuffer(payload, dtype=hdr["dtype"])
     return arr.reshape(hdr["shape"])
 
@@ -265,9 +268,11 @@ class DRXClient:
              timeout: float | None = None) -> np.ndarray:
         """Read the box ``[lo, hi)``.
 
-        Zero-copy: the returned array is a **read-only** view over the
-        received reply payload (``np.frombuffer``, no copy) — callers
-        who need to mutate it make their own copy.
+        Zero-copy: the returned array is a view over the received
+        reply's payload buffer (``np.frombuffer``, no copy).  The
+        buffer is writable and private to this reply, so callers may
+        mutate the result in place exactly as they could when ``read``
+        returned a copy.
         """
         hdr, payload = self.request(
             "read", {"name": name, "lo": list(lo), "hi": list(hi)},
@@ -521,12 +526,16 @@ class Pipeline:
     executes in list order).
 
     ``depth`` bounds the in-flight window: past it, :meth:`submit`
-    blocks until a reply frees a slot.
+    blocks until a reply frees a slot.  It is clamped to
+    :data:`~repro.serve.protocol.MAX_PIPELINE_DEPTH` — the wire-level
+    cap the server's dedup window is sized against, so every request
+    this pipeline could re-send after a torn connection still has its
+    result cached (exactly-once needs the whole window covered).
     """
 
     def __init__(self, client: DRXClient, depth: int = 64) -> None:
         self.client = client
-        self.depth = max(1, int(depth))
+        self.depth = max(1, min(int(depth), MAX_PIPELINE_DEPTH))
         self._slots = threading.BoundedSemaphore(self.depth)
         self._state = threading.Lock()   # outstanding dict + socket ref
         self._send = threading.Lock()    # wire writes stay whole-frame
@@ -583,7 +592,7 @@ class Pipeline:
                 self._send_state(sock, st)
             except (OSError, ProtocolError) as exc:
                 st.last = exc
-                self._connection_lost()
+                self._connection_lost(sock)
         with self._state:
             self._ensure_receiver()
         # not sent yet?  The receiver's retry round re-sends it.
@@ -710,9 +719,18 @@ class Pipeline:
         with self._send:
             send_frame(sock, REQ, hdr, st.payload)
 
-    def _connection_lost(self) -> None:
+    def _connection_lost(self,
+                         failed: socket.socket | None = None) -> None:
+        """Tear down after a send/recv failure on ``failed``.  The
+        installed socket is cleared only while it is still the one
+        that failed: a concurrent retry round may have already swapped
+        in a fresh, healthy connection, which must survive — killing
+        it would force another reconnect round for nothing."""
         with self._state:
-            sock, self._sock = self._sock, None
+            if failed is not None and self._sock is not failed:
+                sock = failed        # stale snapshot: close it alone
+            else:
+                sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
@@ -760,9 +778,9 @@ class Pipeline:
                 with self._state:
                     for st in self._outstanding.values():
                         st.last = exc
-                self._connection_lost()
+                self._connection_lost(sock)
                 continue
-            self._deliver(kind, hdr, payload)
+            self._deliver(sock, kind, hdr, payload)
 
     def _retry_round(self) -> bool:
         """One reconnect + resend-all round; ``False`` ends the
@@ -818,11 +836,12 @@ class Pipeline:
             try:
                 self._send_state(sock, st)
             except (OSError, ProtocolError):
-                self._connection_lost()
+                self._connection_lost(sock)
                 return True
         return True
 
-    def _deliver(self, kind: int, hdr: dict, payload: bytes) -> None:
+    def _deliver(self, sock: socket.socket, kind: int, hdr: dict,
+                 payload) -> None:
         rid = hdr.get("rid")
         with self._state:
             st = self._outstanding.get(rid)
@@ -849,7 +868,7 @@ class Pipeline:
                 for s in self._outstanding.values():
                     s.last = ProtocolError(
                         f"unexpected reply kind {kind}")
-            self._connection_lost()
+            self._connection_lost(sock)
 
     def _resend_later(self, st: _PendingState, exc: Exception) -> None:
         """Schedule one request's re-transmission after backoff, off
@@ -882,4 +901,4 @@ class Pipeline:
         try:
             self._send_state(sock, st)
         except (OSError, ProtocolError):
-            self._connection_lost()
+            self._connection_lost(sock)

@@ -343,7 +343,14 @@ class DedupTable:
 
     Entries are bounded per client (LRU on insertion order): a client
     only ever retries its in-flight requests, so the tail of history is
-    dead weight.
+    dead weight.  The bound is a correctness parameter, not a tuning
+    knob — it must cover the largest set of keyed mutations a client
+    can legally have retryable at once, or a torn batch/pipeline
+    window's re-sent tail finds its oldest fulfilled entries evicted
+    and re-applies them.  The server sizes it with
+    :data:`~repro.serve.protocol.DEDUP_WINDOW` (one maximal batch
+    frame plus a full pipeline window); the small default here is for
+    unit tests that exercise the eviction itself.
     """
 
     def __init__(self, per_client: int = 128) -> None:

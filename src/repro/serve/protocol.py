@@ -61,7 +61,14 @@ Pipelining wire rules (many REQ frames in flight per connection):
   ``{"kind", "header", "nbytes"}`` entry per operation, with the
   reply payloads concatenated in the same order.  A transport-level
   retry of the whole batch is safe: keyed sub-operations are deduped
-  individually, so a batch torn mid-wire re-applies nothing.
+  individually, so a batch torn mid-wire re-applies nothing — which
+  is only sound because the server's per-client dedup window
+  (:data:`DEDUP_WINDOW`) covers a maximal batch plus a full pipeline
+  window, the most keyed ops a client can legally have retryable at
+  once.  The batch's ``timeout`` is one shared budget: each sub-op is
+  dispatched with the batch's *remaining* budget (ops that start
+  after expiry get a ``DEADLINE`` result), so a batch can never
+  consume more than its deadline of server wall time.
 ``OK``
     Success.  Verb-specific header + optional payload.
 ``ERR``
@@ -96,7 +103,7 @@ from ..drx.resilience import is_transient
 __all__ = [
     "REQ", "OK", "ERR", "RETRY_LATER", "DEADLINE",
     "KIND_NAMES", "VERBS", "KEYED_VERBS", "BATCHABLE_VERBS",
-    "MAX_FRAME", "MAX_BATCH_OPS",
+    "MAX_FRAME", "MAX_BATCH_OPS", "MAX_PIPELINE_DEPTH", "DEDUP_WINDOW",
     "ProtocolError", "ConnectionClosed",
     "send_frame", "recv_frame", "encode_error", "decode_error",
     "split_payload",
@@ -128,6 +135,21 @@ BATCHABLE_VERBS = VERBS - {"batch", "shutdown"}
 #: Cap on operations per batch frame — bounded decode work per frame,
 #: same spirit as MAX_FRAME.
 MAX_BATCH_OPS = 1024
+
+#: Cap on a pipeline's in-flight window (client-side ``Pipeline``
+#: clamps ``depth`` to it).  A wire-level bound, not a tuning default:
+#: it exists so the server can size its dedup table to cover every
+#: request a client could legally have outstanding — and therefore
+#: re-send after a torn connection.
+MAX_PIPELINE_DEPTH = 1024
+
+#: Per-client dedup-table bound.  The exactly-once guarantee ("a batch
+#: torn mid-wire re-applies nothing") holds only while every mutation a
+#: client can retry still has its result cached, so the window must
+#: cover the largest possible retry set: one maximal batch frame
+#: (``MAX_BATCH_OPS`` keyed ops) plus a full pipeline window of keyed
+#: requests (``MAX_PIPELINE_DEPTH``) in flight alongside it.
+DEDUP_WINDOW = MAX_BATCH_OPS + MAX_PIPELINE_DEPTH
 
 #: Default per-frame size cap (64 MiB): bigger transfers must be split
 #: into multiple requests — bounded buffering is the point.
@@ -176,9 +198,33 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(parts)
 
 
+def _recv_exact_into(sock: socket.socket, buf: memoryview) -> None:
+    """Fill ``buf`` completely from ``sock``.
+
+    Goes through ``sock.recv`` (not ``recv_into``) so socket proxies
+    like :class:`~repro.serve.netfault.FaultySocket` — which intercept
+    ``recv`` to inject faults — still see every byte.
+    """
+    n = len(buf)
+    got = 0
+    while got < n:
+        piece = sock.recv(min(n - got, 1 << 20))
+        if not piece:
+            raise ConnectionClosed(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        buf[got:got + len(piece)] = piece
+        got += len(piece)
+
+
 def recv_frame(sock: socket.socket,
-               max_frame: int = MAX_FRAME) -> tuple[int, dict, bytes]:
+               max_frame: int = MAX_FRAME) -> tuple[int, dict, memoryview]:
     """Receive one frame; returns ``(kind, header, payload)``.
+
+    The payload is a **writable** zero-copy memoryview over the frame's
+    own receive buffer — each frame gets a private ``bytearray``, so
+    ``np.frombuffer`` over the payload yields a mutable array without
+    copying, and retaining it pins only this frame's buffer (header +
+    payload), never another request's data.
 
     Raises :class:`ConnectionClosed` on EOF (clean EOF *between* frames
     included — the caller distinguishes by catching it around the first
@@ -194,7 +240,8 @@ def recv_frame(sock: socket.socket,
             f"inconsistent frame: body {body_len} < header {header_len}")
     if kind not in KIND_NAMES:
         raise ProtocolError(f"unknown frame kind {kind}")
-    rest = _recv_exact(sock, body_len - 1 - 4 - 4)
+    rest = bytearray(body_len - 1 - 4 - 4)
+    _recv_exact_into(sock, memoryview(rest))
     if zlib.crc32(rest) & 0xFFFFFFFF != crc:
         raise ProtocolError(
             "frame CRC mismatch: corrupted on the wire")
@@ -204,7 +251,7 @@ def recv_frame(sock: socket.socket,
         raise ProtocolError(f"undecodable frame header: {exc}") from exc
     if not isinstance(header, dict):
         raise ProtocolError("frame header must be a JSON object")
-    return kind, header, rest[header_len:]
+    return kind, header, memoryview(rest)[header_len:]
 
 
 def encode_error(exc: BaseException) -> dict:

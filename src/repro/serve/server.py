@@ -8,9 +8,10 @@ cache and executor wiring), optionally one shared
 :class:`~repro.pfs.filesystem.ParallelFileSystem`.  The design
 commitments, in the order a request meets them:
 
-*Pipelining.*  A request carrying a ``rid`` is dispatched to its own
-worker thread and answered **out of order** (the reply echoes the
-``rid``); the per-connection fan-out is capped by
+*Pipelining.*  A request carrying a ``rid`` is dispatched onto the
+connection's reusable worker pool (threads grown on demand, bounded,
+never created per-request once warm) and answered **out of order**
+(the reply echoes the ``rid``); the per-connection fan-out is capped by
 ``max_conn_inflight`` (reader-side backpressure past it) and the
 work itself still funnels through admission control below.  Rid-less
 requests keep the legacy one-at-a-time in-order contract, which is
@@ -82,6 +83,8 @@ makes the daemon die abruptly at that instant via :meth:`kill`.
 
 from __future__ import annotations
 
+import functools
+import queue
 import re
 import socket
 import threading
@@ -109,6 +112,7 @@ from .locks import ArrayRWLock, ChunkLocks, _wait
 from .protocol import (
     BATCHABLE_VERBS,
     DEADLINE,
+    DEDUP_WINDOW,
     ERR,
     MAX_BATCH_OPS,
     MAX_FRAME,
@@ -314,6 +318,70 @@ class Admission:
             return True
 
 
+class _ConnWorkers:
+    """A lazily-grown, bounded worker pool for one connection's
+    pipelined requests.
+
+    Threads are created on demand up to ``cap`` — the same bound as the
+    connection's inflight semaphore, so once warm the throughput path
+    never pays per-request thread creation — and reused across
+    requests.  Jobs are bounded by the caller's semaphore, so the queue
+    never holds more than ``cap`` entries.  A worker survives any job
+    failure; ``close()`` wakes every worker to exit, letting in-flight
+    handlers finish first.
+    """
+
+    _STOP = object()
+
+    def __init__(self, cap: int, name: str) -> None:
+        self.cap = max(1, int(cap))
+        self.name = name
+        self._q: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Queue ``fn``, growing the pool when no worker may be free.
+        Raises only when the job can never run — thread creation failed
+        and the pool is empty — *without* having queued it, so the
+        caller can fall back to running inline."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("connection worker pool is closed")
+            if len(self._threads) < self.cap:
+                t = threading.Thread(target=self._run, name=self.name,
+                                     daemon=True)
+                try:
+                    t.start()
+                except RuntimeError:
+                    # thread limit: fine if workers exist (they will
+                    # drain the queue), fatal-to-this-job otherwise —
+                    # and the job is NOT queued, so no double run
+                    if not self._threads:
+                        raise
+                else:
+                    self._threads.append(t)
+            self._q.put(fn)
+
+    def _run(self) -> None:
+        while True:
+            fn = self._q.get()
+            if fn is self._STOP:
+                return
+            try:
+                fn()
+            except Exception:   # noqa: BLE001 - job owns its errors
+                pass            # a worker must outlive any single job
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            n = len(self._threads)
+        for _ in range(n):
+            self._q.put(self._STOP)
+
+
 class _ArrayEntry:
     """One open array plus its service-layer state."""
 
@@ -323,7 +391,11 @@ class _ArrayEntry:
         self.rw = ArrayRWLock()
         self.chunks = ChunkLocks()
         self.journal: Journal | None = None
-        self.dedup = DedupTable()
+        # the dedup window must cover every keyed mutation a client
+        # could still retry — a maximal batch frame plus a full
+        # pipeline window — or a torn batch's re-sent tail re-applies
+        # mutations whose entries were evicted (a double extend)
+        self.dedup = DedupTable(per_client=DEDUP_WINDOW)
         self.recovery: dict | None = None    #: last recovery summary
         self._seq = 0
         self._seq_lock = threading.Lock()
@@ -672,6 +744,7 @@ class DRXServer:
         owner = object()     # lock-ownership token for disconnect cleanup
         send_lock = threading.Lock()    # interleaved replies stay framed
         inflight = threading.Semaphore(self.max_conn_inflight)
+        workers: _ConnWorkers | None = None
         try:
             while self.state != self.DEAD:
                 kind, header, payload = recv_frame(sock, self.max_frame)
@@ -697,13 +770,25 @@ class DRXServer:
                     # pipelined: decode/dispatch/respond out of order.
                     # The semaphore caps this connection's in-flight
                     # fan-out; past the cap the reader parks here and
-                    # TCP backpressure does the rest.
+                    # TCP backpressure does the rest.  Requests run on
+                    # the connection's reusable worker pool — no
+                    # per-request thread creation on the hot path.
+                    if workers is None:
+                        workers = _ConnWorkers(self.max_conn_inflight,
+                                               "drx-serve-op")
                     inflight.acquire()
-                    threading.Thread(
-                        target=self._pipelined_request,
-                        args=(sock, send_lock, inflight, header,
-                              payload, rid),
-                        name="drx-serve-op", daemon=True).start()
+                    job = functools.partial(
+                        self._pipelined_request, sock, send_lock,
+                        inflight, header, payload, rid)
+                    try:
+                        workers.submit(job)
+                    except RuntimeError:
+                        # no worker could ever run it: give the slot
+                        # back and degrade to inline (in-order) — the
+                        # window must not shrink permanently
+                        inflight.release()
+                        reply = self._dispatch(header, payload, owner)
+                        self._send_reply(sock, send_lock, rid, reply)
         except ConnectionClosed:
             pass                      # client went away — normal
         except (ProtocolError, OSError):
@@ -711,6 +796,8 @@ class DRXServer:
         except CrashError:
             self.kill()               # chaos site fired: die abruptly
         finally:
+            if workers is not None:
+                workers.close()
             self._release_owner(owner)
             with self._conn_lock:
                 self._conn_socks.discard(sock)
@@ -766,8 +853,10 @@ class DRXServer:
                       owner: object) -> tuple[int, dict, bytes]:
         """Execute a batch frame: each op in list order, each passing
         through admission, QoS, deadlines, and locking as if it had
-        arrived alone.  Per-op failures are carried in the ``results``
-        list — only a malformed batch envelope fails the frame."""
+        arrived alone — except that the frame's ``timeout`` is one
+        shared budget, not a per-op allowance.  Per-op failures are
+        carried in the ``results`` list — only a malformed batch
+        envelope fails the frame."""
         client = str(header.get("client", "anon"))
         ops = header.get("ops")
         if not isinstance(ops, list) or not ops:
@@ -782,15 +871,24 @@ class DRXServer:
         except ProtocolError as exc:
             return (ERR, encode_error(exc), b"")
         self.qos.client(client).bump(batches=1)
+        # ONE deadline for the whole frame: every sub-op is dispatched
+        # with the batch's *remaining* budget, so N serially-executed
+        # ops share one timeout instead of each restarting it (an op
+        # that starts after expiry deadline-misses immediately through
+        # the normal path, with its QoS counters intact)
+        deadline = Deadline(float(header["timeout"])) \
+            if header.get("timeout") is not None else None
         results: list[dict] = []
         out: list[bytes] = []
         for op, piece in zip(ops, pieces):
             oh = dict(op)
             oh.pop("nbytes", None)
             oh.setdefault("client", client)
-            if "timeout" in header:
-                # the batch's remaining budget bounds every op in it
-                oh.setdefault("timeout", header["timeout"])
+            if deadline is not None:
+                budget = deadline.remaining()
+                own = oh.get("timeout")
+                oh["timeout"] = budget if own is None \
+                    else min(float(own), budget)
             if "attempt" in header:
                 oh.setdefault("attempt", header["attempt"])
             verb = oh.get("verb")

@@ -283,6 +283,31 @@ class TestDedupTable:
         assert d.claim(b) is None                # different stub instance
         d.abandon(b)
 
+    def test_server_window_covers_maximal_retry_set(self):
+        """Review regression: the server-sized window must retain every
+        keyed op a client can legally have retryable at once — one
+        maximal batch plus a full pipeline window.  With the old
+        128-entry bound, the oldest fulfilled entries of a 1024-op
+        batch were evicted before its retry arrived, re-applying them."""
+        from repro.serve.protocol import (
+            DEDUP_WINDOW,
+            MAX_BATCH_OPS,
+            MAX_PIPELINE_DEPTH,
+        )
+
+        assert DEDUP_WINDOW >= MAX_BATCH_OPS + MAX_PIPELINE_DEPTH
+        d = DedupTable(per_client=DEDUP_WINDOW)
+        nkeys = MAX_BATCH_OPS + MAX_PIPELINE_DEPTH
+        for i in range(nkeys):
+            key = ("t", "s", i)
+            assert d.claim(key) is None
+            d.fulfill(key, {"seq": i})
+        # a torn maximal batch re-sends every op: each must still be
+        # answerable from cache — none evicted, nothing re-applied
+        for i in range(nkeys):
+            assert d.claim(("t", "s", i)) == {"seq": i}
+        assert d.hits == nkeys
+
 
 # ---------------------------------------------------------------------------
 # recovery against a real array

@@ -1052,9 +1052,78 @@ class TestBatch:
             # the second connection's batch was answered from dedup
             assert snap["totals"]["dedup_hits"] >= nops
 
+    def test_large_batch_lost_reply_exactly_once(self):
+        """Review regression: a batch with more keyed ops than the old
+        128-entry dedup LRU, whose reply is lost, must re-apply
+        NOTHING on retry — the server's dedup window covers a maximal
+        batch, so no fulfilled entry is evicted while still
+        retryable."""
+        from repro.serve import FaultySocket
+
+        state = {"n": 0}
+
+        def wrapper(sock):
+            state["n"] += 1
+            fsock = FaultySocket(sock, seed=SEED)
+            if state["n"] == 1:
+                # lose the batch's reply: the server applies the ops,
+                # the client sees a dead connection and retries the
+                # whole frame under the original per-op keys
+                fsock.arm_recv("disconnect")
+            return fsock
+
+        nops = 160          # > the old 128-entry window
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "setup") as s:
+                s.create("big", [2, 2], [2, 2])
+            with DRXClient(srv.address, client_id="bigbatch",
+                           timeout=120.0, max_retries=8, seed=SEED,
+                           socket_wrapper=wrapper) as c:
+                outs = c.batch([{"verb": "extend", "name": "big",
+                                 "dim": 0, "by": 1}
+                                for _ in range(nops)])
+                shapes = sorted(h["shape"][0] for h, _ in outs)
+                assert shapes == list(range(3, 3 + nops))
+                # exactly-once: every extend landed once — a single
+                # double-apply would overshoot the final shape
+                assert c.open("big")["shape"] == [2 + nops, 2]
+            snap = srv.qos.snapshot()
+            assert conservation_holds({"qos": snap})
+            assert snap["totals"]["dedup_hits"] >= nops
+
+    def test_batch_budget_shared_across_ops(self):
+        """The frame's timeout is ONE budget: each sub-op runs on the
+        batch's remaining time, so N slow ops cannot consume N x
+        timeout of server wall time — ops that start after expiry get
+        DEADLINE results."""
+        nops = 6
+        per_op = 0.2
+        with serve_ctx() as (srv, _):
+            with make_client(srv, "budget") as c:
+                c.create("bb", [4, 4], [2, 2])
+                t0 = time.monotonic()
+                outs = c.batch(
+                    [{"verb": "read", "name": "bb", "lo": [0, 0],
+                      "hi": [4, 4], "_delay": per_op}
+                     for _ in range(nops)],
+                    timeout=2 * per_op + 0.05,
+                    return_exceptions=True)
+                wall = time.monotonic() - t0
+                # the head of the batch ran within budget ...
+                assert isinstance(outs[0], tuple)
+                # ... the tail deadline-missed instead of each
+                # restarting the full timeout (the old bug: all six
+                # would succeed after 6 x per_op of server time)
+                assert any(isinstance(o, DeadlineError) for o in outs)
+                assert isinstance(outs[-1], DeadlineError)
+                assert wall < nops * per_op
+            snap = srv.qos.snapshot()
+            assert conservation_holds({"qos": snap})
+            assert snap["totals"]["deadline_misses"] >= 1
+
 
 class TestZeroCopyRead:
-    def test_read_returns_view_not_copy(self):
+    def test_read_returns_writable_view_not_copy(self):
         with serve_ctx() as (srv, _):
             with make_client(srv, "zc") as c:
                 c.create("z", [8, 8], [4, 4])
@@ -1066,13 +1135,19 @@ class TestZeroCopyRead:
                 # copy — np.frombuffer never owns (or copies) its data
                 assert not got.flags.owndata
                 assert got.base is not None
-                assert not got.flags.writeable
-                with pytest.raises(ValueError):
-                    got[0, 0] = 1.0
-                # callers who need to mutate copy explicitly
-                mine = got.copy()
-                mine[0, 0] = 1.0
-                assert got[0, 0] == 0.0
+                # ... and WRITABLE: the reply frame's buffer is private
+                # to this reply, so callers that mutate the result in
+                # place (the pre-zero-copy contract) keep working
+                assert got.flags.writeable
+                got[0, 0] = 123.0
+                assert got[0, 0] == 123.0
+                # mutating the view touches only this reply's buffer,
+                # never the served array
+                again = c.read("z", (0, 0), (8, 8))
+                assert again[0, 0] == 0.0
+                # distinct replies never alias each other
+                again[0, 0] = 7.0
+                assert got[0, 0] == 123.0
 
     def test_pipelined_read_is_also_zero_copy(self):
         with serve_ctx() as (srv, _):
@@ -1083,7 +1158,9 @@ class TestZeroCopyRead:
                     got = pipe.read("zp", [0], [4]).result()
                 assert np.array_equal(got, np.ones(4))
                 assert not got.flags.owndata
-                assert not got.flags.writeable
+                assert got.flags.writeable
+                got[0] = 5.0
+                assert got[0] == 5.0
 
 
 # ---------------------------------------------------------------------------
