@@ -29,6 +29,7 @@ the coalescing benchmark).
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Callable, Sequence
 
@@ -49,7 +50,7 @@ from ..core.metadata import DRXMeta, DRXType
 from .chunkalloc import SlotTable
 from .codec import CodecStats, get_codec
 from .faultpoints import crash_point
-from .ioplan import IOPlan, coalesce_addresses, plan_box, plan_slab
+from .ioplan import IOPlan, PlanCache, coalesce_addresses
 from .mpool import Mpool
 from .resilience import ChecksumGuard, ScrubReport, chunk_crc
 from .storage import (
@@ -86,7 +87,9 @@ class DRXFile:
     def __init__(self, meta: DRXMeta, data_store: ByteStore,
                  meta_store: ByteStore | None, writable: bool,
                  cache_pages: int = 64, coalesce: bool = True,
-                 executor: "IOExecutor | None | str" = "auto") -> None:
+                 executor: "IOExecutor | None | str" = "auto",
+                 readahead: int | None = None,
+                 tune: str | None = None) -> None:
         self.meta = meta
         self._meta_store = meta_store
         self._writable = writable
@@ -97,6 +100,14 @@ class DRXFile:
         self._executor = resolve_executor(executor, tier="drx")
         if getattr(data_store, "deterministic_only", False):
             self._executor = None
+        #: the advisor's report when ``tune="auto"`` was requested
+        self.tuning_advice = None
+        self._owned_executor: "IOExecutor | None" = None
+        if tune not in (None, "", "off"):
+            if tune != "auto":
+                raise DRXFileError(
+                    f"tune must be 'auto' or None, got {tune!r}")
+            readahead = self._auto_tune(data_store, executor, readahead)
         # Per-chunk compression: the data store is wrapped in a
         # CompressedByteStore exposing the logical chunk address space,
         # so the pool (decompressed pages), the streaming pipelines and
@@ -130,7 +141,13 @@ class DRXFile:
         self._data = data_store
         self._pool = Mpool(data_store, meta.chunk_nbytes,
                            max_pages=max(1, cache_pages),
-                           guard=self._guard, executor=self._executor)
+                           guard=self._guard, executor=self._executor,
+                           readahead=8 if readahead is None
+                           else max(0, int(readahead)))
+        # compiled-request memo: generation-keyed, so extend() (which
+        # bumps eci.generation) invalidates it for free; hit/miss
+        # counters land in the data store's StoreStats.
+        self._plans = PlanCache(stats=getattr(self._data, "stats", None))
         self._coalesce = coalesce
         self._closed = False
         # -- lifecycle hooks (serve daemon, replication tooling) --------
@@ -139,6 +156,44 @@ class DRXFile:
         #: epoch than its acknowledgement succeeded afterwards.
         self._commit_epoch = 0
         self._commit_hooks: list[Callable[[int], None]] = []
+
+    def _auto_tune(self, data_store: ByteStore,
+                   executor: "IOExecutor | None | str",
+                   readahead: int | None) -> int | None:
+        """``tune="auto"``: price the default scan workload and apply
+        the runtime-adjustable knobs.
+
+        The read-ahead window is taken from the advice unless the
+        caller pinned one; the executor width is upgraded only when the
+        caller asked for ``"auto"`` *and* ``DRX_EXECUTOR_THREADS`` is
+        unset (an explicit environment choice always wins — it is how
+        the test matrix forces the exact historical serial paths).
+        Creation-time knobs (chunk shape, stripe, codec) cannot change
+        on a live handle; they stay visible in :attr:`tuning_advice`.
+        """
+        from ..tuning.advisor import Workload, advise, pfs_geometry
+        stripe, nservers = pfs_geometry(data_store)
+        w = Workload(
+            bounds=self.meta.element_bounds,
+            chunk_shape=self.meta.chunk_shape, dtype=self.meta.dtype,
+            stripe_size=stripe, nservers=nservers)
+        cur_threads = getattr(self._executor, "threads", 0) \
+            if self._executor is not None else 0
+        advice = advise(w, current={
+            "codec": self.meta.codec,
+            "executor_threads": cur_threads,
+            "readahead": 8 if readahead is None else int(readahead),
+        })
+        self.tuning_advice = advice
+        threads = advice.chosen("executor_threads")
+        if (executor == "auto" and os.environ.get("DRX_EXECUTOR_THREADS")
+                is None and self._executor is not None
+                and threads != cur_threads and threads > 0):
+            self._owned_executor = IOExecutor(threads, name="drx-tuned")
+            self._executor = self._owned_executor
+        if readahead is None:
+            readahead = int(advice.chosen("readahead"))
+        return readahead
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -152,7 +207,9 @@ class DRXFile:
                coalesce: bool = True, checksums: bool = False,
                codec: str = "none",
                store_wrapper: StoreWrapper | None = None,
-               executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
+               executor: "IOExecutor | None | str" = "auto",
+               readahead: int | None = None,
+               tune: str | None = None) -> "DRXFile":
         """Create a new extendible array file.
 
         ``path`` is the array name without suffix (``None`` creates a
@@ -187,7 +244,7 @@ class DRXFile:
                 meta_store = store_wrapper(meta_store, "meta")
         obj = cls(meta, data, meta_store, writable=True,
                   cache_pages=cache_pages, coalesce=coalesce,
-                  executor=executor)
+                  executor=executor, readahead=readahead, tune=tune)
         if fill != 0:
             obj._fill_chunks(range(meta.num_chunks), fill)
         obj._persist_meta()
@@ -197,7 +254,9 @@ class DRXFile:
     def open(cls, path: str | pathlib.Path, mode: str = "r",
              cache_pages: int = 64, coalesce: bool = True,
              store_wrapper: StoreWrapper | None = None,
-             executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
+             executor: "IOExecutor | None | str" = "auto",
+             readahead: int | None = None,
+             tune: str | None = None) -> "DRXFile":
         """Open an existing array file (``mode`` is ``"r"`` or ``"r+"``).
 
         The paper: "The file must exist otherwise it returns an error."
@@ -220,7 +279,7 @@ class DRXFile:
             meta_store = store_wrapper(meta_store, "meta")
         return cls(meta, data, meta_store, writable=(mode == "r+"),
                    cache_pages=cache_pages, coalesce=coalesce,
-                   executor=executor)
+                   executor=executor, readahead=readahead, tune=tune)
 
     @classmethod
     def create_pfs(cls, fs, name: str,
@@ -230,7 +289,9 @@ class DRXFile:
                    coalesce: bool = True, checksums: bool = False,
                    codec: str = "none",
                    store_wrapper: StoreWrapper | None = None,
-                   executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
+                   executor: "IOExecutor | None | str" = "auto",
+                   readahead: int | None = None,
+                   tune: str | None = None) -> "DRXFile":
         """Create an array backed by a simulated parallel file system.
 
         The ``.xmd`` / ``.xta`` pair becomes two striped PFS files in
@@ -253,7 +314,7 @@ class DRXFile:
             meta_store = store_wrapper(meta_store, "meta")
         obj = cls(meta, data, meta_store, writable=True,
                   cache_pages=cache_pages, coalesce=coalesce,
-                  executor=executor)
+                  executor=executor, readahead=readahead, tune=tune)
         if fill != 0:
             obj._fill_chunks(range(meta.num_chunks), fill)
         obj._persist_meta()
@@ -263,7 +324,9 @@ class DRXFile:
     def open_pfs(cls, fs, name: str, mode: str = "r",
                  cache_pages: int = 64, coalesce: bool = True,
                  store_wrapper: StoreWrapper | None = None,
-                 executor: "IOExecutor | None | str" = "auto") -> "DRXFile":
+                 executor: "IOExecutor | None | str" = "auto",
+                 readahead: int | None = None,
+                 tune: str | None = None) -> "DRXFile":
         """Open a PFS-backed array created by :meth:`create_pfs`."""
         if mode not in ("r", "r+"):
             raise DRXFileError(f"mode must be 'r' or 'r+', got {mode!r}")
@@ -276,7 +339,7 @@ class DRXFile:
             meta_store = store_wrapper(meta_store, "meta")
         return cls(meta, data, meta_store, writable=(mode == "r+"),
                    cache_pages=cache_pages, coalesce=coalesce,
-                   executor=executor)
+                   executor=executor, readahead=readahead, tune=tune)
 
     def close(self) -> None:
         """Flush and close both files (idempotent)."""
@@ -288,6 +351,9 @@ class DRXFile:
         if self._meta_store is not None:
             self._meta_store.close()
         self._closed = True
+        if self._owned_executor is not None:
+            self._owned_executor.shutdown()
+            self._owned_executor = None
 
     def flush(self) -> None:
         """Write back dirty chunks and persist the meta-data."""
@@ -546,8 +612,8 @@ class DRXFile:
         validate_box(lo, hi, self.shape)
         if order not in ("C", "F"):
             raise DRXIndexError(f"order must be 'C' or 'F', got {order!r}")
-        plan = plan_box(self.meta.eci, lo, hi, self.chunk_shape,
-                        self.meta.chunk_nbytes)
+        plan = self._plans.box(self.meta.eci, lo, hi, self.chunk_shape,
+                               self.meta.chunk_nbytes)
         out = np.zeros(box_shape(lo, hi), dtype=self.dtype, order=order)
         self._execute_read(plan, out)
         return out
@@ -565,8 +631,8 @@ class DRXFile:
         lo = tuple(lo)
         hi = tuple(l + s for l, s in zip(lo, values.shape))
         validate_box(lo, hi, self.shape)
-        plan = plan_box(self.meta.eci, lo, hi, self.chunk_shape,
-                        self.meta.chunk_nbytes)
+        plan = self._plans.box(self.meta.eci, lo, hi, self.chunk_shape,
+                               self.meta.chunk_nbytes)
         self._execute_write(plan, values)
 
     def read_all(self, order: str = "C") -> np.ndarray:
@@ -588,8 +654,8 @@ class DRXFile:
         self._require_open()
         slab = Hyperslab.build(start, stride, count)
         slab.validate(self.shape)
-        plan = plan_slab(self.meta.eci, slab, self.chunk_shape,
-                         self.meta.chunk_nbytes)
+        plan = self._plans.slab(self.meta.eci, slab, self.chunk_shape,
+                                self.meta.chunk_nbytes)
         out = np.zeros(slab.shape, dtype=self.dtype, order=order)
         self._execute_read(plan, out)
         return out
@@ -602,8 +668,8 @@ class DRXFile:
         values = np.asarray(values, dtype=self.dtype)
         slab = Hyperslab.build(start, stride, values.shape)
         slab.validate(self.shape)
-        plan = plan_slab(self.meta.eci, slab, self.chunk_shape,
-                         self.meta.chunk_nbytes)
+        plan = self._plans.slab(self.meta.eci, slab, self.chunk_shape,
+                                self.meta.chunk_nbytes)
         self._execute_write(plan, values)
 
     # ------------------------------------------------------------------

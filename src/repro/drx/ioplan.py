@@ -20,6 +20,8 @@ blocklengths of the MPI indexed filetype).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -31,7 +33,7 @@ from ..core.extendible import ExtendibleChunkIndex
 from ..core.hyperslab import Hyperslab
 from ..core.mapping import f_star_many
 
-__all__ = ["Visit", "Run", "IOPlan", "coalesce_addresses",
+__all__ = ["Visit", "Run", "IOPlan", "PlanCache", "coalesce_addresses",
            "plan_box", "plan_slab"]
 
 #: A half-open byte extent ``(offset, length)``.
@@ -138,6 +140,82 @@ class IOPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IOPlan({self.num_chunks} chunks in {self.num_runs} runs, "
                 f"chunk_nbytes={self.chunk_nbytes})")
+
+
+class PlanCache:
+    """A bounded, generation-keyed memo of compiled :class:`IOPlan`\\ s.
+
+    Request geometry (box corners, hyperslab parameters) plus the axial
+    index's **generation** form the key, so any :meth:`extend` — which
+    bumps the generation — implicitly invalidates every cached plan; no
+    explicit flush hook can be forgotten.  Plans are compiled in
+    *logical* chunk-address space: the compressed slot table remaps
+    logical addresses to physical extents at I/O time, so compaction and
+    codec rewrites never stale a cached plan (pinned by regression
+    test).  Cached plans are immutable after construction and may be
+    executed concurrently by multiple reader threads.
+
+    ``stats`` (optional) is a :class:`~repro.drx.storage.StoreStats`
+    whose ``plan_hits``/``plan_misses`` counters make the hit rate
+    observable — the tuning advisor treats a low hit rate as a sign the
+    workload is not iterative and read-ahead should shrink.
+    """
+
+    def __init__(self, max_entries: int = 256, stats=None) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self.stats = stats
+        self._plans: "OrderedDict[tuple, IOPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def lookup(self, key: tuple) -> IOPlan | None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+            if self.stats is not None:
+                self.stats.note_plan(plan is not None)
+            return plan
+
+    def store(self, key: tuple, plan: IOPlan) -> None:
+        with self._lock:
+            # a generation bump obsoletes every older entry wholesale;
+            # dropping them keeps the LRU from squatting on dead keys
+            gen = key[1]
+            if self._plans:
+                first = next(iter(self._plans))
+                if first[1] != gen:
+                    self._plans.clear()
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+
+    # -- convenience wrappers over the pure planners -------------------
+    def box(self, eci: ExtendibleChunkIndex, lo, hi,
+            chunk_shape, chunk_nbytes: int) -> IOPlan:
+        key = ("box", eci.generation, tuple(lo), tuple(hi))
+        plan = self.lookup(key)
+        if plan is None:
+            plan = plan_box(eci, lo, hi, chunk_shape, chunk_nbytes)
+            self.store(key, plan)
+        return plan
+
+    def slab(self, eci: ExtendibleChunkIndex, slab: Hyperslab,
+             chunk_shape, chunk_nbytes: int) -> IOPlan:
+        key = ("slab", eci.generation, slab.start, slab.stride,
+               slab.count)
+        plan = self.lookup(key)
+        if plan is None:
+            plan = plan_slab(eci, slab, chunk_shape, chunk_nbytes)
+            self.store(key, plan)
+        return plan
 
 
 def plan_box(eci: ExtendibleChunkIndex, lo: Sequence[int],

@@ -77,6 +77,8 @@ class StoreStats:
     short_reads: int = 0      #: partial transfers recovered by re-reading
     retries: int = 0          #: operations re-issued after transient faults
     giveups: int = 0          #: operations abandoned (permanent / exhausted)
+    plan_hits: int = 0        #: IOPlan compilations served from the cache
+    plan_misses: int = 0      #: IOPlan compilations built fresh
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   init=False, repr=False, compare=False)
 
@@ -114,6 +116,13 @@ class StoreStats:
             self.writev_calls += 1
             self.coalesced_runs += nruns
 
+    def note_plan(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.plan_hits += 1
+            else:
+                self.plan_misses += 1
+
     def snapshot(self) -> "StoreStats":
         return replace(self)
 
@@ -130,6 +139,8 @@ class StoreStats:
             short_reads=self.short_reads - earlier.short_reads,
             retries=self.retries - earlier.retries,
             giveups=self.giveups - earlier.giveups,
+            plan_hits=self.plan_hits - earlier.plan_hits,
+            plan_misses=self.plan_misses - earlier.plan_misses,
         )
 
     def reset(self) -> None:
@@ -138,6 +149,7 @@ class StoreStats:
         self.coalesced_runs = 0
         self.bytes_read = self.bytes_written = 0
         self.short_reads = self.retries = self.giveups = 0
+        self.plan_hits = self.plan_misses = 0
 
 
 class ByteStore:

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.chunking import box_shape, chunk_element_box, chunks_covering_box, validate_box
+from ..core.chunking import box_shape, chunks_covering_box, validate_box
 from ..core.errors import DRXIndexError
 from ..core.inverse import f_star_inv_many
 from ..core.mapping import f_star_many
 from ..core.metadata import DRXMeta
+from ..core.scatter import full_chunk_mask, gather_chunks, scatter_chunks
 from ..drx.ioplan import coalesce_addresses
 from ..mpi import datatypes
 from ..mpi.file import File
@@ -54,6 +55,9 @@ def chunk_datatype(meta: DRXMeta) -> datatypes.Datatype:
         base = datatypes.from_numpy_dtype(meta.dtype)
         dt = base.Create_contiguous(meta.chunk_elems).Commit()
         meta._cache[key] = dt
+        datatypes.DATATYPE_STATS.note("chunk_dt_misses")
+    else:
+        datatypes.DATATYPE_STATS.note("chunk_dt_hits")
     return dt
 
 
@@ -126,18 +130,15 @@ def _scatter_chunks(meta: DRXMeta, staging: np.ndarray,
 
     ``staging`` is ``(nchunks, *chunk_shape)``; ``out`` starts at element
     ``origin`` of the principal array.  Uses ``F*^-1`` to recover each
-    chunk's index — the paper's read-side use of the inverse mapping.
+    chunk's index — the paper's read-side use of the inverse mapping —
+    then hands the whole batch to the dense-grid scatter kernel (one
+    array-at-a-time copy instead of a per-chunk Python loop).
     """
     if addresses.size == 0:
         return
     indices = f_star_inv_many(meta.eci, addresses)
-    cs = meta.chunk_shape
-    bounds = meta.element_bounds
-    for payload, ci in zip(staging, indices):
-        lo, hi = chunk_element_box(ci, cs, bounds)
-        src = tuple(slice(0, h - l) for l, h in zip(lo, hi))
-        dst = tuple(slice(l - o, h - o) for l, h, o in zip(lo, hi, origin))
-        out[dst] = payload[src]
+    scatter_chunks(staging, indices, meta.chunk_shape,
+                   meta.element_bounds, out, origin)
 
 
 def _gather_chunks(meta: DRXMeta, values: np.ndarray,
@@ -147,15 +148,8 @@ def _gather_chunks(meta: DRXMeta, values: np.ndarray,
     (file order) from an element-space array starting at ``origin``."""
     indices = f_star_inv_many(meta.eci, addresses) if addresses.size else \
         np.empty((0, meta.rank), dtype=np.int64)
-    cs = meta.chunk_shape
-    bounds = meta.element_bounds
-    staging = np.zeros((len(addresses), *cs), dtype=meta.dtype)
-    for payload, ci in zip(staging, indices):
-        lo, hi = chunk_element_box(ci, cs, bounds)
-        dst = tuple(slice(0, h - l) for l, h in zip(lo, hi))
-        src = tuple(slice(l - o, h - o) for l, h, o in zip(lo, hi, origin))
-        payload[dst] = values[src]
-    return staging
+    return gather_chunks(indices, meta.chunk_shape, meta.element_bounds,
+                         values, origin, dtype=meta.dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -238,16 +232,12 @@ def box_read(fh: File, meta: DRXMeta, lo, hi, order: str = "C",
     else:
         fh.Read_at(0, staging)
     out = np.zeros(box_shape(lo, hi), dtype=meta.dtype, order=order)
-    # scatter only the intersection of each chunk with the box
-    indices = f_star_inv_many(meta.eci, addrs) if len(addrs) else []
-    cs = meta.chunk_shape
-    for payload, ci in zip(staging, indices):
-        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
-        o_lo = tuple(max(a, b) for a, b in zip(c_lo, lo))
-        o_hi = tuple(min(a, b) for a, b in zip(c_hi, hi))
-        src = tuple(slice(a - c, b - c) for a, b, c in zip(o_lo, o_hi, c_lo))
-        dst = tuple(slice(a - l, b - l) for a, b, l in zip(o_lo, o_hi, lo))
-        out[dst] = payload[src]
+    # scatter only the intersection of each chunk with the box — the
+    # kernel clips every chunk box against [lo, hi) in one batch
+    if len(addrs):
+        indices = f_star_inv_many(meta.eci, addrs)
+        scatter_chunks(staging, indices, meta.chunk_shape,
+                       meta.element_bounds, out, lo)
     return out
 
 
@@ -266,13 +256,12 @@ def box_write(fh: File, meta: DRXMeta, lo, values: np.ndarray,
     addrs, _idx = _sorted_chunk_plan(meta, covering)
     etype = datatypes.from_numpy_dtype(meta.dtype)
     cs = meta.chunk_shape
-    indices = f_star_inv_many(meta.eci, addrs) if len(addrs) else []
+    indices = f_star_inv_many(meta.eci, addrs) if len(addrs) else \
+        np.empty((0, meta.rank), dtype=np.int64)
     # which covering chunks are only partially inside the box?
-    partial_slots = []
-    for slot, ci in enumerate(indices):
-        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
-        if any(a < l or b > h for a, b, l, h in zip(c_lo, c_hi, lo, hi)):
-            partial_slots.append(slot)
+    partial_slots = np.flatnonzero(
+        ~full_chunk_mask(indices, cs, meta.element_bounds, lo, hi)
+    ).tolist() if len(addrs) else []
     staging = np.zeros((len(addrs), *cs), dtype=meta.dtype)
     if partial_slots:
         part_addrs = addrs[partial_slots]
@@ -287,13 +276,9 @@ def box_write(fh: File, meta: DRXMeta, lo, values: np.ndarray,
         # keep collective call counts matched across ranks
         fh.Set_view(0, etype)
         fh.Read_at_all(0, staging[:0])
-    for payload, ci in zip(staging, indices):
-        c_lo, c_hi = chunk_element_box(ci, cs, meta.element_bounds)
-        o_lo = tuple(max(a, b) for a, b in zip(c_lo, lo))
-        o_hi = tuple(min(a, b) for a, b in zip(c_hi, hi))
-        dst = tuple(slice(a - c, b - c) for a, b, c in zip(o_lo, o_hi, c_lo))
-        src = tuple(slice(a - l, b - l) for a, b, l in zip(o_lo, o_hi, lo))
-        payload[dst] = values[src]
+    # overlay the box onto the (pre-read where partial) payloads
+    gather_chunks(indices, cs, meta.element_bounds, values, lo,
+                  staging=staging)
     if len(addrs):
         fh.Set_view(0, etype, indexed_filetype(meta, addrs))
     else:

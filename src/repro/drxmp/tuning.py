@@ -77,14 +77,27 @@ def suggest_chunk_shape(element_shape: Sequence[int],
     for d in growth:
         chunk[d] = min(4, element_shape[d])
     # distribute the remaining budget over the scan dims, last dim first
-    # (row-major: the last dimension is the contiguity direction)
+    # (row-major: the last dimension is the contiguity direction).  When
+    # the item size divides the stripe, budget-limited extents are
+    # snapped down to powers of two so the chunk payload divides the
+    # stripe — a chunk that tiles stripes exactly never straddles a
+    # boundary (1 server request instead of 2; see
+    # :func:`chunk_stripe_report`).  Bounds-capped extents keep the
+    # exact bound (matching the array matters more than alignment), and
+    # non-power-of-two item sizes skip the snap (no extent can make the
+    # payload divide a power-of-two stripe anyway).
+    snap = stripe_size % itemsize == 0
     scan_dims = [d for d in range(k - 1, -1, -1) if d not in growth]
     for d in scan_dims:
         have = prod(chunk)
         if have >= budget_elems:
             break
-        room = budget_elems // have
-        chunk[d] = min(element_shape[d], max(1, room))
+        room = max(1, budget_elems // have)
+        if room < element_shape[d]:
+            ext = 1 << (room.bit_length() - 1) if snap else room
+        else:
+            ext = element_shape[d]
+        chunk[d] = ext
     # final safety: never exceed the stripe
     while prod(chunk) * itemsize > stripe_size and max(chunk) > 1:
         d = int(np.argmax(chunk))
@@ -101,14 +114,31 @@ def chunk_stripe_report(chunk_shape: Sequence[int], stripe_size: int,
     and the worst-case number of server requests a single chunk access
     costs (the E5 metric).
     """
+    if stripe_size < 1:
+        raise DRXExtendError(f"stripe size must be positive, got "
+                             f"{stripe_size}")
+    if not chunk_shape or any(c < 1 for c in chunk_shape):
+        raise DRXExtendError(f"bad chunk shape {tuple(chunk_shape)}")
     if isinstance(dtype, str):
         itemsize = DRXType.to_numpy(dtype).itemsize
     else:
         itemsize = np.dtype(dtype).itemsize
     nbytes = prod(chunk_shape) * itemsize
     ratio = nbytes / stripe_size
-    # an unaligned chunk can touch ceil(ratio) + 1 stripes
-    worst_requests = int(np.ceil(ratio)) + (1 if nbytes % stripe_size else 0)
+    # Chunk q lives at byte offset q * nbytes (direct placement), so
+    # alignment is periodic, not arbitrary:
+    # * stripe a multiple of the chunk: chunks tile stripes exactly and
+    #   never straddle a boundary — always one request;
+    # * chunk a multiple of the stripe: every chunk starts on a stripe
+    #   boundary — exactly ``ratio`` requests;
+    # * otherwise some chunk offsets straddle: ceil(ratio) + 1 worst
+    #   case.
+    if stripe_size % nbytes == 0:
+        worst_requests = 1
+    elif nbytes % stripe_size == 0:
+        worst_requests = nbytes // stripe_size
+    else:
+        worst_requests = int(np.ceil(ratio)) + 1
     return {
         "chunk_nbytes": nbytes,
         "stripe_size": stripe_size,

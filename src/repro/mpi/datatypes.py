@@ -24,6 +24,8 @@ honour the in-memory datatype ("inMemoryMap") of the paper's listing.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass, field, replace
 from math import prod
 from typing import Sequence
 
@@ -31,8 +33,50 @@ import numpy as np
 
 from ..core.errors import MPIDatatypeError
 
-__all__ = ["Datatype", "BYTE", "INT", "INT32", "INT64", "FLOAT", "DOUBLE",
-           "COMPLEX", "from_numpy_dtype"]
+__all__ = ["Datatype", "DatatypeStats", "DATATYPE_STATS", "BYTE", "INT",
+           "INT32", "INT64", "FLOAT", "DOUBLE", "COMPLEX",
+           "from_numpy_dtype"]
+
+
+@dataclass
+class DatatypeStats:
+    """Process-wide cache counters for derived-datatype hot paths.
+
+    Every repeated zone/box transfer re-tiles the same datatype with the
+    same count; the memoized run tables and scatter indices turn that
+    re-derivation into a dictionary hit.  The counters make the hit rate
+    observable (tests pin it, the tuning advisor reads it).
+    """
+
+    tiled_hits: int = 0       #: memoized ``_tiled_runs`` reuses
+    tiled_misses: int = 0     #: ``_tiled_runs`` built fresh
+    index_hits: int = 0       #: memoized scatter/gather index reuses
+    index_misses: int = 0     #: scatter/gather indices built fresh
+    chunk_dt_hits: int = 0    #: ``chunk_datatype()`` cache reuses
+    chunk_dt_misses: int = 0  #: ``chunk_datatype()`` built fresh
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
+
+    def note(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def snapshot(self) -> "DatatypeStats":
+        return replace(self)
+
+
+#: Process-wide datatype cache counters.
+DATATYPE_STATS = DatatypeStats()
+
+#: Memoized entries kept per datatype instance (counts in flight vary
+#: little; the bound only guards pathological callers).
+_TILE_CACHE_MAX = 8
+
+#: Runs at or below this mean length use the expanded per-byte
+#: scatter/gather index (the interpreter-bound regime); longer runs are
+#: plain ``memmove``-sized slice copies where a Python loop is already
+#: memory-bound.
+_VECTOR_RUN_CUTOFF = 512
 
 
 def _coalesce_runs(offsets: np.ndarray, lengths: np.ndarray
@@ -75,7 +119,8 @@ class Datatype:
     """An (optionally derived) MPI datatype.  See module docstring."""
 
     __slots__ = ("offsets", "lengths", "lb", "extent", "name",
-                 "_committed", "_freed", "_cumlen")
+                 "_committed", "_freed", "_cumlen", "_tiled_cache",
+                 "_index_cache")
 
     def __init__(self, offsets: np.ndarray, lengths: np.ndarray,
                  lb: int, extent: int, name: str = "derived",
@@ -92,6 +137,10 @@ class Datatype:
         self._committed = committed
         self._freed = False
         self._cumlen: np.ndarray | None = None
+        #: count -> (offsets, lengths) of that many tiled instances
+        self._tiled_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: count -> per-byte scatter/gather index (small-run regime)
+        self._index_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # basic properties
@@ -326,26 +375,94 @@ class Datatype:
     # pack / unpack (typed buffer <-> contiguous data stream)
     # ------------------------------------------------------------------
     def _tiled_runs(self, count: int) -> tuple[np.ndarray, np.ndarray]:
-        """Runs of ``count`` tiled instances (byte offsets, lengths)."""
+        """Runs of ``count`` tiled instances (byte offsets, lengths).
+
+        Memoized per count: every transfer of the same (datatype, count)
+        pair — the steady state of iterative zone workloads — reuses one
+        run table instead of re-deriving it.
+        """
+        hit = self._tiled_cache.get(count)
+        if hit is not None:
+            DATATYPE_STATS.note("tiled_hits")
+            return hit
+        DATATYPE_STATS.note("tiled_misses")
         reps = np.arange(count, dtype=np.int64) * self.extent
         offs = (self.offsets[None, :] + reps[:, None]).ravel()
-        lens = np.broadcast_to(self.lengths, (count, self.num_runs)).ravel()
+        lens = np.broadcast_to(self.lengths,
+                               (count, self.num_runs)).ravel()
+        if len(self._tiled_cache) >= _TILE_CACHE_MAX:
+            self._tiled_cache.pop(next(iter(self._tiled_cache)))
+        self._tiled_cache[count] = (offs, lens)
         return offs, lens
+
+    def _scatter_index(self, count: int, offs: np.ndarray,
+                       lens: np.ndarray, total: int) -> np.ndarray:
+        """Per-byte buffer offsets of the typemap's data stream.
+
+        ``idx[j]`` is the buffer byte holding data byte ``j``, so a pack
+        is the single fancy gather ``buf[idx]`` and an unpack the single
+        fancy scatter ``buf[idx] = data``.  Memoized per count (the
+        index depends only on the immutable typemap).
+        """
+        hit = self._index_cache.get(count)
+        if hit is not None:
+            DATATYPE_STATS.note("index_hits")
+            return hit
+        DATATYPE_STATS.note("index_misses")
+        starts = np.zeros(offs.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        idx = np.arange(total, dtype=np.int64)
+        idx += np.repeat(offs - starts, lens)
+        if len(self._index_cache) >= _TILE_CACHE_MAX:
+            self._index_cache.pop(next(iter(self._index_cache)))
+        self._index_cache[count] = idx
+        return idx
+
+    def _check_runs_fit(self, offs: np.ndarray, lens: np.ndarray,
+                        nbuf: int, op: str) -> None:
+        ends = offs + lens
+        bad = np.flatnonzero(ends > nbuf)
+        if bad.size:
+            o = int(offs[bad[0]])
+            e = int(ends[bad[0]])
+            raise MPIDatatypeError(
+                f"{op}: run [{o},{e}) beyond buffer of {nbuf} bytes"
+            )
 
     def pack(self, buffer: np.ndarray | bytes | bytearray | memoryview,
              count: int = 1) -> bytes:
-        """Gather the data bytes of ``count`` instances from ``buffer``."""
+        """Gather the data bytes of ``count`` instances from ``buffer``.
+
+        One C-level operation end to end: contiguous types slice the
+        buffer directly; fragmented typemaps gather every byte with one
+        memoized fancy index (small runs) or one slice copy per run
+        (long runs, where ``memmove`` already dominates).  No
+        intermediate ``bytes`` are materialized.
+        """
         self._check_usable()
         mv = _as_bytes_view(buffer)
-        offs, lens = self._tiled_runs(count)
-        out = bytearray()
-        for o, n in zip(offs.tolist(), lens.tolist()):
-            if o + n > len(mv):
+        if self.is_contiguous:
+            end = count * self.size
+            if end > len(mv):
                 raise MPIDatatypeError(
-                    f"pack: run [{o},{o + n}) beyond buffer of {len(mv)} bytes"
+                    f"pack: run [0,{end}) beyond buffer of {len(mv)} bytes"
                 )
-            out += mv[o:o + n]
-        return bytes(out)
+            return mv[:end].tobytes()
+        offs, lens = self._tiled_runs(count)
+        if offs.size == 0:
+            return b""
+        self._check_runs_fit(offs, lens, len(mv), "pack")
+        total = int(lens.sum())
+        src = np.frombuffer(mv, dtype=np.uint8)
+        if total <= offs.size * _VECTOR_RUN_CUTOFF:
+            idx = self._scatter_index(count, offs, lens, total)
+            return src[idx].tobytes()
+        out = np.empty(total, dtype=np.uint8)
+        pos = 0
+        for o, n in zip(offs.tolist(), lens.tolist()):
+            out[pos:pos + n] = src[o:o + n]
+            pos += n
+        return out.tobytes()
 
     def unpack(self, buffer: np.ndarray | bytearray | memoryview,
                data: bytes, count: int = 1) -> int:
@@ -353,24 +470,49 @@ class Datatype:
 
         Returns the number of bytes consumed.  ``data`` may be shorter
         than ``count * size`` (a short read); scattering stops when the
-        stream is exhausted.
+        stream is exhausted.  Like :meth:`pack` this is one fancy
+        scatter (or one slice copy per long run) with no intermediate
+        copies of ``data``.
         """
         self._check_usable()
         mv = _as_bytes_view(buffer, writable=True)
-        offs, lens = self._tiled_runs(count)
-        pos = 0
-        for o, n in zip(offs.tolist(), lens.tolist()):
-            if pos >= len(data):
-                break
-            take = min(n, len(data) - pos)
-            if o + take > len(mv):
+        if isinstance(data, np.ndarray):
+            src = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        else:
+            src = np.frombuffer(data, dtype=np.uint8)
+        if self.is_contiguous:
+            take = min(count * self.size, len(src))
+            if take > len(mv):
                 raise MPIDatatypeError(
-                    f"unpack: run [{o},{o + take}) beyond buffer of "
+                    f"unpack: run [0,{take}) beyond buffer of "
                     f"{len(mv)} bytes"
                 )
-            mv[o:o + take] = data[pos:pos + take]
-            pos += take
-        return pos
+            np.frombuffer(mv, dtype=np.uint8)[:take] = src[:take]
+            return take
+        offs, lens = self._tiled_runs(count)
+        if offs.size == 0 or len(src) == 0:
+            return 0
+        total = int(lens.sum())
+        take = min(total, len(src))
+        # bound-check only the runs the stream actually reaches,
+        # truncating the last one exactly as the historical loop did
+        cum = np.zeros(offs.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=cum[1:])
+        touched = int(np.searchsorted(cum[1:], take, side="left")) + 1
+        t_offs = offs[:touched].copy()
+        t_lens = lens[:touched].copy()
+        t_lens[-1] = take - int(cum[touched - 1])
+        self._check_runs_fit(t_offs, t_lens, len(mv), "unpack")
+        dst = np.frombuffer(mv, dtype=np.uint8)
+        if take <= touched * _VECTOR_RUN_CUTOFF:
+            idx = self._scatter_index(count, offs, lens, total)
+            dst[idx[:take]] = src[:take]
+            return take
+        pos = 0
+        for o, n in zip(t_offs.tolist(), t_lens.tolist()):
+            dst[o:o + n] = src[pos:pos + n]
+            pos += n
+        return take
 
 
 def _as_bytes_view(buffer, writable: bool = False) -> memoryview:
